@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+Figures/tables print their reproduced series to stdout; run with
+``pytest benchmarks/ --benchmark-only -s`` (or tee the output) to see them.
+"""
+
+import sys
+import os
+
+# Make `from benchmarks.harness import …` work when pytest is invoked on
+# the benchmarks directory directly.
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))

@@ -1,0 +1,59 @@
+"""Figure 7 (left & center): throughput vs number of CCF nodes.
+
+Paper's findings: write throughput stays ≥65 K req/s and declines slightly
+as nodes are added (the primary does more replication work); read
+throughput *scales* with node count because any node serves reads.
+"""
+
+from benchmarks.harness import build_service, print_table, run_logging_workload
+
+NODE_COUNTS = [1, 3, 5, 7]
+
+
+def _measure(read_ratio: float):
+    rows = []
+    for n in NODE_COUNTS:
+        service = build_service(n_nodes=n, seed=100 + n)
+        # Reads are far cheaper per request, so a shorter window already
+        # collects tens of thousands of samples per point.
+        window = 0.15 if read_ratio == 0.0 else 0.05
+        result = run_logging_workload(
+            service,
+            read_ratio=read_ratio,
+            concurrency=100 if read_ratio == 0.0 else 160 * n,
+            warmup=0.05 if read_ratio == 0.0 else 0.02,
+            window=window,
+        )
+        rows.append((n, result))
+    return rows
+
+
+def test_fig7_left_write_throughput(benchmark):
+    rows = benchmark.pedantic(lambda: _measure(read_ratio=0.0), rounds=1, iterations=1)
+    table = [[n, result.writes_per_second] for n, result in rows]
+    print_table(
+        "Figure 7 (left): write throughput vs cluster size",
+        ["nodes", "writes/s"],
+        table,
+    )
+    # Shape checks: high absolute throughput, mild monotone decline.
+    throughputs = {n: result.writes_per_second for n, result in rows}
+    assert throughputs[1] > 55_000
+    assert throughputs[3] > 50_000
+    assert throughputs[1] >= throughputs[7] * 0.95  # declines (or flat) with size
+    assert throughputs[7] > 0.75 * throughputs[1]  # …but only slightly
+
+
+def test_fig7_center_read_throughput(benchmark):
+    rows = benchmark.pedantic(lambda: _measure(read_ratio=1.0), rounds=1, iterations=1)
+    table = [[n, result.reads_per_second] for n, result in rows]
+    print_table(
+        "Figure 7 (center): read throughput vs cluster size",
+        ["nodes", "reads/s"],
+        table,
+    )
+    throughputs = {n: result.reads_per_second for n, result in rows}
+    # Reads scale with the number of nodes (every node serves them).
+    assert throughputs[3] > 1.8 * throughputs[1]
+    assert throughputs[5] > 1.4 * throughputs[3]
+    assert throughputs[7] > throughputs[5]

@@ -1,0 +1,46 @@
+"""Figure 7 (right): single-node throughput vs read/write request ratio.
+
+Paper's finding: increasing the share of reads increases total throughput,
+most dramatically at 100% reads where requests never touch consensus.
+"""
+
+from benchmarks.harness import build_service, print_table, run_logging_workload
+
+READ_RATIOS = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+
+def _measure():
+    rows = []
+    for ratio in READ_RATIOS:
+        service = build_service(n_nodes=1, seed=200 + int(ratio * 100))
+        result = run_logging_workload(
+            service,
+            read_ratio=ratio,
+            concurrency=100 + int(400 * ratio),  # reads are RTT-bound
+            warmup=0.05,
+            window=0.15,
+            spread_reads=False,
+        )
+        rows.append((ratio, result))
+    return rows
+
+
+def test_fig7_right_read_write_mix(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table = [
+        [f"{int(ratio * 100)}%", result.writes_per_second,
+         result.reads_per_second, result.total_per_second]
+        for ratio, result in rows
+    ]
+    print_table(
+        "Figure 7 (right): single-node throughput vs read ratio",
+        ["reads", "writes/s", "reads/s", "total/s"],
+        table,
+    )
+    totals = {ratio: result.total_per_second for ratio, result in rows}
+    # Total throughput rises with the read share…
+    assert totals[0.25] >= totals[0.0]
+    assert totals[0.5] >= totals[0.25]
+    assert totals[1.0] >= totals[0.75]
+    # …and the all-read point towers over the all-write one.
+    assert totals[1.0] > 3 * totals[0.0]

@@ -1,0 +1,90 @@
+"""Figure 8: the cost of signature transactions.
+
+Left/center: with one node and one user and a signature interval of 100,
+write response time sits at ~1.2–1.3 ms, spiking to ~2.3 ms on the request
+that triggers a signature (the ~1 ms Merkle-root ECDSA signing).
+Right: write throughput vs signature interval — signing more often buys
+faster commit at the cost of throughput.
+"""
+
+from benchmarks.harness import MESSAGE, build_service, print_table, run_logging_workload
+from repro.service.client import ServiceClient
+from repro.sim.metrics import LatencyRecorder
+
+
+def _measure_response_times(n_requests=400):
+    """One node, one user, closed loop of 1 — per-request response times.
+
+    The time-based signature flush is disabled, matching the paper's
+    "most other sources of latency variance removed": signatures fire
+    strictly every 100 transactions.
+    """
+    # Link latency calibrated to the paper's testbed RTT (~1 ms round trip
+    # through the HTTP/TLS stack), giving the 1.2–1.3 ms write baseline.
+    service = build_service(n_nodes=1, signature_interval=100,
+                            signature_flush_time=30.0, seed=8,
+                            link_latency=5.3e-4)
+    primary = service.primary_node()
+    user = service.users[0]
+    credentials = {"certificate": user.certificate.to_dict()}
+    client = ServiceClient(service.scheduler, service.network,
+                           name="fig8-user", identity=user)
+    latency = LatencyRecorder()
+    for i in range(n_requests):
+        sent = service.scheduler.now
+        response = client.call(primary.node_id, "/app/write_message",
+                               {"id": i, "msg": MESSAGE}, credentials=credentials)
+        assert response.ok, response.error
+        latency.record(service.scheduler.now, service.scheduler.now - sent)
+    return latency
+
+
+def test_fig8_left_response_time_spikes(benchmark):
+    latency = benchmark.pedantic(_measure_response_times, rounds=1, iterations=1)
+    values = latency.latencies()
+    baseline = sorted(values)[len(values) // 2]
+    spikes = [v for v in values if v > baseline * 1.5]
+    histogram = latency.histogram(0.0002)
+    print_table(
+        "Figure 8 (left/center): write response-time distribution (ms)",
+        ["bucket (ms)", "requests"],
+        [[f"{bucket * 1000:.1f}", count] for bucket, count in histogram.items()],
+    )
+    print(f"baseline ≈ {baseline * 1000:.2f} ms; "
+          f"{len(spikes)} signature spikes ≈ "
+          f"{(sum(spikes) / len(spikes)) * 1000:.2f} ms")
+    # Paper shape: ~1.2-1.3 ms baseline, ~2.3 ms spike roughly every 100th.
+    assert 0.0008 < baseline < 0.0020
+    assert len(spikes) == len(values) // 100 or abs(len(spikes) - len(values) / 100) <= 2
+    spike_mean = sum(spikes) / len(spikes)
+    assert 1.6 * baseline < spike_mean < 3.5 * baseline
+
+
+SIGNATURE_INTERVALS = [1, 5, 10, 50, 100, 500, 1000]
+
+
+def _measure_throughput_vs_interval():
+    rows = []
+    for interval in SIGNATURE_INTERVALS:
+        service = build_service(n_nodes=1, signature_interval=interval,
+                                seed=300 + interval)
+        result = run_logging_workload(
+            service, read_ratio=0.0, concurrency=100, warmup=0.04, window=0.1
+        )
+        rows.append((interval, result.writes_per_second))
+    return rows
+
+
+def test_fig8_right_throughput_vs_signature_interval(benchmark):
+    rows = benchmark.pedantic(_measure_throughput_vs_interval, rounds=1, iterations=1)
+    print_table(
+        "Figure 8 (right): write throughput vs signature interval",
+        ["interval (txs)", "writes/s"],
+        [[interval, tput] for interval, tput in rows],
+    )
+    throughput = dict(rows)
+    # Monotone-ish growth with the interval, saturating at the top end:
+    assert throughput[1] < throughput[10] < throughput[100]
+    assert throughput[1000] > 0.9 * throughput[500]
+    # Signing every transaction costs several-fold throughput.
+    assert throughput[1000] > 3 * throughput[1]

@@ -1,0 +1,135 @@
+"""Microbenchmarks of the substrate data structures and crypto.
+
+These use pytest-benchmark's statistics (wall-clock): they measure the
+reproduction's own building blocks — the Merkle tree, the CHAMP map, the
+AEAD suites, ECDSA, write-set serialization, and the JS engine vs native
+handler execution (the mechanism behind Table 5's runtime gap).
+"""
+
+import random
+
+from repro.app.jsapp.interp import Interpreter
+from repro.app.jsapp.parser import parse
+from repro.crypto.aead import AEADKey, nonce_from_counter
+from repro.crypto.ecdsa import SigningKey
+from repro.crypto.fastaead import FastAEADKey
+from repro.crypto.merkle import MerkleTree
+from repro.kv.champ import ChampMap
+from repro.kv.tx import WriteSet
+
+
+class TestMerkle:
+    def test_append_throughput(self, benchmark):
+        def append_1000():
+            tree = MerkleTree()
+            for i in range(1000):
+                tree.append(i.to_bytes(8, "big"))
+            return tree.root()
+
+        benchmark(append_1000)
+
+    def test_root_computation(self, benchmark):
+        tree = MerkleTree()
+        for i in range(10_000):
+            tree.append(i.to_bytes(8, "big"))
+        benchmark(tree.root)
+
+    def test_proof_generation(self, benchmark):
+        tree = MerkleTree()
+        for i in range(10_000):
+            tree.append(i.to_bytes(8, "big"))
+        rng = random.Random(0)
+        benchmark(lambda: tree.proof(rng.randrange(9_000), 10_000))
+
+    def test_proof_verification(self, benchmark):
+        tree = MerkleTree()
+        for i in range(1000):
+            tree.append(i.to_bytes(8, "big"))
+        proof = tree.proof(123, 1000)
+        root = tree.root()
+        benchmark(lambda: proof.verify((123).to_bytes(8, "big"), root))
+
+
+class TestChamp:
+    def test_insert_1000(self, benchmark):
+        def build():
+            m = ChampMap.empty()
+            for i in range(1000):
+                m = m.set(f"key-{i}", i)
+            return m
+
+        benchmark(build)
+
+    def test_lookup(self, benchmark):
+        m = ChampMap.from_dict({f"key-{i}": i for i in range(10_000)})
+        rng = random.Random(0)
+        benchmark(lambda: m.get(f"key-{rng.randrange(10_000)}"))
+
+    def test_persistent_update(self, benchmark):
+        m = ChampMap.from_dict({f"key-{i}": i for i in range(10_000)})
+        benchmark(lambda: m.set("key-5000", -1))
+
+
+class TestCrypto:
+    def test_fast_aead_seal_small(self, benchmark):
+        key = FastAEADKey.generate(b"bench")
+        nonce = nonce_from_counter(1)
+        benchmark(lambda: key.seal(nonce, b"x" * 64))
+
+    def test_chacha20poly1305_seal_small(self, benchmark):
+        key = AEADKey.generate(b"bench")
+        nonce = nonce_from_counter(1)
+        benchmark(lambda: key.seal(nonce, b"x" * 64))
+
+    def test_ecdsa_sign(self, benchmark):
+        key = SigningKey.generate(b"bench")
+        benchmark(lambda: key.sign(b"merkle root"))
+
+    def test_ecdsa_verify(self, benchmark):
+        key = SigningKey.generate(b"bench")
+        signature = key.sign(b"merkle root")
+        public = key.public_key
+        benchmark(lambda: public.verify(signature, b"merkle root"))
+
+
+class TestSerialization:
+    def test_write_set_encode(self, benchmark):
+        ws = WriteSet()
+        for i in range(20):
+            ws.put("records", i, {"balance": i * 100, "owner": f"user-{i}"})
+        benchmark(ws.encode)
+
+    def test_write_set_decode(self, benchmark):
+        ws = WriteSet()
+        for i in range(20):
+            ws.put("records", i, {"balance": i * 100, "owner": f"user-{i}"})
+        data = ws.encode()
+        benchmark(lambda: WriteSet.decode(data))
+
+
+class TestRuntimeGap:
+    """The native-vs-JS execution gap that drives Table 5's rows."""
+
+    NATIVE_SOURCE = None
+
+    def test_native_handler(self, benchmark):
+        def handler(body):
+            return {"id": body["id"], "msg": body["msg"]}
+
+        benchmark(lambda: handler({"id": 1, "msg": "x" * 20}))
+
+    def test_js_handler(self, benchmark):
+        ast = parse("""
+        function handle(request) {
+            var id = request.body.id;
+            var msg = request.body.msg;
+            return { id: id, msg: msg };
+        }
+        """)
+
+        def run():
+            interp = Interpreter()
+            interp.run_ast(ast)
+            return interp.call_function("handle", {"body": {"id": 1, "msg": "x" * 20}})
+
+        benchmark(run)

@@ -1,0 +1,76 @@
+"""Simulator validation: measured throughput vs analytic (MVA) prediction.
+
+A credibility check for the whole evaluation: the discrete-event simulator
+and closed-form queueing theory must agree on every operating point, or the
+performance results cannot be trusted.
+"""
+
+from benchmarks.harness import build_service, print_table, run_logging_workload
+from repro.perf.costmodel import CostModel
+from repro.perf.queueing import predict_signature_throughput_factor, predict_write_throughput
+
+CONCURRENCIES = [5, 20, 100, 400]
+ROUND_TRIP = 0.00056  # two traversals of the default link (+ mean jitter)
+
+
+def _measure(concurrency: int) -> float:
+    service = build_service(n_nodes=3, seed=1500 + concurrency)
+    return run_logging_workload(
+        service, read_ratio=0.0, concurrency=concurrency,
+        warmup=0.04, window=0.08,
+    ).writes_per_second
+
+
+def test_simulator_vs_mva(benchmark):
+    def run():
+        model = CostModel(runtime="native", platform="sgx")
+        rows = []
+        for concurrency in CONCURRENCIES:
+            measured = _measure(concurrency)
+            predicted = predict_write_throughput(
+                model, n_clients=concurrency, round_trip=ROUND_TRIP, num_backups=2
+            ).throughput
+            rows.append((concurrency, measured, predicted, measured / predicted))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Validation: simulated write throughput vs mean-value analysis",
+        ["clients", "simulated/s", "predicted/s", "ratio"],
+        [[c, m, p, f"{r:.2f}"] for c, m, p, r in rows],
+    )
+    for concurrency, measured, predicted, ratio in rows:
+        assert 0.78 < ratio < 1.22, (
+            f"simulator diverges from theory at {concurrency} clients: "
+            f"{measured:.0f}/s vs {predicted:.0f}/s"
+        )
+
+
+def test_signature_tradeoff_vs_theory(benchmark):
+    """Figure 8 (right) from theory: the analytic amortization factor
+    predicts the measured throughput ratio across signature intervals."""
+
+    def run():
+        model = CostModel(runtime="native", platform="sgx")
+        rows = []
+        for interval in (1, 10, 100):
+            service = build_service(n_nodes=1, signature_interval=interval,
+                                    seed=1600 + interval)
+            measured = run_logging_workload(
+                service, read_ratio=0.0, concurrency=100,
+                warmup=0.04, window=0.08,
+            ).writes_per_second
+            predicted_factor = predict_signature_throughput_factor(interval, model)
+            rows.append((interval, measured, predicted_factor))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    base_capacity = rows[-1][1] / rows[-1][2]  # interval-100 point as anchor
+    print_table(
+        "Validation: signature-interval tradeoff vs analytic amortization",
+        ["interval", "simulated/s", "predicted/s"],
+        [[i, m, base_capacity * f] for i, m, f in rows],
+    )
+    for interval, measured, factor in rows:
+        predicted = base_capacity * factor
+        assert 0.7 < measured / predicted < 1.3, (interval, measured, predicted)

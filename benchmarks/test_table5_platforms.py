@@ -1,0 +1,117 @@
+"""Table 5: throughput for C++-analog (native) vs JS × SGX vs virtual.
+
+Paper's numbers (five-node service, writes / reads in tx/s):
+
+            SGX                virtual
+    C++     64.8 K / 881 K     118 K / 1.24 M
+    JS      15.7 K / 90.7 K    33.7 K / 219 K
+
+Shape targets: virtual ≈ 1.8–2.4× SGX; native ≈ 4–10× JS. The JS rows run
+the logging app through the real mini-JS interpreter; the platform gap
+comes from the calibrated cost model (simulated time).
+"""
+
+import pytest
+
+from benchmarks.harness import build_service, print_table, run_logging_workload
+
+PAPER = {
+    ("native", "sgx"): (64_800, 881_000),
+    ("native", "virtual"): (118_000, 1_240_000),
+    ("js", "sgx"): (15_700, 90_700),
+    ("js", "virtual"): (33_700, 219_000),
+}
+
+CELLS = list(PAPER)
+
+
+def _measure_cell(runtime: str, platform: str) -> tuple[float, float]:
+    service = build_service(
+        n_nodes=5, runtime=runtime, platform=platform,
+        seed=(len(runtime) * 31 + len(platform)) % 1000,
+    )
+    writes = run_logging_workload(
+        service, read_ratio=0.0, concurrency=100, warmup=0.04, window=0.1
+    )
+    # Reads: measure one node's *service-bound* capacity (short link, deep
+    # closed loop) and scale by the five nodes — reads scale linearly with
+    # node count (Figure 7 center). The paper's absolute read numbers were
+    # limited by its single client VM; capacity measurement preserves the
+    # SGX/virtual and C++/JS ratios, which are the platform signal.
+    read_service = build_service(
+        n_nodes=1, runtime=runtime, platform=platform,
+        seed=(len(platform) * 37 + len(runtime)) % 1000 + 1,
+        link_latency=5e-5,
+    )
+    reads = run_logging_workload(
+        read_service, read_ratio=1.0,
+        concurrency=600 if runtime == "native" else 150,
+        warmup=0.01,
+        window=0.025 if runtime == "native" else 0.05,
+        spread_reads=False,
+    )
+    return writes.writes_per_second, reads.reads_per_second * 5
+
+
+def test_table5(benchmark):
+    def run_all():
+        return {cell: _measure_cell(*cell) for cell in CELLS}
+
+    measured = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for (runtime, platform), (writes, reads) in measured.items():
+        paper_writes, paper_reads = PAPER[(runtime, platform)]
+        rows.append([
+            {"native": "C++ (native)", "js": "JS"}[runtime],
+            platform,
+            writes,
+            reads,
+            f"{paper_writes:,} / {paper_reads:,}",
+        ])
+    print_table(
+        "Table 5: writes/s and reads/s by runtime × platform "
+        "(paper values rightmost)",
+        ["runtime", "platform", "writes/s", "reads/s", "paper (w/r)"],
+        rows,
+    )
+
+    # Shape assertions.
+    native_sgx_w, native_sgx_r = measured[("native", "sgx")]
+    native_vm_w, native_vm_r = measured[("native", "virtual")]
+    js_sgx_w, js_sgx_r = measured[("js", "sgx")]
+    js_vm_w, js_vm_r = measured[("js", "virtual")]
+
+    # Virtual beats SGX by roughly the paper's factor on writes…
+    assert 1.4 < native_vm_w / native_sgx_w < 2.6
+    assert 1.4 < js_vm_w / js_sgx_w < 3.0
+    # …and on reads (paper: 1.4× native, 2.4× JS).
+    assert 1.2 < native_vm_r / native_sgx_r < 1.8
+    assert 1.8 < js_vm_r / js_sgx_r < 3.2
+    # The native runtime beats JS by roughly the paper's factor.
+    assert 2.5 < native_sgx_w / js_sgx_w < 8.0
+    assert 2.5 < native_vm_w / js_vm_w < 8.0
+    assert 5.0 < native_sgx_r / js_sgx_r < 15.0  # paper: ~9.7×
+    # Reads far outstrip writes everywhere.
+    for (runtime, platform), (writes, reads) in measured.items():
+        assert reads > 2 * writes, (runtime, platform)
+
+
+@pytest.mark.parametrize("platform", ["sgx", "snp"])
+def test_table5_extension_snp(benchmark, platform):
+    """Section 9's future work: AMD SEV-SNP support with 2–8% overhead —
+    the reproduction carries an snp platform profile."""
+    if platform == "sgx":
+        pytest.skip("baseline measured in test_table5")
+
+    def run():
+        return _measure_cell("native", "snp")
+
+    writes, _reads = benchmark.pedantic(run, rounds=1, iterations=1)
+    virtual_writes = 115_000  # nominal virtual-mode level
+    print_table(
+        "Extension: AMD SEV-SNP profile (native runtime)",
+        ["platform", "writes/s", "vs virtual"],
+        [["snp", writes, f"{writes / virtual_writes:.2f}x"]],
+    )
+    # SNP should sit within ~15% of virtual (paper: 2–8% overhead).
+    assert writes > 0.8 * virtual_writes

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Mechanically checking the consensus protocol (the paper's TLA+ story).
+
+Two complementary tools, both inspired by the TLA+ specification the paper
+cites [68, 88]:
+
+1. the **exhaustive bounded model checker** explores every interleaving of
+   an abstract model of CCF consensus within explicit bounds;
+2. the **randomized adversarial explorer** drives the *real*
+   implementation — actual ConsensusNode instances over the simulated
+   network — through crash/partition/loss schedules.
+
+During this reproduction's development, the explorer found a genuine
+commit-safety bug (a backup acknowledged its full ledger length, stale
+suffix included). The model checker demonstrates the same bug class
+exhaustively: flip ``buggy_ack=True`` and it produces a minimal
+counterexample trace.
+
+Run:  python examples/model_checking.py
+"""
+
+from repro.verification.explorer import explore
+from repro.verification.model import check
+
+
+def main() -> None:
+    print("=== exhaustive model checking (abstract protocol) ===")
+    result = check(n_nodes=3, max_view=3, max_log=4)
+    print(f"states explored:  {result.states_explored:,}")
+    print(f"transitions:      {result.transitions:,}")
+    print(f"exhausted bounds: {not result.hit_bounds}")
+    print(f"safety holds:     {result.ok}")
+
+    print("\n=== the same checker, with the historical ack bug re-enabled ===")
+    buggy = check(n_nodes=3, max_view=3, max_log=4, buggy_ack=True)
+    print(f"safety holds: {buggy.ok}")
+    print(f"violation:    {buggy.violation}")
+    print("counterexample trace (shortest, by BFS):")
+    for step in buggy.trace:
+        print(f"  {step}")
+
+    print("\n=== randomized adversarial exploration (real implementation) ===")
+    exploration = explore(n_nodes=3, schedules=6, steps_per_schedule=30, seed=2)
+    print(f"schedules run:       {exploration.schedules_run}")
+    print(f"steps checked:       {exploration.steps_checked}")
+    print(f"elections observed:  {exploration.elections_observed}")
+    print(f"commits observed:    {exploration.commits_observed}")
+    print(f"invariants held:     {exploration.ok}")
+    if not exploration.ok:
+        for violation in exploration.violations:
+            print(f"  VIOLATION: {violation}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+Allows `pip install -e . --no-use-pep517 --no-build-isolation` (legacy
+editable install) in the offline benchmark environment; all project
+metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — a pure-Python reproduction of the Confidential Consortium Framework.
+
+CCF (Howard et al., VLDB 2023) is a framework for building confidential,
+integrity-protected, highly available multiparty services on untrusted
+infrastructure, combining TEEs with a ledger-backed replicated key-value
+store and programmable multiparty governance.
+
+This package reproduces the full system as a deterministic discrete-event
+simulation with real cryptography. Start with :class:`repro.CCFService`:
+
+    from repro import CCFService, ServiceSetup, NodeConfig
+
+    service = CCFService(ServiceSetup(n_nodes=3))
+    service.bootstrap()
+    user = service.any_user_client()
+    primary = service.primary_node()
+    response = user.call(primary.node_id, "/app/write_message",
+                         {"id": 1, "msg": "hello"})
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.app.application import Application
+from repro.app.context import Request, RequestContext, Response
+from repro.ledger.entry import TxID
+from repro.ledger.receipts import Receipt
+from repro.node.config import NodeConfig
+from repro.node.node import CCFNode
+from repro.service.client import ClosedLoopClient, ServiceClient
+from repro.service.operator import Operator
+from repro.service.service import CCFService, ServiceSetup
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "Request",
+    "RequestContext",
+    "Response",
+    "TxID",
+    "Receipt",
+    "NodeConfig",
+    "CCFNode",
+    "ServiceClient",
+    "ClosedLoopClient",
+    "Operator",
+    "CCFService",
+    "ServiceSetup",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""The application framework (sections 2, 3.1, 6.4).
+
+Applications bring their own logic as a set of named *endpoints*, each
+declaring an authentication policy and whether it is read-only. Handlers
+receive a :class:`~repro.app.context.RequestContext` giving transactional
+access to the key-value store, the authenticated caller, historical range
+queries, and indexing. State changes are recorded as one atomic transaction
+per invocation; handlers never observe partial execution.
+
+Two runtimes are supported, mirroring the paper's C++ and JavaScript
+options: native Python handlers (the C++ analog) and handlers written in
+the embedded mini-JavaScript (:mod:`repro.app.jsapp`).
+"""
+
+from repro.app.application import Application, Endpoint, endpoint
+from repro.app.context import Request, RequestContext, Response
+
+__all__ = ["Application", "Endpoint", "endpoint", "Request", "RequestContext", "Response"]

@@ -1,0 +1,82 @@
+"""Endpoint registration and dispatch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.app.context import RequestContext
+from repro.errors import ConfigurationError
+
+Handler = Callable[[RequestContext], Any]
+
+AUTH_POLICIES = ("no_auth", "user_cert", "member_cert", "user_signature", "jwt")
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One invocable endpoint.
+
+    ``auth_policy`` declares how callers must authenticate (section 3.1):
+    CCF checks the policy *before* the handler runs; the handler then
+    applies its own authorization on the authenticated claims.
+    ``read_only`` endpoints run on any node against the latest local state
+    and produce no ledger entry (section 3.4).
+    """
+
+    name: str
+    handler: Handler
+    auth_policy: str = "user_cert"
+    read_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.auth_policy not in AUTH_POLICIES:
+            raise ConfigurationError(f"unknown auth policy {self.auth_policy!r}")
+
+
+@dataclass
+class Application:
+    """A named collection of endpoints plus optional indexing strategies."""
+
+    name: str = "app"
+    endpoints: dict[str, Endpoint] = field(default_factory=dict)
+    # Indexing strategy factories, installed on each hosting node
+    # (section 3.4): name -> zero-arg factory returning a strategy.
+    indexing_strategies: dict[str, Callable[[], Any]] = field(default_factory=dict)
+
+    def add_endpoint(
+        self,
+        name: str,
+        handler: Handler,
+        auth_policy: str = "user_cert",
+        read_only: bool = False,
+    ) -> None:
+        if name in self.endpoints:
+            raise ConfigurationError(f"endpoint {name!r} already registered")
+        self.endpoints[name] = Endpoint(
+            name=name, handler=handler, auth_policy=auth_policy, read_only=read_only
+        )
+
+    def endpoint(
+        self, name: str, auth_policy: str = "user_cert", read_only: bool = False
+    ) -> Callable[[Handler], Handler]:
+        """Decorator form of :meth:`add_endpoint`."""
+
+        def decorator(handler: Handler) -> Handler:
+            self.add_endpoint(name, handler, auth_policy=auth_policy, read_only=read_only)
+            return handler
+
+        return decorator
+
+    def add_indexing_strategy(self, name: str, factory: Callable[[], Any]) -> None:
+        self.indexing_strategies[name] = factory
+
+    def lookup(self, name: str) -> Endpoint | None:
+        return self.endpoints.get(name)
+
+
+def endpoint(
+    app: Application, name: str, auth_policy: str = "user_cert", read_only: bool = False
+):
+    """Free-function decorator: ``@endpoint(app, "write_message")``."""
+    return app.endpoint(name, auth_policy=auth_policy, read_only=read_only)

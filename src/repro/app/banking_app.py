@@ -1,0 +1,142 @@
+"""The banking application from the paper's overview (section 2).
+
+"Consider a banking application, managed by a consortium of financial
+institutions. Endpoints such as credit, debit, and transfer could take an
+account ID (or IDs) and an amount in USD … Further endpoints might include
+apply_interest, which updates all account balances from a given bank
+accordingly, or audit, which is available only to a financial regulator,
+and returns the names of account holders whose total funds exceed some
+threshold." Plus the ``get_statement`` endpoint from section 3.4 built on
+an application-defined index.
+
+Account balances live in a private map (confidential); the accounts are
+keyed by account id, with owner metadata including the operating bank and
+whether the caller is authorized.
+"""
+
+from __future__ import annotations
+
+from repro.app.application import Application
+from repro.app.context import RequestContext
+from repro.node.indexer import KeyWriteIndex
+
+ACCOUNTS_MAP = "accounts"  # private: id -> {"owner", "bank", "balance_usd"}
+REGULATORS_MAP = "public:regulators"  # caller ids allowed to audit
+
+
+def _account(ctx: RequestContext, account_id: str) -> dict:
+    account = ctx.get(ACCOUNTS_MAP, account_id)
+    ctx.require(account is not None, f"no such account {account_id}")
+    return account
+
+
+def build_banking_app() -> Application:
+    app = Application(name="banking")
+
+    @app.endpoint("open_account")
+    def open_account(ctx: RequestContext):
+        body = ctx.request.body
+        account_id = body["account_id"]
+        ctx.require(
+            ctx.get(ACCOUNTS_MAP, account_id) is None,
+            f"account {account_id} already exists",
+        )
+        account = {
+            "owner": body["owner"],
+            "bank": body["bank"],
+            "balance_usd": int(body.get("balance_usd", 0)),
+        }
+        ctx.put(ACCOUNTS_MAP, account_id, account)
+        return {"account_id": account_id, "balance_usd": account["balance_usd"]}
+
+    @app.endpoint("credit")
+    def credit(ctx: RequestContext):
+        body = ctx.request.body
+        amount = int(body["amount_usd"])
+        ctx.require(amount > 0, "amount must be positive")
+        account = _account(ctx, body["account_id"])
+        account = dict(account, balance_usd=account["balance_usd"] + amount)
+        ctx.put(ACCOUNTS_MAP, body["account_id"], account)
+        return {"account_id": body["account_id"], "balance_usd": account["balance_usd"]}
+
+    @app.endpoint("debit")
+    def debit(ctx: RequestContext):
+        body = ctx.request.body
+        amount = int(body["amount_usd"])
+        ctx.require(amount > 0, "amount must be positive")
+        account = _account(ctx, body["account_id"])
+        if account["balance_usd"] < amount:
+            ctx.require(False, "insufficient funds")
+        account = dict(account, balance_usd=account["balance_usd"] - amount)
+        ctx.put(ACCOUNTS_MAP, body["account_id"], account)
+        return {"account_id": body["account_id"], "balance_usd": account["balance_usd"]}
+
+    @app.endpoint("transfer")
+    def transfer(ctx: RequestContext):
+        body = ctx.request.body
+        amount = int(body["amount_usd"])
+        ctx.require(amount > 0, "amount must be positive")
+        source = _account(ctx, body["from"])
+        destination = _account(ctx, body["to"])
+        if source["balance_usd"] < amount:
+            ctx.require(False, "insufficient funds")
+        ctx.put(ACCOUNTS_MAP, body["from"], dict(source, balance_usd=source["balance_usd"] - amount))
+        ctx.put(ACCOUNTS_MAP, body["to"], dict(destination, balance_usd=destination["balance_usd"] + amount))
+        # The transfer is made offline-provable: these claims are committed
+        # into the Merkle leaf and can be shown to a third party (§3.5).
+        ctx.attach_claims({"transfer": {"from": body["from"], "to": body["to"], "amount_usd": amount}})
+        return {"from": body["from"], "to": body["to"], "amount_usd": amount}
+
+    @app.endpoint("balance", read_only=True)
+    def balance(ctx: RequestContext):
+        account = _account(ctx, ctx.request.body["account_id"])
+        return {"account_id": ctx.request.body["account_id"], "balance_usd": account["balance_usd"]}
+
+    @app.endpoint("apply_interest")
+    def apply_interest(ctx: RequestContext):
+        """Update all balances of one bank's accounts by a rate in basis
+        points — a multi-key atomic transaction."""
+        body = ctx.request.body
+        bank = body["bank"]
+        rate_bp = int(body["rate_basis_points"])
+        updated = 0
+        for account_id, account in list(ctx.items(ACCOUNTS_MAP)):
+            if account["bank"] == bank:
+                new_balance = account["balance_usd"] + account["balance_usd"] * rate_bp // 10_000
+                ctx.put(ACCOUNTS_MAP, account_id, dict(account, balance_usd=new_balance))
+                updated += 1
+        return {"bank": bank, "accounts_updated": updated}
+
+    @app.endpoint("audit", read_only=True)
+    def audit(ctx: RequestContext):
+        """Regulator-only: names of holders whose total funds exceed a
+        threshold (the anti-money-laundering query of section 1)."""
+        ctx.require(
+            ctx.get(REGULATORS_MAP, ctx.caller.identifier) is not None,
+            "audit is restricted to financial regulators",
+        )
+        threshold = int(ctx.request.body["threshold_usd"])
+        totals: dict[str, int] = {}
+        for _account_id, account in ctx.items(ACCOUNTS_MAP):
+            totals[account["owner"]] = totals.get(account["owner"], 0) + account["balance_usd"]
+        flagged = sorted(owner for owner, total in totals.items() if total > threshold)
+        return {"threshold_usd": threshold, "owners": flagged}
+
+    @app.endpoint("get_statement", read_only=True)
+    def get_statement(ctx: RequestContext):
+        """All recent credits/debits for an account, via the section 3.4
+        key-write index plus historical range queries."""
+        account_id = ctx.request.body["account_id"]
+        index = ctx.index("account_writes")
+        statement = []
+        for txid in index.txids_for_key(account_id):
+            for write_set in ctx.historical_entries(txid.seqno, txid.seqno):
+                update = write_set.updates.get(ACCOUNTS_MAP, {}).get(account_id)
+                if isinstance(update, dict):
+                    statement.append({"txid": str(txid), "balance_usd": update["balance_usd"]})
+        return {"account_id": account_id, "statement": statement}
+
+    app.add_indexing_strategy(
+        "account_writes", lambda: KeyWriteIndex("account_writes", ACCOUNTS_MAP)
+    )
+    return app

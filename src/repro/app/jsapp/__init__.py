@@ -1,0 +1,26 @@
+"""The embedded mini-JavaScript engine (the paper's QuickJS analog).
+
+CCF lets services write application logic, constitutions, and ballots in
+JavaScript (sections 5.1, 6.4, 7; Table 5's JS rows). This package
+implements an interpreter for a practical JavaScript subset:
+
+- values: numbers, strings, booleans, null/undefined, arrays, objects,
+  first-class functions (with closures);
+- statements: var/let/const, if/else, while, for, for-of, return,
+  break/continue, throw/try/catch, function declarations;
+- expressions: arithmetic/comparison/logical operators, ternary,
+  assignment (including compound), calls, member/index access, literals,
+  template-free strings, arrow functions;
+- a small standard library: ``Math``, ``JSON``, ``Object.keys``,
+  ``Array.isArray``, string/array methods — plus the ``ccf.kv`` binding
+  that exposes the transactional KV store to handlers (Listing 1's
+  ``ccf.kv["public:ccf.gov.nodes.code_ids"].set(...)``).
+
+It is a genuine tree-walking interpreter: the JS rows of Table 5 are slower
+than native because this engine really interprets the code.
+"""
+
+from repro.app.jsapp.interp import Interpreter, evaluate_script
+from repro.app.jsapp.jsapp import build_js_app, JS_LOGGING_APP_SOURCE
+
+__all__ = ["Interpreter", "evaluate_script", "build_js_app", "JS_LOGGING_APP_SOURCE"]

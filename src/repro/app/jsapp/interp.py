@@ -1,0 +1,535 @@
+"""Tree-walking interpreter for the mini-JavaScript subset.
+
+JS values map onto Python values: numbers are int/float, strings are str,
+arrays are list, objects are dict, null/undefined are None. Functions are
+:class:`JSFunction` closures or plain Python callables (the native stdlib
+and host bindings). Host objects (like the ``ccf.kv`` map handles) subclass
+:class:`NativeObject` to expose members.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.app.jsapp.parser import parse
+from repro.errors import JSError
+
+MAX_STEPS = 5_000_000  # runaway-script guard (per Interpreter.run call)
+
+
+class JSThrow(Exception):
+    """A JS ``throw`` propagating through Python frames."""
+
+    def __init__(self, value: Any):
+        super().__init__(repr(value))
+        self.value = value
+
+
+class _Return(Exception):
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class NativeObject:
+    """Base class for host objects exposed to scripts."""
+
+    def get_member(self, name: str) -> Any:
+        raise JSError(f"{type(self).__name__} has no member {name!r}")
+
+
+class Environment:
+    __slots__ = ("values", "parent")
+
+    def __init__(self, parent: "Environment | None" = None):
+        self.values: dict[str, Any] = {}
+        self.parent = parent
+
+    def lookup(self, name: str) -> Any:
+        env: Environment | None = self
+        while env is not None:
+            if name in env.values:
+                return env.values[name]
+            env = env.parent
+        raise JSError(f"{name} is not defined")
+
+    def assign(self, name: str, value: Any) -> None:
+        env: Environment | None = self
+        while env is not None:
+            if name in env.values:
+                env.values[name] = value
+                return
+            env = env.parent
+        raise JSError(f"{name} is not defined")
+
+    def declare(self, name: str, value: Any) -> None:
+        self.values[name] = value
+
+
+class JSFunction:
+    __slots__ = ("name", "params", "body", "closure", "interp")
+
+    def __init__(self, name, params, body, closure, interp):
+        self.name = name or "<anonymous>"
+        self.params = params
+        self.body = body
+        self.closure = closure
+        self.interp = interp
+
+    def __call__(self, *args: Any) -> Any:
+        env = Environment(self.closure)
+        for i, param in enumerate(self.params):
+            env.declare(param, args[i] if i < len(args) else None)
+        env.declare("arguments", list(args))
+        try:
+            self.interp.exec_statement(self.body, env)
+        except _Return as signal:
+            return signal.value
+        return None
+
+
+def _truthy(value: Any) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return value != ""
+    return True  # arrays/objects/functions are truthy even when empty
+
+
+def js_repr(value: Any) -> str:
+    """The string JS would produce for a value in string contexts."""
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    if isinstance(value, list):
+        return ",".join(js_repr(item) for item in value)
+    if isinstance(value, dict):
+        return "[object Object]"
+    return str(value)
+
+
+class Interpreter:
+    """One script execution context with its global environment."""
+
+    def __init__(self, extra_globals: dict[str, Any] | None = None):
+        from repro.app.jsapp.stdlib import make_globals
+
+        self.globals = Environment()
+        for name, value in make_globals().items():
+            self.globals.declare(name, value)
+        if extra_globals:
+            for name, value in extra_globals.items():
+                self.globals.declare(name, value)
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, source: str) -> Environment:
+        """Execute a program; returns the global environment (so callers
+        can pull out declared functions)."""
+        return self.run_ast(parse(source))
+
+    def run_ast(self, ast: tuple) -> Environment:
+        """Execute a pre-parsed program (hosts cache the AST per module)."""
+        self.steps = 0
+        for statement in ast[1]:
+            self.exec_statement(statement, self.globals)
+        return self.globals
+
+    def call_function(self, name: str, *args: Any) -> Any:
+        function = self.globals.lookup(name)
+        if not callable(function):
+            raise JSError(f"{name} is not a function")
+        return function(*args)
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def exec_statement(self, node: tuple, env: Environment) -> None:
+        self._tick()
+        kind = node[0]
+        if kind == "expr_stmt":
+            self.eval_expression(node[1], env)
+        elif kind == "declare":
+            for name, initializer in node[2]:
+                value = None if initializer is None else self.eval_expression(initializer, env)
+                env.declare(name, value)
+        elif kind == "block":
+            block_env = Environment(env)
+            for statement in node[1]:
+                self.exec_statement(statement, block_env)
+        elif kind == "if":
+            if _truthy(self.eval_expression(node[1], env)):
+                self.exec_statement(node[2], env)
+            elif node[3] is not None:
+                self.exec_statement(node[3], env)
+        elif kind == "while":
+            while _truthy(self.eval_expression(node[1], env)):
+                self._tick()
+                try:
+                    self.exec_statement(node[2], env)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif kind == "for":
+            _, init, condition, update, body = node
+            loop_env = Environment(env)
+            if init is not None:
+                self.exec_statement(init, loop_env)
+            while condition is None or _truthy(self.eval_expression(condition, loop_env)):
+                self._tick()
+                try:
+                    self.exec_statement(body, loop_env)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if update is not None:
+                    self.eval_expression(update, loop_env)
+        elif kind == "for_of":
+            _, name, iterable_node, body = node
+            iterable = self.eval_expression(iterable_node, env)
+            if isinstance(iterable, dict):
+                items = list(iterable.keys())
+            elif isinstance(iterable, (list, str)):
+                items = list(iterable)
+            else:
+                raise JSError("for-of needs an array, string, or object")
+            for item in items:
+                self._tick()
+                loop_env = Environment(env)
+                loop_env.declare(name, item)
+                try:
+                    self.exec_statement(body, loop_env)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif kind == "func_decl":
+            _, name, params, body = node
+            env.declare(name, JSFunction(name, params, body, env, self))
+        elif kind == "return":
+            value = None if node[1] is None else self.eval_expression(node[1], env)
+            raise _Return(value)
+        elif kind == "break":
+            raise _Break()
+        elif kind == "continue":
+            raise _Continue()
+        elif kind == "throw":
+            raise JSThrow(self.eval_expression(node[1], env))
+        elif kind == "try":
+            _, try_block, catch_name, catch_block, finally_block = node
+            try:
+                self.exec_statement(try_block, env)
+            except JSThrow as thrown:
+                if catch_block is not None:
+                    catch_env = Environment(env)
+                    if catch_name is not None:
+                        catch_env.declare(catch_name, thrown.value)
+                    self.exec_statement(catch_block, catch_env)
+                elif finally_block is None:
+                    raise
+            finally:
+                if finally_block is not None:
+                    self.exec_statement(finally_block, env)
+        else:
+            raise JSError(f"unknown statement kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Expressions
+
+    def eval_expression(self, node: tuple, env: Environment) -> Any:
+        self._tick()
+        kind = node[0]
+        if kind == "literal":
+            return node[1]
+        if kind == "ident":
+            return env.lookup(node[1])
+        if kind == "array":
+            result = []
+            for element in node[1]:
+                if element[0] == "spread":
+                    spread = self.eval_expression(element[1], env)
+                    if not isinstance(spread, list):
+                        raise JSError("spread needs an array")
+                    result.extend(spread)
+                else:
+                    result.append(self.eval_expression(element, env))
+            return result
+        if kind == "object":
+            result = {}
+            for key, value_node in node[1]:
+                if isinstance(key, tuple) and key[0] == "computed":
+                    key = js_repr(self.eval_expression(key[1], env))
+                result[key] = self.eval_expression(value_node, env)
+            return result
+        if kind == "function":
+            _, name, params, body = node
+            return JSFunction(name, params, body, env, self)
+        if kind == "binary":
+            return self._binary(node[1], node[2], node[3], env)
+        if kind == "logical":
+            left = self.eval_expression(node[2], env)
+            if node[1] == "&&":
+                return self.eval_expression(node[3], env) if _truthy(left) else left
+            return left if _truthy(left) else self.eval_expression(node[3], env)
+        if kind == "unary":
+            value = self.eval_expression(node[2], env)
+            if node[1] == "!":
+                return not _truthy(value)
+            if node[1] == "-":
+                return -self._number(value)
+            return +self._number(value)
+        if kind == "typeof":
+            try:
+                value = self.eval_expression(node[1], env)
+            except JSError:
+                return "undefined"
+            if value is None:
+                return "undefined"
+            if isinstance(value, bool):
+                return "boolean"
+            if isinstance(value, (int, float)):
+                return "number"
+            if isinstance(value, str):
+                return "string"
+            if callable(value):
+                return "function"
+            return "object"
+        if kind == "ternary":
+            if _truthy(self.eval_expression(node[1], env)):
+                return self.eval_expression(node[2], env)
+            return self.eval_expression(node[3], env)
+        if kind == "assign":
+            return self._assign(node[1], node[2], node[3], env)
+        if kind == "update":
+            return self._update(node[1], node[2], node[3], env)
+        if kind == "member":
+            target = self.eval_expression(node[1], env)
+            return self._member(target, node[2])
+        if kind == "index":
+            target = self.eval_expression(node[1], env)
+            index = self.eval_expression(node[2], env)
+            return self._index(target, index)
+        if kind == "call":
+            return self._call(node, env)
+        if kind == "delete":
+            target_node = node[1]
+            container = self.eval_expression(target_node[1], env)
+            if target_node[0] == "member":
+                key: Any = target_node[2]
+            else:
+                key = self.eval_expression(target_node[2], env)
+            if isinstance(container, dict):
+                container.pop(key, None)
+                return True
+            raise JSError("delete needs an object")
+        raise JSError(f"unknown expression kind {kind!r}")
+
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > MAX_STEPS:
+            raise JSError("script exceeded its execution budget")
+
+    @staticmethod
+    def _number(value: Any) -> int | float:
+        if isinstance(value, bool):
+            return 1 if value else 0
+        if isinstance(value, (int, float)):
+            return value
+        if isinstance(value, str):
+            try:
+                parsed = float(value)
+                return int(parsed) if parsed.is_integer() else parsed
+            except ValueError as exc:
+                raise JSError(f"cannot convert {value!r} to a number") from exc
+        if value is None:
+            return 0
+        raise JSError(f"cannot convert {type(value).__name__} to a number")
+
+    def _binary(self, op: str, left_node, right_node, env) -> Any:
+        left = self.eval_expression(left_node, env)
+        right = self.eval_expression(right_node, env)
+        if op == "+":
+            if isinstance(left, str) or isinstance(right, str):
+                return js_repr(left) + js_repr(right)
+            return self._number(left) + self._number(right)
+        if op == "-":
+            return self._number(left) - self._number(right)
+        if op == "*":
+            return self._number(left) * self._number(right)
+        if op == "/":
+            right_number = self._number(right)
+            if right_number == 0:
+                raise JSThrow({"name": "RangeError", "message": "division by zero"})
+            result = self._number(left) / right_number
+            return result
+        if op == "%":
+            right_number = self._number(right)
+            if right_number == 0:
+                raise JSThrow({"name": "RangeError", "message": "modulo by zero"})
+            import math
+
+            return math.fmod(self._number(left), right_number)
+        if op == "**":
+            return self._number(left) ** self._number(right)
+        if op in ("===", "=="):
+            return self._equals(left, right)
+        if op in ("!==", "!="):
+            return not self._equals(left, right)
+        if op in ("<", "<=", ">", ">="):
+            if isinstance(left, str) and isinstance(right, str):
+                pass  # string comparison
+            else:
+                left, right = self._number(left), self._number(right)
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            return left >= right
+        if op == "in":
+            if isinstance(right, dict):
+                return js_repr(left) in right or left in right
+            if isinstance(right, list):
+                index = int(self._number(left))
+                return 0 <= index < len(right)
+            raise JSError("'in' needs an object or array")
+        raise JSError(f"unknown operator {op!r}")
+
+    @staticmethod
+    def _equals(left: Any, right: Any) -> bool:
+        if isinstance(left, bool) != isinstance(right, bool):
+            return False  # 1 !== true in our strict semantics
+        if isinstance(left, (list, dict)) or isinstance(right, (list, dict)):
+            return left is right
+        return left == right
+
+    def _assign(self, op: str, target: tuple, value_node: tuple, env) -> Any:
+        value = self.eval_expression(value_node, env)
+        if op != "=":
+            current = self.eval_expression(target, env)
+            value = self._binary_value(op[:-1], current, value)
+        if target[0] == "ident":
+            try:
+                env.assign(target[1], value)
+            except JSError:
+                # Implicit global (sloppy mode) keeps simple scripts working.
+                self.globals.declare(target[1], value)
+            return value
+        container = self.eval_expression(target[1], env)
+        if target[0] == "member":
+            key: Any = target[2]
+        else:
+            key = self.eval_expression(target[2], env)
+        if isinstance(container, dict):
+            container[key if isinstance(key, str) else js_repr(key)] = value
+        elif isinstance(container, list):
+            index = int(self._number(key))
+            if index == len(container):
+                container.append(value)
+            elif 0 <= index < len(container):
+                container[index] = value
+            else:
+                raise JSError(f"array index {index} out of range")
+        else:
+            raise JSError("cannot assign into this value")
+        return value
+
+    def _binary_value(self, op: str, left: Any, right: Any) -> Any:
+        if op == "+":
+            if isinstance(left, str) or isinstance(right, str):
+                return js_repr(left) + js_repr(right)
+            return self._number(left) + self._number(right)
+        if op == "-":
+            return self._number(left) - self._number(right)
+        if op == "*":
+            return self._number(left) * self._number(right)
+        if op == "/":
+            return self._number(left) / self._number(right)
+        if op == "%":
+            import math
+
+            return math.fmod(self._number(left), self._number(right))
+        raise JSError(f"unknown compound operator {op!r}")
+
+    def _update(self, op: str, target: tuple, prefix: bool, env) -> Any:
+        current = self._number(self.eval_expression(target, env))
+        updated = current + (1 if op == "++" else -1)
+        self._assign("=", target, ("literal", updated), env)
+        return updated if prefix else current
+
+    def _member(self, target: Any, name: str) -> Any:
+        from repro.app.jsapp.stdlib import member_of
+
+        return member_of(target, name)
+
+    def _index(self, target: Any, index: Any) -> Any:
+        if isinstance(target, dict):
+            if index in target:
+                return target[index]
+            return target.get(js_repr(index))
+        if isinstance(target, (list, str)):
+            if isinstance(index, str):
+                # Allow method access through brackets: arr["push"].
+                return self._member(target, index)
+            i = int(self._number(index))
+            if 0 <= i < len(target):
+                return target[i]
+            return None
+        if isinstance(target, NativeObject):
+            return target.get_member(index if isinstance(index, str) else js_repr(index))
+        if target is None:
+            raise JSThrow({"name": "TypeError", "message": "cannot index null"})
+        raise JSError(f"cannot index {type(target).__name__}")
+
+    def _call(self, node: tuple, env) -> Any:
+        _, callee, argument_nodes = node
+        arguments = [self.eval_expression(argument, env) for argument in argument_nodes]
+        function = self.eval_expression(callee, env)
+        if not callable(function):
+            name = callee[2] if callee[0] == "member" else callee[1] if callee[0] == "ident" else "?"
+            raise JSThrow({"name": "TypeError", "message": f"{name} is not a function"})
+        return function(*arguments)
+
+
+def evaluate_script(source: str, extra_globals: dict[str, Any] | None = None) -> Environment:
+    """Run a script and return its global environment."""
+    return Interpreter(extra_globals).run(source)
+
+
+def evaluate_vote_function(source: str, proposal: dict, proposer_id: str) -> bool:
+    """Evaluate a ballot's ``vote(proposal, proposer_id)`` function
+    (Listing 2's ``export function vote (proposal, proposer_id) ...``)."""
+    interpreter = Interpreter()
+    interpreter.run(source)
+    return bool(interpreter.call_function("vote", proposal, proposer_id))
+
+
+def evaluate_resolve_function(
+    source: str, proposal: dict, proposer_id: str, votes: list, member_count: int
+) -> str:
+    """Evaluate a JS constitution's resolve function."""
+    interpreter = Interpreter()
+    interpreter.run(source)
+    return interpreter.call_function("resolve", proposal, proposer_id, votes, member_count)

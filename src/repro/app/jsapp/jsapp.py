@@ -1,0 +1,176 @@
+"""JavaScript applications: the ``ccf`` host bindings and the app adapter.
+
+Mirrors CCF's JS programming model: application modules live in the
+``public:ccf.gov.modules`` map (installed via the ``set_js_app`` governance
+action), each endpoint names an exported function, and handlers access
+state through ``ccf.kv["<map>"]`` handles (Listing 1). Each invocation runs
+in a fresh interpreter over the request's transaction — crashes or throws
+leave no state behind.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.app.application import Application
+from repro.app.context import RequestContext
+from repro.app.jsapp.interp import Interpreter, JSThrow, NativeObject, js_repr
+from repro.app.jsapp.parser import parse
+from repro.errors import AuthorizationError, JSError
+from repro.kv.tx import Transaction
+
+
+class KVMapHandle(NativeObject):
+    """The JS-visible handle for one named map: ``ccf.kv["records"]``."""
+
+    def __init__(self, tx: Transaction, map_name: str):
+        self._tx = tx
+        self._map_name = map_name
+
+    def get_member(self, name: str) -> Any:
+        if name == "get":
+            return lambda key: self._tx.get(self._map_name, key)
+        if name == "set":
+            def set_value(key, value):
+                self._tx.put(self._map_name, key, value)
+                return self
+            return set_value
+        if name == "has":
+            return lambda key: self._tx.has(self._map_name, key)
+        if name == "delete":
+            def delete(key):
+                self._tx.remove(self._map_name, key)
+                return True
+            return delete
+        if name == "forEach":
+            def for_each(fn):
+                for key, value in list(self._tx.items(self._map_name)):
+                    fn(value, key)
+            return for_each
+        if name == "size":
+            return sum(1 for _ in self._tx.items(self._map_name))
+        raise JSError(f"kv map has no member {name!r}")
+
+
+class KVProxy(NativeObject):
+    """``ccf.kv``: indexing yields map handles."""
+
+    def __init__(self, tx: Transaction):
+        self._tx = tx
+
+    def get_member(self, name: str) -> Any:
+        return KVMapHandle(self._tx, name)
+
+
+class CCFBinding(NativeObject):
+    """The ``ccf`` global available to JS handlers and constitutions."""
+
+    def __init__(self, ctx: RequestContext):
+        self._ctx = ctx
+        self.kv = KVProxy(ctx.tx)
+
+    def get_member(self, name: str) -> Any:
+        if name == "kv":
+            return self.kv
+        if name == "caller":
+            return {"id": self._ctx.caller.identifier, "kind": self._ctx.caller.kind}
+        if name == "setClaims":
+            def set_claims(claims):
+                if isinstance(claims, dict):
+                    self._ctx.attach_claims(claims)
+            return set_claims
+        raise JSError(f"ccf has no member {name!r}")
+
+
+class JSEndpointRuntime:
+    """Executes one JS module's exported functions as endpoint handlers.
+
+    The module AST is parsed once and cached; every request gets a fresh
+    interpreter (fresh globals) bound to its own transaction.
+    """
+
+    def __init__(self, source: str):
+        self.source = source
+        self._ast = parse(source)
+
+    def make_handler(self, function_name: str):
+        def handler(ctx: RequestContext):
+            interpreter = Interpreter({"ccf": CCFBinding(ctx)})
+            try:
+                interpreter.run_ast(self._ast)
+                result = interpreter.call_function(function_name, {
+                    "body": dict(ctx.request.body),
+                    "caller": {"id": ctx.caller.identifier, "kind": ctx.caller.kind},
+                    "path": ctx.request.path,
+                })
+            except JSThrow as thrown:
+                message = thrown.value
+                if isinstance(message, dict):
+                    message = message.get("message", js_repr(message))
+                raise AuthorizationError(f"JS endpoint error: {message}") from thrown
+            return result
+
+        return handler
+
+
+# The paper's logging application, in JavaScript (Table 5's JS rows).
+JS_LOGGING_APP_SOURCE = """
+function write_message(request) {
+  var id = request.body.id;
+  var msg = request.body.msg;
+  if (msg === null || msg === undefined) {
+    throw Error("missing message body");
+  }
+  ccf.kv["records"].set(id, msg);
+  return { id: id };
+}
+
+function read_message(request) {
+  var id = request.body.id;
+  var msg = ccf.kv["records"].get(id);
+  if (msg === null || msg === undefined) {
+    throw Error("no message with id " + id);
+  }
+  return { id: id, msg: msg };
+}
+
+function write_message_public(request) {
+  ccf.kv["public:records"].set(request.body.id, request.body.msg);
+  return { id: request.body.id };
+}
+
+function read_message_public(request) {
+  var msg = ccf.kv["public:records"].get(request.body.id);
+  if (msg === null || msg === undefined) {
+    throw Error("no message with id " + request.body.id);
+  }
+  return { id: request.body.id, msg: msg };
+}
+"""
+
+JS_LOGGING_ENDPOINTS = {
+    "write_message": {"function": "write_message", "read_only": False, "auth": "user_cert"},
+    "read_message": {"function": "read_message", "read_only": True, "auth": "user_cert"},
+    "write_message_public": {
+        "function": "write_message_public", "read_only": False, "auth": "user_cert"},
+    "read_message_public": {
+        "function": "read_message_public", "read_only": True, "auth": "user_cert"},
+}
+
+
+def build_js_app(
+    source: str = JS_LOGGING_APP_SOURCE,
+    endpoints: dict[str, dict] | None = None,
+    name: str = "js-app",
+) -> Application:
+    """Build an :class:`Application` whose handlers run in the JS engine."""
+    runtime = JSEndpointRuntime(source)
+    app = Application(name=name)
+    for endpoint_name, metadata in (endpoints or JS_LOGGING_ENDPOINTS).items():
+        app.add_endpoint(
+            endpoint_name,
+            runtime.make_handler(metadata["function"]),
+            auth_policy=metadata.get("auth", "user_cert"),
+            read_only=metadata.get("read_only", False),
+        )
+    return app

@@ -1,0 +1,118 @@
+"""Tokenizer for the mini-JavaScript subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import JSError
+
+KEYWORDS = {
+    "var", "let", "const", "function", "return", "if", "else", "while", "for",
+    "of", "break", "continue", "true", "false", "null", "undefined", "new",
+    "throw", "try", "catch", "finally", "typeof", "in", "export", "delete",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "===", "!==", "**=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "=>", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "**",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "?", ":",
+    "(", ")", "{", "}", "[", "]", ",", ";", ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source line (for error messages)."""
+
+    kind: str  # "number", "string", "ident", "keyword", "op", "eof"
+    value: str
+    line: int
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        # Comments.
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise JSError(f"unterminated block comment at line {line}")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        # Strings.
+        if ch in "'\"":
+            quote = ch
+            i += 1
+            chunks: list[str] = []
+            while i < n and source[i] != quote:
+                if source[i] == "\\":
+                    if i + 1 >= n:
+                        raise JSError(f"unterminated string at line {line}")
+                    escape = source[i + 1]
+                    mapping = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\",
+                               "'": "'", '"': '"', "0": "\0"}
+                    chunks.append(mapping.get(escape, escape))
+                    i += 2
+                else:
+                    if source[i] == "\n":
+                        raise JSError(f"newline in string at line {line}")
+                    chunks.append(source[i])
+                    i += 1
+            if i >= n:
+                raise JSError(f"unterminated string at line {line}")
+            i += 1
+            tokens.append(Token("string", "".join(chunks), line))
+            continue
+        # Numbers.
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < n and (source[i].isdigit() or (source[i] == "." and not seen_dot)):
+                if source[i] == ".":
+                    seen_dot = True
+                i += 1
+            if i < n and source[i] in "eE":
+                i += 1
+                if i < n and source[i] in "+-":
+                    i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            tokens.append(Token("number", source[start:i], line))
+            continue
+        # Identifiers / keywords.
+        if ch.isalpha() or ch in "_$":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] in "_$"):
+                i += 1
+            word = source[start:i]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            continue
+        # Operators.
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise JSError(f"unexpected character {ch!r} at line {line}")
+    tokens.append(Token("eof", "", line))
+    return tokens

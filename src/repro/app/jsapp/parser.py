@@ -1,0 +1,456 @@
+"""Recursive-descent parser producing a small AST (tuples).
+
+AST nodes are tuples ``(kind, ...)``; the interpreter pattern-matches on
+the first element. Keeping nodes as plain tuples keeps the tree cheap to
+walk — this engine runs inside the simulated enclave's hot path.
+"""
+
+from __future__ import annotations
+
+from repro.app.jsapp.lexer import Token, tokenize
+from repro.errors import JSError
+
+# Binary operator precedence (higher binds tighter).
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "===": 3, "!==": 3, "==": 3, "!=": 3,
+    "<": 4, "<=": 4, ">": 4, ">=": 4, "in": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6,
+    "**": 7,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%="}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.position + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def check(self, kind: str, value: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (value is None or token.value == value)
+
+    def match(self, kind: str, value: str | None = None) -> bool:
+        if self.check(kind, value):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        if not self.check(kind, value):
+            token = self.peek()
+            raise JSError(
+                f"line {token.line}: expected {value or kind}, got "
+                f"{token.value or token.kind!r}"
+            )
+        return self.advance()
+
+    # -- entry -----------------------------------------------------------
+
+    def parse_program(self) -> tuple:
+        body = []
+        while not self.check("eof"):
+            body.append(self.parse_statement())
+        return ("program", body)
+
+    # -- statements --------------------------------------------------------
+
+    def parse_statement(self) -> tuple:
+        token = self.peek()
+        if token.kind == "keyword":
+            if token.value == "export":
+                self.advance()  # "export function …" — export is a no-op here
+                return self.parse_statement()
+            if token.value in ("var", "let", "const"):
+                return self.parse_declaration()
+            if token.value == "function":
+                return self.parse_function_declaration()
+            if token.value == "if":
+                return self.parse_if()
+            if token.value == "while":
+                return self.parse_while()
+            if token.value == "for":
+                return self.parse_for()
+            if token.value == "return":
+                self.advance()
+                if self.check("op", ";") or self.check("op", "}"):
+                    self.match("op", ";")
+                    return ("return", None)
+                value = self.parse_expression()
+                self.match("op", ";")
+                return ("return", value)
+            if token.value == "break":
+                self.advance()
+                self.match("op", ";")
+                return ("break",)
+            if token.value == "continue":
+                self.advance()
+                self.match("op", ";")
+                return ("continue",)
+            if token.value == "throw":
+                self.advance()
+                value = self.parse_expression()
+                self.match("op", ";")
+                return ("throw", value)
+            if token.value == "try":
+                return self.parse_try()
+        if self.check("op", "{"):
+            return self.parse_block()
+        expression = self.parse_expression()
+        self.match("op", ";")
+        return ("expr_stmt", expression)
+
+    def parse_block(self) -> tuple:
+        self.expect("op", "{")
+        body = []
+        while not self.check("op", "}"):
+            body.append(self.parse_statement())
+        self.expect("op", "}")
+        return ("block", body)
+
+    def parse_declaration(self) -> tuple:
+        kind = self.advance().value  # var/let/const
+        declarations = []
+        while True:
+            name = self.expect("ident").value
+            initializer = None
+            if self.match("op", "="):
+                initializer = self.parse_assignment()
+            declarations.append((name, initializer))
+            if not self.match("op", ","):
+                break
+        self.match("op", ";")
+        return ("declare", kind, declarations)
+
+    def parse_function_declaration(self) -> tuple:
+        self.expect("keyword", "function")
+        name = self.expect("ident").value
+        params, body = self._parse_function_rest()
+        return ("func_decl", name, params, body)
+
+    def _parse_function_rest(self) -> tuple[list[str], tuple]:
+        self.expect("op", "(")
+        params = []
+        while not self.check("op", ")"):
+            params.append(self.expect("ident").value)
+            if not self.match("op", ","):
+                break
+        self.expect("op", ")")
+        body = self.parse_block()
+        return params, body
+
+    def parse_if(self) -> tuple:
+        self.expect("keyword", "if")
+        self.expect("op", "(")
+        condition = self.parse_expression()
+        self.expect("op", ")")
+        then_branch = self.parse_statement()
+        else_branch = None
+        if self.match("keyword", "else"):
+            else_branch = self.parse_statement()
+        return ("if", condition, then_branch, else_branch)
+
+    def parse_while(self) -> tuple:
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        condition = self.parse_expression()
+        self.expect("op", ")")
+        body = self.parse_statement()
+        return ("while", condition, body)
+
+    def parse_for(self) -> tuple:
+        self.expect("keyword", "for")
+        self.expect("op", "(")
+        # for (let x of expr) { … }
+        if self.peek().kind == "keyword" and self.peek().value in ("var", "let", "const") \
+                and self.peek(2).kind == "keyword" and self.peek(2).value == "of":
+            self.advance()
+            name = self.expect("ident").value
+            self.expect("keyword", "of")
+            iterable = self.parse_expression()
+            self.expect("op", ")")
+            body = self.parse_statement()
+            return ("for_of", name, iterable, body)
+        # classic for (init; cond; update)
+        init = None
+        if not self.check("op", ";"):
+            if self.peek().kind == "keyword" and self.peek().value in ("var", "let", "const"):
+                init = self.parse_declaration()
+            else:
+                init = ("expr_stmt", self.parse_expression())
+                self.match("op", ";")
+        else:
+            self.advance()
+        if isinstance(init, tuple) and init[0] == "declare":
+            pass  # parse_declaration consumed the semicolon
+        condition = None
+        if not self.check("op", ";"):
+            condition = self.parse_expression()
+        self.expect("op", ";")
+        update = None
+        if not self.check("op", ")"):
+            update = self.parse_expression()
+        self.expect("op", ")")
+        body = self.parse_statement()
+        return ("for", init, condition, update, body)
+
+    def parse_try(self) -> tuple:
+        self.expect("keyword", "try")
+        try_block = self.parse_block()
+        catch_name = None
+        catch_block = None
+        finally_block = None
+        if self.match("keyword", "catch"):
+            if self.match("op", "("):
+                catch_name = self.expect("ident").value
+                self.expect("op", ")")
+            catch_block = self.parse_block()
+        if self.match("keyword", "finally"):
+            finally_block = self.parse_block()
+        if catch_block is None and finally_block is None:
+            raise JSError("try without catch or finally")
+        return ("try", try_block, catch_name, catch_block, finally_block)
+
+    # -- expressions -------------------------------------------------------
+
+    def parse_expression(self) -> tuple:
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> tuple:
+        # Arrow functions: ident => …  |  (a, b) => …
+        arrow = self._try_parse_arrow()
+        if arrow is not None:
+            return arrow
+        target = self.parse_ternary()
+        token = self.peek()
+        if token.kind == "op" and token.value in _ASSIGN_OPS:
+            op = self.advance().value
+            value = self.parse_assignment()
+            if target[0] not in ("ident", "member", "index"):
+                raise JSError(f"line {token.line}: invalid assignment target")
+            return ("assign", op, target, value)
+        return target
+
+    def _try_parse_arrow(self) -> tuple | None:
+        start = self.position
+        params: list[str] | None = None
+        if self.check("ident") and self.peek(1).kind == "op" and self.peek(1).value == "=>":
+            params = [self.advance().value]
+        elif self.check("op", "("):
+            # Look ahead for "(ident, …) =>".
+            depth = 0
+            j = self.position
+            while j < len(self.tokens):
+                token = self.tokens[j]
+                if token.kind == "op" and token.value == "(":
+                    depth += 1
+                elif token.kind == "op" and token.value == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif depth == 1 and not (
+                    token.kind == "ident" or (token.kind == "op" and token.value == ",")
+                ):
+                    return None
+                j += 1
+            if j + 1 < len(self.tokens) and self.tokens[j + 1].kind == "op" \
+                    and self.tokens[j + 1].value == "=>":
+                self.advance()  # (
+                params = []
+                while not self.check("op", ")"):
+                    params.append(self.expect("ident").value)
+                    if not self.match("op", ","):
+                        break
+                self.expect("op", ")")
+        if params is None:
+            return None
+        if not self.match("op", "=>"):
+            self.position = start
+            return None
+        if self.check("op", "{"):
+            body = self.parse_block()
+        else:
+            body = ("return", self.parse_assignment())
+        return ("function", None, params, body)
+
+    def parse_ternary(self) -> tuple:
+        condition = self.parse_binary(1)
+        if self.match("op", "?"):
+            then_value = self.parse_assignment()
+            self.expect("op", ":")
+            else_value = self.parse_assignment()
+            return ("ternary", condition, then_value, else_value)
+        return condition
+
+    def parse_binary(self, min_precedence: int) -> tuple:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            op = token.value
+            if token.kind == "keyword" and op == "in":
+                precedence = _BINARY_PRECEDENCE["in"]
+            elif token.kind == "op" and op in _BINARY_PRECEDENCE:
+                precedence = _BINARY_PRECEDENCE[op]
+            else:
+                return left
+            if precedence < min_precedence:
+                return left
+            self.advance()
+            right = self.parse_binary(precedence + 1)
+            if op in ("&&", "||"):
+                left = ("logical", op, left, right)
+            else:
+                left = ("binary", op, left, right)
+
+    def parse_unary(self) -> tuple:
+        token = self.peek()
+        if token.kind == "op" and token.value in ("!", "-", "+"):
+            self.advance()
+            return ("unary", token.value, self.parse_unary())
+        if token.kind == "keyword" and token.value == "typeof":
+            self.advance()
+            return ("typeof", self.parse_unary())
+        if token.kind == "keyword" and token.value == "delete":
+            self.advance()
+            target = self.parse_unary()
+            if target[0] not in ("member", "index"):
+                raise JSError("delete needs a member expression")
+            return ("delete", target)
+        if token.kind == "op" and token.value in ("++", "--"):
+            self.advance()
+            target = self.parse_unary()
+            return ("update", token.value, target, True)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> tuple:
+        expression = self.parse_call()
+        token = self.peek()
+        if token.kind == "op" and token.value in ("++", "--"):
+            self.advance()
+            return ("update", token.value, expression, False)
+        return expression
+
+    def parse_call(self) -> tuple:
+        expression = self.parse_primary()
+        while True:
+            if self.match("op", "."):
+                name = self.expect_property_name()
+                expression = ("member", expression, name)
+            elif self.check("op", "["):
+                self.advance()
+                index = self.parse_expression()
+                self.expect("op", "]")
+                expression = ("index", expression, index)
+            elif self.check("op", "("):
+                self.advance()
+                arguments = []
+                while not self.check("op", ")"):
+                    arguments.append(self.parse_assignment())
+                    if not self.match("op", ","):
+                        break
+                self.expect("op", ")")
+                expression = ("call", expression, arguments)
+            else:
+                return expression
+
+    def expect_property_name(self) -> str:
+        token = self.peek()
+        if token.kind in ("ident", "keyword"):
+            self.advance()
+            return token.value
+        raise JSError(f"line {token.line}: expected property name")
+
+    def parse_primary(self) -> tuple:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            value = float(token.value)
+            return ("literal", int(value) if value.is_integer() else value)
+        if token.kind == "string":
+            self.advance()
+            return ("literal", token.value)
+        if token.kind == "keyword":
+            if token.value == "true":
+                self.advance()
+                return ("literal", True)
+            if token.value == "false":
+                self.advance()
+                return ("literal", False)
+            if token.value in ("null", "undefined"):
+                self.advance()
+                return ("literal", None)
+            if token.value == "function":
+                self.advance()
+                name = self.advance().value if self.check("ident") else None
+                params, body = self._parse_function_rest()
+                return ("function", name, params, body)
+            if token.value == "new":
+                # "new X(…)" — treated as a plain call (our stdlib
+                # constructors are factory functions).
+                self.advance()
+                return self.parse_call()
+        if token.kind == "ident":
+            self.advance()
+            return ("ident", token.value)
+        if self.match("op", "("):
+            expression = self.parse_expression()
+            self.expect("op", ")")
+            return expression
+        if self.check("op", "["):
+            self.advance()
+            elements = []
+            while not self.check("op", "]"):
+                if self.match("op", "..."):
+                    elements.append(("spread", self.parse_assignment()))
+                else:
+                    elements.append(self.parse_assignment())
+                if not self.match("op", ","):
+                    break
+            self.expect("op", "]")
+            return ("array", elements)
+        if self.check("op", "{"):
+            self.advance()
+            pairs = []
+            while not self.check("op", "}"):
+                key_token = self.peek()
+                if key_token.kind in ("ident", "keyword", "string"):
+                    self.advance()
+                    key = key_token.value
+                elif key_token.kind == "number":
+                    self.advance()
+                    key = key_token.value
+                elif self.check("op", "["):
+                    self.advance()
+                    key = ("computed", self.parse_expression())
+                    self.expect("op", "]")
+                else:
+                    raise JSError(f"line {key_token.line}: bad object key")
+                if self.match("op", ":"):
+                    value = self.parse_assignment()
+                else:
+                    value = ("ident", key)  # shorthand {x}
+                pairs.append((key, value))
+                if not self.match("op", ","):
+                    break
+            self.expect("op", "}")
+            return ("object", pairs)
+        raise JSError(f"line {token.line}: unexpected token {token.value or token.kind!r}")
+
+
+def parse(source: str) -> tuple:
+    """Parse a program into its AST."""
+    return Parser(tokenize(source)).parse_program()

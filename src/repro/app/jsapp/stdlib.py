@@ -1,0 +1,338 @@
+"""Standard library and member dispatch for the mini-JS engine."""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.app.jsapp.interp import JSThrow, NativeObject, js_repr
+from repro.errors import JSError
+
+
+# ----------------------------------------------------------------------
+# Member dispatch: obj.prop for every supported value shape.
+
+
+def member_of(target: Any, name: str) -> Any:
+    if isinstance(target, NativeObject):
+        return target.get_member(name)
+    if isinstance(target, dict):
+        if name in target:
+            return target[name]
+        return _object_method(target, name)
+    if isinstance(target, list):
+        return _array_member(target, name)
+    if isinstance(target, str):
+        return _string_member(target, name)
+    if isinstance(target, (int, float)) and not isinstance(target, bool):
+        return _number_member(target, name)
+    if target is None:
+        raise JSThrow({"name": "TypeError",
+                       "message": f"cannot read {name!r} of null"})
+    raise JSError(f"no member {name!r} on {type(target).__name__}")
+
+
+def _object_method(obj: dict, name: str) -> Any:
+    if name == "hasOwnProperty":
+        return lambda key: (key if isinstance(key, str) else js_repr(key)) in obj
+    if name == "toString":
+        return lambda: "[object Object]"
+    return None  # missing properties are undefined
+
+
+def _array_member(arr: list, name: str) -> Any:
+    if name == "length":
+        return len(arr)
+    if name == "push":
+        def push(*items):
+            arr.extend(items)
+            return len(arr)
+        return push
+    if name == "pop":
+        return lambda: arr.pop() if arr else None
+    if name == "shift":
+        return lambda: arr.pop(0) if arr else None
+    if name == "unshift":
+        def unshift(*items):
+            arr[:0] = list(items)
+            return len(arr)
+        return unshift
+    if name == "slice":
+        def do_slice(start=0, end=None):
+            return arr[int(start): None if end is None else int(end)]
+        return do_slice
+    if name == "splice":
+        def splice(start, delete_count=None, *items):
+            start = int(start)
+            delete_count = len(arr) - start if delete_count is None else int(delete_count)
+            removed = arr[start:start + delete_count]
+            arr[start:start + delete_count] = list(items)
+            return removed
+        return splice
+    if name == "indexOf":
+        def index_of(item):
+            try:
+                return arr.index(item)
+            except ValueError:
+                return -1
+        return index_of
+    if name == "includes":
+        return lambda item: item in arr
+    if name == "join":
+        return lambda sep=",": sep.join(js_repr(item) for item in arr)
+    if name == "concat":
+        def concat(*others):
+            result = list(arr)
+            for other in others:
+                if isinstance(other, list):
+                    result.extend(other)
+                else:
+                    result.append(other)
+            return result
+        return concat
+    if name == "map":
+        return lambda fn: [fn(item, i) if _arity_at_least(fn, 2) else fn(item)
+                           for i, item in enumerate(list(arr))]
+    if name == "filter":
+        return lambda fn: [item for item in list(arr) if _truthy_result(fn(item))]
+    if name == "forEach":
+        def for_each(fn):
+            for i, item in enumerate(list(arr)):
+                if _arity_at_least(fn, 2):
+                    fn(item, i)
+                else:
+                    fn(item)
+        return for_each
+    if name == "reduce":
+        def reduce(fn, initial=None):
+            items = list(arr)
+            accumulator = initial
+            start = 0
+            if accumulator is None and items:
+                accumulator = items[0]
+                start = 1
+            for item in items[start:]:
+                accumulator = fn(accumulator, item)
+            return accumulator
+        return reduce
+    if name == "find":
+        def find(fn):
+            for item in arr:
+                if _truthy_result(fn(item)):
+                    return item
+            return None
+        return find
+    if name == "some":
+        return lambda fn: any(_truthy_result(fn(item)) for item in list(arr))
+    if name == "every":
+        return lambda fn: all(_truthy_result(fn(item)) for item in list(arr))
+    if name == "sort":
+        def sort(fn=None):
+            if fn is None:
+                arr.sort(key=js_repr)
+            else:
+                import functools
+
+                arr.sort(key=functools.cmp_to_key(
+                    lambda a, b: -1 if fn(a, b) < 0 else (1 if fn(a, b) > 0 else 0)))
+            return arr
+        return sort
+    if name == "reverse":
+        def reverse():
+            arr.reverse()
+            return arr
+        return reverse
+    if name == "keys":
+        return lambda: list(range(len(arr)))
+    if name == "toString":
+        return lambda: js_repr(arr)
+    return None
+
+
+def _truthy_result(value: Any) -> bool:
+    from repro.app.jsapp.interp import _truthy
+
+    return _truthy(value)
+
+
+def _arity_at_least(fn: Any, n: int) -> bool:
+    params = getattr(fn, "params", None)
+    return params is not None and len(params) >= n
+
+
+def _string_member(text: str, name: str) -> Any:
+    if name == "length":
+        return len(text)
+    if name == "charAt":
+        return lambda i=0: text[int(i)] if 0 <= int(i) < len(text) else ""
+    if name == "charCodeAt":
+        return lambda i=0: ord(text[int(i)]) if 0 <= int(i) < len(text) else None
+    if name == "indexOf":
+        return lambda needle, start=0: text.find(needle, int(start))
+    if name == "includes":
+        return lambda needle: needle in text
+    if name == "startsWith":
+        return lambda prefix: text.startswith(prefix)
+    if name == "endsWith":
+        return lambda suffix: text.endswith(suffix)
+    if name == "slice":
+        return lambda start=0, end=None: text[int(start): None if end is None else int(end)]
+    if name == "substring":
+        def substring(start=0, end=None):
+            start = max(0, int(start))
+            end = len(text) if end is None else max(0, int(end))
+            if start > end:
+                start, end = end, start
+            return text[start:end]
+        return substring
+    if name == "toUpperCase":
+        return lambda: text.upper()
+    if name == "toLowerCase":
+        return lambda: text.lower()
+    if name == "trim":
+        return lambda: text.strip()
+    if name == "split":
+        return lambda sep=None, limit=None: (
+            list(text) if sep == "" else text.split(sep)
+        )[: None if limit is None else int(limit)]
+    if name == "replace":
+        return lambda old, new: text.replace(old, new, 1)
+    if name == "replaceAll":
+        return lambda old, new: text.replace(old, new)
+    if name == "repeat":
+        return lambda count: text * int(count)
+    if name == "padStart":
+        return lambda width, fill=" ": text.rjust(int(width), fill[:1] or " ")
+    if name == "concat":
+        return lambda *others: text + "".join(js_repr(other) for other in others)
+    if name == "toString":
+        return lambda: text
+    return None
+
+
+def _number_member(value: Any, name: str) -> Any:
+    if name == "toFixed":
+        return lambda digits=0: f"{value:.{int(digits)}f}"
+    if name == "toString":
+        return lambda: js_repr(value)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Globals
+
+
+def _json_stringify(value: Any, _replacer=None, indent=None) -> str:
+    def sanitize(v):
+        if isinstance(v, dict):
+            return {k: sanitize(item) for k, item in v.items()}
+        if isinstance(v, list):
+            return [sanitize(item) for item in v]
+        if callable(v):
+            return None
+        return v
+
+    return json.dumps(
+        sanitize(value),
+        separators=(",", ":") if indent is None else None,
+        indent=None if indent is None else int(indent),
+        sort_keys=False,
+    )
+
+
+def _json_parse(text: str) -> Any:
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise JSThrow({"name": "SyntaxError", "message": str(exc)}) from exc
+
+
+def _parse_int(text: Any, base: int = 10) -> Any:
+    try:
+        return int(str(text).strip(), int(base))
+    except ValueError:
+        return None  # NaN stand-in
+
+
+def _parse_float(text: Any) -> Any:
+    try:
+        return float(str(text).strip())
+    except ValueError:
+        return None
+
+
+class Console(NativeObject):
+    """console.log capturing output (inspectable by tests and hosts)."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+
+    def get_member(self, name: str) -> Any:
+        if name in ("log", "warn", "error", "info"):
+            def log(*args):
+                self.lines.append(" ".join(js_repr(argument) for argument in args))
+            return log
+        raise JSError(f"console has no member {name!r}")
+
+
+def make_globals() -> dict[str, Any]:
+    math_object = {
+        "floor": lambda x: math.floor(x),
+        "ceil": lambda x: math.ceil(x),
+        "round": lambda x: math.floor(x + 0.5),
+        "abs": lambda x: abs(x),
+        "max": lambda *xs: max(xs) if xs else None,
+        "min": lambda *xs: min(xs) if xs else None,
+        "pow": lambda x, y: x ** y,
+        "sqrt": lambda x: math.sqrt(x),
+        "trunc": lambda x: math.trunc(x),
+        "sign": lambda x: (x > 0) - (x < 0),
+        "PI": math.pi,
+        "E": math.e,
+    }
+    json_object = {"stringify": _json_stringify, "parse": _json_parse}
+    object_object = {
+        "keys": lambda obj: list(obj.keys()) if isinstance(obj, dict) else [],
+        "values": lambda obj: list(obj.values()) if isinstance(obj, dict) else [],
+        "entries": lambda obj: [[k, v] for k, v in obj.items()] if isinstance(obj, dict) else [],
+        "assign": _object_assign,
+        "freeze": lambda obj: obj,
+    }
+    array_object = {
+        "isArray": lambda value: isinstance(value, list),
+        "from": lambda value: list(value) if isinstance(value, (list, str)) else [],
+    }
+    string_object = {"fromCharCode": lambda *codes: "".join(chr(int(c)) for c in codes)}
+    number_object = {
+        "isInteger": lambda value: isinstance(value, int) and not isinstance(value, bool),
+        "parseFloat": _parse_float,
+        "parseInt": _parse_int,
+        "MAX_SAFE_INTEGER": 2**53 - 1,
+    }
+    return {
+        "Math": math_object,
+        "JSON": json_object,
+        "Object": object_object,
+        "Array": array_object,
+        "String": string_object,
+        "Number": number_object,
+        "console": Console(),
+        "parseInt": _parse_int,
+        "parseFloat": _parse_float,
+        "Error": lambda message=None: {"name": "Error", "message": message},
+        "TypeError": lambda message=None: {"name": "TypeError", "message": message},
+        "RangeError": lambda message=None: {"name": "RangeError", "message": message},
+        "isNaN": lambda value: not isinstance(value, (int, float)) or isinstance(value, bool),
+        "undefined": None,
+        "globalThis": {},
+    }
+
+
+def _object_assign(target, *sources):
+    if not isinstance(target, dict):
+        raise JSError("Object.assign target must be an object")
+    for source in sources:
+        if isinstance(source, dict):
+            target.update(source)
+    return target

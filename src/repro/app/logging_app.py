@@ -1,0 +1,66 @@
+"""The paper's logging application (section 7, experiment setup).
+
+"Our C++ application logic implements a simple logging application, where
+messages with corresponding identifiers are posted, and later retrieved
+with read-only transactions. Messages are private and 20 characters each."
+
+Endpoints:
+
+- ``write_message`` — store a message under an id (private map).
+- ``read_message`` — read a message by id (read-only fast path).
+- ``write_message_public`` / ``read_message_public`` — public-map variants
+  (the paper notes similar performance with public maps).
+- ``message_history`` — historical index query: every txid that wrote a
+  given id (demonstrates the section 3.4 indexing strategy).
+"""
+
+from __future__ import annotations
+
+from repro.app.application import Application
+from repro.app.context import RequestContext
+from repro.node.indexer import KeyWriteIndex
+
+MESSAGES_MAP = "records"  # private: encrypted on the ledger
+PUBLIC_MESSAGES_MAP = "public:records"
+
+
+def build_logging_app() -> Application:
+    app = Application(name="logging")
+
+    @app.endpoint("write_message")
+    def write_message(ctx: RequestContext):
+        message_id = ctx.request.body["id"]
+        message = ctx.request.body["msg"]
+        ctx.put(MESSAGES_MAP, message_id, message)
+        return {"id": message_id}
+
+    @app.endpoint("read_message", read_only=True)
+    def read_message(ctx: RequestContext):
+        message_id = ctx.request.body["id"]
+        message = ctx.get(MESSAGES_MAP, message_id)
+        ctx.require(message is not None, f"no message with id {message_id}")
+        return {"id": message_id, "msg": message}
+
+    @app.endpoint("write_message_public")
+    def write_message_public(ctx: RequestContext):
+        message_id = ctx.request.body["id"]
+        ctx.put(PUBLIC_MESSAGES_MAP, message_id, ctx.request.body["msg"])
+        return {"id": message_id}
+
+    @app.endpoint("read_message_public", read_only=True)
+    def read_message_public(ctx: RequestContext):
+        message_id = ctx.request.body["id"]
+        message = ctx.get(PUBLIC_MESSAGES_MAP, message_id)
+        ctx.require(message is not None, f"no message with id {message_id}")
+        return {"id": message_id, "msg": message}
+
+    @app.endpoint("message_history", read_only=True)
+    def message_history(ctx: RequestContext):
+        index = ctx.index("message_writes")
+        txids = index.txids_for_key(ctx.request.body["id"])
+        return {"id": ctx.request.body["id"], "writes": [str(t) for t in txids]}
+
+    app.add_indexing_strategy(
+        "message_writes", lambda: KeyWriteIndex("message_writes", MESSAGES_MAP)
+    )
+    return app

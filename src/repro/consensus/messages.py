@@ -1,0 +1,152 @@
+"""Consensus RPC messages (sections 4.1–4.2).
+
+``append_entries`` replicates ledger entries (and doubles as the heartbeat
+when empty); ``request_vote`` drives elections. Every message carries the
+sender's view so receivers can synchronize views before processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ledger.entry import LedgerEntry, TxID
+
+
+@dataclass(frozen=True)
+class AppendEntries:
+    """Primary → backup: entries after ``prev_txid``, plus commit point.
+
+    The backup checks ``prev_txid`` against its own ledger before appending;
+    this is the induction step that makes ledgers with a shared transaction
+    ID share their whole prefix (section 4.1).
+    """
+
+    view: int
+    leader_id: str
+    prev_txid: TxID
+    entries: tuple[LedgerEntry, ...] = ()
+    leader_commit: int = 0
+
+
+@dataclass(frozen=True)
+class AppendEntriesResponse:
+    """Backup → primary. On failure, ``match_hint`` is the backup's guess at
+    the latest common point so the primary can rewind its next_index."""
+
+    view: int
+    sender: str
+    success: bool
+    # On success: the highest seqno this append_entries covered (prev +
+    # appended entries). Deliberately NOT the backup's ledger length — a
+    # stale uncommitted suffix must never count toward match_index.
+    last_seqno: int = 0
+    match_hint: int = 0  # on failure: guessed latest common seqno
+
+
+@dataclass(frozen=True)
+class RequestVote:
+    """Candidate → all nodes: vote solicitation carrying the view and
+    sequence number of the candidate's last signature transaction."""
+
+    view: int
+    candidate_id: str
+    last_signature_txid: TxID
+
+
+@dataclass(frozen=True)
+class RequestVoteResponse:
+    """Voter → candidate: whether the vote was granted."""
+
+    view: int
+    sender: str
+    granted: bool
+
+
+CONSENSUS_MESSAGE_TYPES = (
+    AppendEntries,
+    AppendEntriesResponse,
+    RequestVote,
+    RequestVoteResponse,
+)
+
+
+# ----------------------------------------------------------------------
+# Wire codec: consensus messages travel between enclaves through untrusted
+# hosts, sealed by the node-to-node channels — which need bytes.
+
+from repro.errors import ConsensusError  # noqa: E402
+from repro.kv.serialization import decode_value, encode_value  # noqa: E402
+
+
+def encode_message(message: object) -> bytes:
+    """Serialize a consensus message to canonical bytes."""
+    if isinstance(message, AppendEntries):
+        payload = {
+            "t": "ae",
+            "view": message.view,
+            "leader": message.leader_id,
+            "prev": [message.prev_txid.view, message.prev_txid.seqno],
+            "entries": [entry.encode() for entry in message.entries],
+            "commit": message.leader_commit,
+        }
+    elif isinstance(message, AppendEntriesResponse):
+        payload = {
+            "t": "aer",
+            "view": message.view,
+            "sender": message.sender,
+            "success": message.success,
+            "last": message.last_seqno,
+            "hint": message.match_hint,
+        }
+    elif isinstance(message, RequestVote):
+        payload = {
+            "t": "rv",
+            "view": message.view,
+            "candidate": message.candidate_id,
+            "sig": [message.last_signature_txid.view, message.last_signature_txid.seqno],
+        }
+    elif isinstance(message, RequestVoteResponse):
+        payload = {
+            "t": "rvr",
+            "view": message.view,
+            "sender": message.sender,
+            "granted": message.granted,
+        }
+    else:
+        raise ConsensusError(f"cannot encode {type(message).__name__}")
+    return encode_value(payload)
+
+
+def decode_message(data: bytes) -> object:
+    """Deserialize a consensus message from wire bytes."""
+    raw = decode_value(data)
+    if not isinstance(raw, dict) or "t" not in raw:
+        raise ConsensusError("malformed consensus message")
+    kind = raw["t"]
+    if kind == "ae":
+        return AppendEntries(
+            view=raw["view"],
+            leader_id=raw["leader"],
+            prev_txid=TxID(*raw["prev"]),
+            entries=tuple(LedgerEntry.decode(e) for e in raw["entries"]),
+            leader_commit=raw["commit"],
+        )
+    if kind == "aer":
+        return AppendEntriesResponse(
+            view=raw["view"],
+            sender=raw["sender"],
+            success=raw["success"],
+            last_seqno=raw["last"],
+            match_hint=raw["hint"],
+        )
+    if kind == "rv":
+        return RequestVote(
+            view=raw["view"],
+            candidate_id=raw["candidate"],
+            last_signature_txid=TxID(*raw["sig"]),
+        )
+    if kind == "rvr":
+        return RequestVoteResponse(
+            view=raw["view"], sender=raw["sender"], granted=raw["granted"]
+        )
+    raise ConsensusError(f"unknown consensus message kind {kind!r}")

@@ -1,0 +1,117 @@
+"""Consensus-adjacent state: node lifecycle statuses, roles, view history,
+and transaction status determination (Figures 4 & 6)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConsensusError
+from repro.ledger.entry import TxID
+
+
+class NodeStatus(str, enum.Enum):
+    """Governance-level node lifecycle (Figure 6), stored in
+    ``public:ccf.gov.nodes.info``."""
+
+    PENDING = "Pending"
+    TRUSTED = "Trusted"
+    RETIRING = "Retiring"
+    RETIRED = "Retired"
+
+
+class Role(str, enum.Enum):
+    """Consensus role within a TRUSTED node (Figure 6's inner states)."""
+
+    BACKUP = "Backup"
+    CANDIDATE = "Candidate"
+    PRIMARY = "Primary"
+
+
+class TxStatus(str, enum.Enum):
+    """User-visible transaction statuses (Figure 4)."""
+
+    UNKNOWN = "Unknown"
+    PENDING = "Pending"
+    COMMITTED = "Committed"
+    INVALID = "Invalid"
+
+
+@dataclass(frozen=True)
+class ViewStart:
+    """One view's first sequence number, per this node's ledger."""
+
+    view: int
+    first_seqno: int
+
+
+class ViewHistory:
+    """Each node's record of the start index of every view it has seen in
+    its ledger (section 4.3). Used to answer transaction-status queries:
+    a transaction is Invalid if a greater view started at a smaller or
+    equal sequence number."""
+
+    def __init__(self) -> None:
+        self._starts: list[ViewStart] = []
+
+    def note_append(self, txid: TxID) -> None:
+        """Record that ``txid`` was appended to the ledger."""
+        if not self._starts or txid.view > self._starts[-1].view:
+            self._starts.append(ViewStart(view=txid.view, first_seqno=txid.seqno))
+        elif txid.view < self._starts[-1].view:
+            raise ConsensusError(
+                f"append in view {txid.view} after view {self._starts[-1].view}"
+            )
+
+    def rollback(self, seqno: int) -> None:
+        """Entries after ``seqno`` were discarded."""
+        self._starts = [s for s in self._starts if s.first_seqno <= seqno]
+
+    def view_of(self, seqno: int) -> int | None:
+        """The view whose range contains ``seqno`` (per this ledger)."""
+        result = None
+        for start in self._starts:
+            if start.first_seqno <= seqno:
+                result = start.view
+            else:
+                break
+        return result
+
+    def invalidated(self, txid: TxID) -> bool:
+        """True if some greater view started at seqno <= txid.seqno, which
+        means this exact transaction can never (re)appear."""
+        return any(
+            start.view > txid.view and start.first_seqno <= txid.seqno
+            for start in self._starts
+        )
+
+    def starts(self) -> list[ViewStart]:
+        return list(self._starts)
+
+
+def transaction_status(
+    txid: TxID,
+    ledger_has_txid: bool,
+    last_seqno: int,
+    commit_seqno: int,
+    history: ViewHistory,
+) -> TxStatus:
+    """Classify a transaction ID per Figure 4, from one node's perspective."""
+    if txid.seqno == 0:
+        return TxStatus.COMMITTED  # genesis is trivially committed
+    if ledger_has_txid:
+        if txid.seqno <= commit_seqno:
+            return TxStatus.COMMITTED
+        return TxStatus.PENDING
+    # Not in our ledger with this exact (view, seqno).
+    if txid.seqno <= commit_seqno:
+        # Something else committed at that seqno; this ID will never commit.
+        return TxStatus.INVALID
+    if history.invalidated(txid):
+        return TxStatus.INVALID
+    if txid.seqno <= last_seqno:
+        # A different transaction occupies that seqno but is not committed;
+        # the queried ID could still win if views change. From this node's
+        # perspective it is unknown.
+        return TxStatus.UNKNOWN
+    return TxStatus.UNKNOWN

@@ -1,0 +1,38 @@
+"""Cryptographic primitives, implemented from scratch for the reproduction.
+
+The real CCF uses OpenSSL, merklecpp, and SGX sealing. This package provides
+pure-Python equivalents with the same protocol-visible interfaces:
+
+- :mod:`repro.crypto.hashing` — SHA-256 helpers and digest types.
+- :mod:`repro.crypto.ec` / :mod:`repro.crypto.ecdsa` — NIST P-256 arithmetic
+  and ECDSA with deterministic (RFC 6979 style) nonces.
+- :mod:`repro.crypto.x25519` — Curve25519 Diffie-Hellman for node channels.
+- :mod:`repro.crypto.chacha20` / :mod:`repro.crypto.poly1305` /
+  :mod:`repro.crypto.aead` — the ChaCha20-Poly1305 AEAD used in place of the
+  paper's AES256-GCM for ledger-secret encryption.
+- :mod:`repro.crypto.hkdf` — HKDF-SHA256 key derivation.
+- :mod:`repro.crypto.ecies` — asymmetric encryption of recovery shares
+  (stands in for RSA-OAEP).
+- :mod:`repro.crypto.shamir` — k-of-n secret sharing for disaster recovery.
+- :mod:`repro.crypto.certs` — lightweight certificates (X.509 stand-in).
+- :mod:`repro.crypto.cose` — COSE-Sign1-style signed request envelopes.
+- :mod:`repro.crypto.merkle` — the append-only Merkle history tree backing
+  signature transactions and receipts.
+"""
+
+from repro.crypto.hashing import Digest, sha256
+from repro.crypto.ecdsa import SigningKey, VerifyingKey
+from repro.crypto.aead import AEADKey
+from repro.crypto.certs import Certificate
+from repro.crypto.merkle import MerkleTree, MerkleProof
+
+__all__ = [
+    "Digest",
+    "sha256",
+    "SigningKey",
+    "VerifyingKey",
+    "AEADKey",
+    "Certificate",
+    "MerkleTree",
+    "MerkleProof",
+]

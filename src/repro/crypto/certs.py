@@ -1,0 +1,119 @@
+"""Lightweight certificates — the reproduction's X.509 stand-in.
+
+CCF's identities (Table 1) are X.509 certificates: the service identity used
+as the TLS root of trust and for receipt verification, per-node identities,
+and the user/member certificates stored in the governance maps (Table 3).
+We keep the trust structure (subject, public key, issuer signature chain)
+and drop the ASN.1 encoding, which carries no design weight in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.ecdsa import SigningKey, VerifyingKey
+from repro.errors import VerificationError
+
+
+def _encode_field(data: bytes) -> bytes:
+    return len(data).to_bytes(2, "big") + data
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding of a subject name to a public key.
+
+    ``issuer`` is the subject name of the signing authority; self-signed
+    certificates (service identity, member/user roots) have
+    ``issuer == subject``.
+    """
+
+    subject: str
+    public_key: VerifyingKey
+    issuer: str
+    signature: bytes
+
+    def to_be_signed(self) -> bytes:
+        """The canonical byte string covered by the issuer's signature."""
+        return b"".join(
+            [
+                b"repro-cert-v1",
+                _encode_field(self.subject.encode()),
+                _encode_field(self.public_key.encode()),
+                _encode_field(self.issuer.encode()),
+            ]
+        )
+
+    def verify(self, issuer_key: VerifyingKey) -> None:
+        """Check the issuer's signature; raise :class:`VerificationError`."""
+        issuer_key.verify(self.signature, self.to_be_signed())
+
+    @property
+    def is_self_signed(self) -> bool:
+        return self.subject == self.issuer
+
+    def verify_self_signed(self) -> None:
+        """Verify a self-signed certificate against its own key."""
+        if not self.is_self_signed:
+            raise VerificationError("certificate is not self-signed")
+        self.verify(self.public_key)
+
+    def fingerprint(self) -> str:
+        """Stable hex identifier for storing the cert in KV maps."""
+        from repro.crypto.hashing import sha256
+
+        return sha256(self.to_be_signed()).hex()
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation for storage in public maps."""
+        return {
+            "subject": self.subject,
+            "public_key": self.public_key.encode().hex(),
+            "issuer": self.issuer,
+            "signature": self.signature.hex(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Certificate":
+        return cls(
+            subject=data["subject"],
+            public_key=VerifyingKey.decode(bytes.fromhex(data["public_key"])),
+            issuer=data["issuer"],
+            signature=bytes.fromhex(data["signature"]),
+        )
+
+
+def issue(subject: str, public_key: VerifyingKey, issuer: str, issuer_key: SigningKey) -> Certificate:
+    """Issue a certificate for ``subject`` signed by ``issuer_key``."""
+    unsigned = Certificate(subject=subject, public_key=public_key, issuer=issuer, signature=b"")
+    signature = issuer_key.sign(unsigned.to_be_signed())
+    return Certificate(subject=subject, public_key=public_key, issuer=issuer, signature=signature)
+
+
+def self_signed(subject: str, key: SigningKey) -> Certificate:
+    """Issue a self-signed certificate (service identity, user/member roots)."""
+    return issue(subject, key.public_key, subject, key)
+
+
+@dataclass(frozen=True)
+class Identity:
+    """A convenience bundle of a signing key and its certificate.
+
+    Used throughout the simulator for users, members, nodes, and the service
+    itself. The private key never appears in serialized state.
+    """
+
+    key: SigningKey
+    certificate: Certificate
+
+    @classmethod
+    def create(cls, subject: str, seed: bytes) -> "Identity":
+        key = SigningKey.generate(seed)
+        return cls(key=key, certificate=self_signed(subject, key))
+
+    @property
+    def subject(self) -> str:
+        return self.certificate.subject
+
+    def sign(self, message: bytes) -> bytes:
+        return self.key.sign(message)

@@ -1,0 +1,69 @@
+"""ChaCha20 stream cipher (RFC 8439), from scratch.
+
+Stands in for the AES256-GCM data path of the paper's ledger-secret
+encryption (section 7); the AEAD construction lives in
+:mod:`repro.crypto.aead`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CryptoError
+
+KEY_SIZE = 32
+NONCE_SIZE = 12
+BLOCK_SIZE = 64
+
+_MASK = 0xFFFFFFFF
+_CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)
+
+
+def _rotl(value: int, shift: int) -> int:
+    return ((value << shift) | (value >> (32 - shift))) & _MASK
+
+
+def _quarter_round(state: list[int], a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & _MASK
+    state[d] = _rotl(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK
+    state[b] = _rotl(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK
+    state[d] = _rotl(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK
+    state[b] = _rotl(state[b] ^ state[c], 7)
+
+
+def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
+    """Produce one 64-byte keystream block."""
+    if len(key) != KEY_SIZE:
+        raise CryptoError("ChaCha20 key must be 32 bytes")
+    if len(nonce) != NONCE_SIZE:
+        raise CryptoError("ChaCha20 nonce must be 12 bytes")
+    state = list(_CONSTANTS)
+    state.extend(struct.unpack("<8L", key))
+    state.append(counter & _MASK)
+    state.extend(struct.unpack("<3L", nonce))
+    working = state.copy()
+    for _ in range(10):  # 20 rounds = 10 double rounds
+        _quarter_round(working, 0, 4, 8, 12)
+        _quarter_round(working, 1, 5, 9, 13)
+        _quarter_round(working, 2, 6, 10, 14)
+        _quarter_round(working, 3, 7, 11, 15)
+        _quarter_round(working, 0, 5, 10, 15)
+        _quarter_round(working, 1, 6, 11, 12)
+        _quarter_round(working, 2, 7, 8, 13)
+        _quarter_round(working, 3, 4, 9, 14)
+    output = [(w + s) & _MASK for w, s in zip(working, state)]
+    return struct.pack("<16L", *output)
+
+
+def chacha20_xor(key: bytes, nonce: bytes, data: bytes, initial_counter: int = 1) -> bytes:
+    """Encrypt/decrypt ``data`` by XOR with the ChaCha20 keystream."""
+    out = bytearray(len(data))
+    for block_index in range(0, len(data), BLOCK_SIZE):
+        keystream = chacha20_block(key, initial_counter + block_index // BLOCK_SIZE, nonce)
+        chunk = data[block_index : block_index + BLOCK_SIZE]
+        for i, byte in enumerate(chunk):
+            out[block_index + i] = byte ^ keystream[i]
+    return bytes(out)

@@ -1,0 +1,90 @@
+"""COSE-Sign1-style signed request envelopes.
+
+CCF records governance proposals and ballots as requests *signed by a
+consortium member* (section 5.1), using HTTP signatures or COSE Sign1
+(section 7); the signature itself is stored on the ledger so governance is
+auditable offline. This module provides the equivalent envelope: protected
+headers + payload, signed by an identity certificate, verifiable standalone.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.crypto.certs import Certificate, Identity
+from repro.errors import VerificationError
+
+
+def _canonical_json(value: object) -> bytes:
+    """Deterministic JSON encoding: sorted keys, no whitespace."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":")).encode()
+
+
+@dataclass(frozen=True)
+class SignedRequest:
+    """A signed envelope: who said what, verifiable offline.
+
+    ``headers`` carry request routing metadata (target endpoint, nonce);
+    ``payload`` is the request body; ``signer`` identifies the certificate
+    whose key produced ``signature``.
+    """
+
+    headers: dict = field(default_factory=dict)
+    payload: bytes = b""
+    signer: str = ""
+    signature: bytes = b""
+
+    def to_be_signed(self) -> bytes:
+        return b"".join(
+            [
+                b"repro-cose-sign1",
+                _canonical_json(self.headers),
+                len(self.payload).to_bytes(4, "big"),
+                self.payload,
+                self.signer.encode(),
+            ]
+        )
+
+    def verify(self, certificate: Certificate) -> None:
+        """Verify against the signer's certificate; raise on any mismatch."""
+        if certificate.subject != self.signer:
+            raise VerificationError(
+                f"envelope signed by {self.signer!r} but certificate is for "
+                f"{certificate.subject!r}"
+            )
+        certificate.public_key.verify(self.signature, self.to_be_signed())
+
+    def payload_json(self) -> object:
+        """Decode the payload as JSON (governance bodies are JSON documents)."""
+        return json.loads(self.payload.decode())
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for recording on the ledger (Table 3, history map)."""
+        return {
+            "headers": self.headers,
+            "payload": self.payload.hex(),
+            "signer": self.signer,
+            "signature": self.signature.hex(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SignedRequest":
+        return cls(
+            headers=data["headers"],
+            payload=bytes.fromhex(data["payload"]),
+            signer=data["signer"],
+            signature=bytes.fromhex(data["signature"]),
+        )
+
+
+def sign_request(identity: Identity, payload: object, headers: dict | None = None) -> SignedRequest:
+    """Sign a JSON ``payload`` as ``identity``, returning the envelope."""
+    body = _canonical_json(payload)
+    envelope = SignedRequest(
+        headers=dict(headers or {}), payload=body, signer=identity.subject, signature=b""
+    )
+    signature = identity.sign(envelope.to_be_signed())
+    return SignedRequest(
+        headers=envelope.headers, payload=body, signer=identity.subject, signature=signature
+    )

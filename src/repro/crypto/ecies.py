@@ -1,0 +1,62 @@
+"""ECIES: asymmetric encryption of small payloads to a public key.
+
+Stands in for the paper's RSA-OAEP encryption of recovery shares
+(section 5.2): each Shamir share of the ledger-secret wrapping key is
+encrypted to one consortium member's public encryption key so that only
+that member can submit it during disaster recovery.
+
+Construction: ephemeral X25519 → HKDF-SHA256 → ChaCha20-Poly1305. The
+ephemeral key is derived deterministically from (sender entropy, recipient,
+plaintext) so the simulation stays reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aead import AEADKey
+from repro.crypto.hashing import sha256
+from repro.crypto.hkdf import hkdf
+from repro.crypto.x25519 import KEY_SIZE, DHPrivateKey
+from repro.errors import VerificationError
+
+_NONCE = b"\x00" * 12  # fresh key per message, so a fixed nonce is safe
+_INFO = b"repro-ecies-v1"
+
+
+@dataclass(frozen=True)
+class EncryptionKeyPair:
+    """A member's long-term encryption key pair (Table 3, members_keys)."""
+
+    private: DHPrivateKey
+
+    @classmethod
+    def generate(cls, seed: bytes) -> "EncryptionKeyPair":
+        return cls(DHPrivateKey.generate(seed))
+
+    @property
+    def public(self) -> bytes:
+        return self.private.public
+
+    def decrypt(self, box: bytes) -> bytes:
+        """Open an ECIES box addressed to this key pair."""
+        if len(box) < KEY_SIZE:
+            raise VerificationError("ECIES box too short")
+        ephemeral_public, sealed = box[:KEY_SIZE], box[KEY_SIZE:]
+        shared = self.private.exchange(ephemeral_public)
+        key = AEADKey(hkdf(shared, _INFO + ephemeral_public + self.public, 32))
+        return key.open(_NONCE, sealed)
+
+
+def encrypt(recipient_public: bytes, plaintext: bytes, entropy: bytes) -> bytes:
+    """Encrypt ``plaintext`` to ``recipient_public``.
+
+    ``entropy`` seeds the ephemeral key; callers pass simulation-seeded
+    randomness so encryption is deterministic per run yet unique per message.
+    """
+    ephemeral = DHPrivateKey.generate(
+        bytes(sha256(b"ecies-eph", entropy, recipient_public, plaintext))
+    )
+    shared = ephemeral.exchange(recipient_public)
+    key = AEADKey(hkdf(shared, _INFO + ephemeral.public + recipient_public, 32))
+    return ephemeral.public + key.seal(_NONCE, plaintext)

@@ -1,0 +1,48 @@
+"""SHA-256 hashing helpers.
+
+SHA-256 is the collision-resistant hash assumed by the paper's threat model
+(section 2) and used by CCF's Merkle tree (section 7). We use the standard
+library implementation — it is a primitive, not a system under study — and
+wrap it in a small :class:`Digest` type so call sites are explicit about
+what is a digest versus arbitrary bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+DIGEST_SIZE = 32
+
+
+class Digest(bytes):
+    """A 32-byte SHA-256 digest.
+
+    Subclassing ``bytes`` keeps digests hashable, comparable, and directly
+    serializable while letting signatures declare their intent.
+    """
+
+    def __new__(cls, data: bytes) -> "Digest":
+        if len(data) != DIGEST_SIZE:
+            raise ValueError(f"digest must be {DIGEST_SIZE} bytes, got {len(data)}")
+        return super().__new__(cls, data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Digest({self.hex()[:16]}…)"
+
+
+def sha256(*chunks: bytes) -> Digest:
+    """Hash the concatenation of ``chunks`` and return a :class:`Digest`."""
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(chunk)
+    return Digest(h.digest())
+
+
+def hmac_sha256(key: bytes, *chunks: bytes) -> Digest:
+    """HMAC-SHA256 over the concatenation of ``chunks``."""
+    import hmac
+
+    h = hmac.new(key, digestmod=hashlib.sha256)
+    for chunk in chunks:
+        h.update(chunk)
+    return Digest(h.digest())

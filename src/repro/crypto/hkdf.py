@@ -1,0 +1,33 @@
+"""HKDF-SHA256 (RFC 5869) key derivation.
+
+Used to derive channel keys from X25519 shared secrets and ECIES wrap keys.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import DIGEST_SIZE, hmac_sha256
+from repro.errors import CryptoError
+
+
+def hkdf_extract(salt: bytes, input_key_material: bytes) -> bytes:
+    """Extract a pseudorandom key from possibly weak input material."""
+    return bytes(hmac_sha256(salt or b"\x00" * DIGEST_SIZE, input_key_material))
+
+
+def hkdf_expand(pseudo_random_key: bytes, info: bytes, length: int) -> bytes:
+    """Expand a PRK into ``length`` bytes of output keyed by ``info``."""
+    if length > 255 * DIGEST_SIZE:
+        raise CryptoError("HKDF output length too large")
+    output = b""
+    block = b""
+    counter = 1
+    while len(output) < length:
+        block = bytes(hmac_sha256(pseudo_random_key, block, info, bytes([counter])))
+        output += block
+        counter += 1
+    return output[:length]
+
+
+def hkdf(input_key_material: bytes, info: bytes, length: int, salt: bytes = b"") -> bytes:
+    """One-shot extract-then-expand."""
+    return hkdf_expand(hkdf_extract(salt, input_key_material), info, length)

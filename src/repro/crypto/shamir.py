@@ -1,0 +1,84 @@
+"""Shamir k-of-n secret sharing over a prime field.
+
+Implements the recovery-share scheme of section 5.2: the ledger-secret
+wrapping key is split into ``n`` shares such that any ``k`` reconstruct it
+and fewer than ``k`` reveal nothing. We work over GF(p) with
+p = 2**256 + 297 (the smallest prime above 2**256), so any 32-byte secret is
+a valid field element.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import CryptoError, RecoveryError
+
+PRIME = 2**256 + 297
+SECRET_SIZE = 32
+SHARE_SIZE = 33  # field elements may exceed 2**256, so one extra byte
+
+
+@dataclass(frozen=True)
+class Share:
+    """One share: the evaluation of the secret polynomial at ``x = index``."""
+
+    index: int  # 1-based; x = 0 is the secret itself
+    value: int
+
+    def encode(self) -> bytes:
+        return bytes([self.index]) + self.value.to_bytes(SHARE_SIZE, "big")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Share":
+        if len(data) != 1 + SHARE_SIZE:
+            raise CryptoError("malformed share encoding")
+        return cls(index=data[0], value=int.from_bytes(data[1:], "big"))
+
+
+def split(secret: bytes, threshold: int, num_shares: int, rng: random.Random) -> list[Share]:
+    """Split a 32-byte ``secret`` into ``num_shares`` shares, ``threshold`` to recover."""
+    if len(secret) != SECRET_SIZE:
+        raise CryptoError(f"secret must be {SECRET_SIZE} bytes")
+    if not 1 <= threshold <= num_shares:
+        raise CryptoError("require 1 <= threshold <= num_shares")
+    if num_shares >= PRIME or num_shares > 255:
+        raise CryptoError("too many shares")
+    coefficients = [int.from_bytes(secret, "big")]
+    coefficients += [rng.randrange(PRIME) for _ in range(threshold - 1)]
+    shares = []
+    for index in range(1, num_shares + 1):
+        # Horner evaluation of the polynomial at x = index.
+        value = 0
+        for coefficient in reversed(coefficients):
+            value = (value * index + coefficient) % PRIME
+        shares.append(Share(index=index, value=value))
+    return shares
+
+
+def combine(shares: list[Share]) -> bytes:
+    """Reconstruct the secret from at least ``threshold`` distinct shares.
+
+    Combining fewer than the threshold yields an incorrect secret, not an
+    error — Shamir's scheme cannot detect insufficiency by itself; the
+    recovery protocol detects it because the reconstructed wrapping key
+    fails to authenticate the encrypted ledger secret.
+    """
+    if not shares:
+        raise RecoveryError("no shares supplied")
+    indices = [share.index for share in shares]
+    if len(set(indices)) != len(indices):
+        raise RecoveryError("duplicate share indices")
+    secret = 0
+    for i, share_i in enumerate(shares):
+        numerator, denominator = 1, 1
+        for j, share_j in enumerate(shares):
+            if i == j:
+                continue
+            numerator = (numerator * (-share_j.index)) % PRIME
+            denominator = (denominator * (share_i.index - share_j.index)) % PRIME
+        lagrange = numerator * pow(denominator, -1, PRIME)
+        secret = (secret + share_i.value * lagrange) % PRIME
+    if secret >= 1 << (8 * SECRET_SIZE):
+        raise RecoveryError("reconstructed value is not a valid secret")
+    return secret.to_bytes(SECRET_SIZE, "big")

@@ -1,0 +1,100 @@
+"""Curve25519 Diffie-Hellman (X25519), from scratch.
+
+CCF uses Diffie-Hellman key exchange for node-to-node message headers and
+forwarding (section 7). We implement RFC 7748 X25519 with the Montgomery
+ladder; shared secrets feed HKDF to derive channel keys.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import sha256
+from repro.errors import CryptoError
+
+P = 2**255 - 19
+A24 = 121665
+BASE_POINT = 9
+KEY_SIZE = 32
+
+
+def _clamp(scalar_bytes: bytes) -> int:
+    if len(scalar_bytes) != KEY_SIZE:
+        raise CryptoError("X25519 scalar must be 32 bytes")
+    raw = bytearray(scalar_bytes)
+    raw[0] &= 248
+    raw[31] &= 127
+    raw[31] |= 64
+    return int.from_bytes(raw, "little")
+
+
+def _decode_u(u_bytes: bytes) -> int:
+    if len(u_bytes) != KEY_SIZE:
+        raise CryptoError("X25519 point must be 32 bytes")
+    raw = bytearray(u_bytes)
+    raw[31] &= 127  # mask the high bit per RFC 7748
+    return int.from_bytes(raw, "little") % P
+
+
+def _ladder(k: int, u: int) -> int:
+    """Constant-structure Montgomery ladder computing k * u."""
+    x1 = u
+    x2, z2 = 1, 0
+    x3, z3 = u, 1
+    swap = 0
+    for t in reversed(range(255)):
+        k_t = (k >> t) & 1
+        swap ^= k_t
+        if swap:
+            x2, x3 = x3, x2
+            z2, z3 = z3, z2
+        swap = k_t
+        a = (x2 + z2) % P
+        aa = (a * a) % P
+        b = (x2 - z2) % P
+        bb = (b * b) % P
+        e = (aa - bb) % P
+        c = (x3 + z3) % P
+        d = (x3 - z3) % P
+        da = (d * a) % P
+        cb = (c * b) % P
+        x3 = (da + cb) % P
+        x3 = (x3 * x3) % P
+        z3 = (da - cb) % P
+        z3 = (x1 * z3 * z3) % P
+        x2 = (aa * bb) % P
+        z2 = (e * (aa + A24 * e)) % P
+    if swap:
+        x2, x3 = x3, x2
+        z2, z3 = z3, z2
+    return (x2 * pow(z2, P - 2, P)) % P
+
+
+def x25519(scalar_bytes: bytes, u_bytes: bytes) -> bytes:
+    """RFC 7748 X25519: multiply point ``u`` by clamped ``scalar``."""
+    k = _clamp(scalar_bytes)
+    u = _decode_u(u_bytes)
+    result = _ladder(k, u)
+    if result == 0:
+        raise CryptoError("X25519 produced the all-zero shared secret")
+    return result.to_bytes(KEY_SIZE, "little")
+
+
+class DHPrivateKey:
+    """An X25519 private key with its public point."""
+
+    def __init__(self, private_bytes: bytes):
+        if len(private_bytes) != KEY_SIZE:
+            raise CryptoError("X25519 private key must be 32 bytes")
+        self._private = private_bytes
+        self.public = x25519(private_bytes, BASE_POINT.to_bytes(KEY_SIZE, "little"))
+
+    @classmethod
+    def generate(cls, seed: bytes) -> "DHPrivateKey":
+        """Derive a private key deterministically from ``seed``."""
+        return cls(bytes(sha256(b"x25519-keygen", seed)))
+
+    def exchange(self, peer_public: bytes) -> bytes:
+        """Compute the 32-byte shared secret with ``peer_public``."""
+        return x25519(self._private, peer_public)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DHPrivateKey(pub={self.public.hex()[:16]}…)"

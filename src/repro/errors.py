@@ -1,0 +1,78 @@
+"""Exception hierarchy for the CCF reproduction.
+
+Every error raised by the framework derives from :class:`CCFError`, so
+applications embedding the framework can catch a single base class. The
+subclasses mirror the distinct failure domains of the paper: cryptographic
+verification, ledger integrity, consensus, governance, and user-facing
+request handling.
+"""
+
+from __future__ import annotations
+
+
+class CCFError(Exception):
+    """Base class for all framework errors."""
+
+
+class CryptoError(CCFError):
+    """A cryptographic operation failed (bad key, malformed input)."""
+
+
+class VerificationError(CryptoError):
+    """A signature, MAC, proof, or attestation failed verification."""
+
+
+class IntegrityError(CCFError):
+    """Ledger or storage content failed an integrity check.
+
+    Raised when the untrusted host returns data whose hashes, signatures,
+    or Merkle proofs do not match — e.g. a truncated or tampered ledger.
+    """
+
+
+class LedgerError(CCFError):
+    """Structural problem with the ledger (bad framing, missing entries)."""
+
+
+class KVError(CCFError):
+    """Key-value store misuse (unknown map, type error, conflict)."""
+
+
+class TransactionConflictError(KVError):
+    """Optimistic transaction could not commit due to a concurrent write."""
+
+
+class ConsensusError(CCFError):
+    """Protocol violation or invalid state transition in consensus."""
+
+
+class ConfigurationError(CCFError):
+    """Invalid node or service configuration."""
+
+
+class GovernanceError(CCFError):
+    """A governance operation (proposal, ballot, action) was rejected."""
+
+
+class AuthenticationError(CCFError):
+    """Caller failed the endpoint's declared authentication policy."""
+
+
+class AuthorizationError(CCFError):
+    """Caller authenticated but is not permitted to perform the action."""
+
+
+class AttestationError(VerificationError):
+    """A TEE attestation quote failed verification or policy checks."""
+
+
+class RecoveryError(CCFError):
+    """Disaster recovery could not proceed (bad shares, wrong state)."""
+
+
+class ServiceUnavailableError(CCFError):
+    """The service cannot currently process the request (e.g. no primary)."""
+
+
+class JSError(CCFError):
+    """An error raised by (or inside) the embedded mini-JS interpreter."""

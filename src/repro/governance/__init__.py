@@ -1,0 +1,23 @@
+"""Multiparty governance (section 5).
+
+Consortium members oversee the service through *proposals* (sets of
+governance actions) and *ballots* (votes on proposals), processed by the
+programmable *constitution*. Everything is recorded in public maps with the
+members' signatures, so governance is auditable offline.
+"""
+
+from repro.governance.constitution import (
+    Constitution,
+    DefaultConstitution,
+    constitution_for,
+)
+from repro.governance.proposals import build_governance_app
+from repro.governance.actions import GOVERNANCE_ACTIONS
+
+__all__ = [
+    "Constitution",
+    "DefaultConstitution",
+    "constitution_for",
+    "build_governance_app",
+    "GOVERNANCE_ACTIONS",
+]

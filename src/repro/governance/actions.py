@@ -1,0 +1,254 @@
+"""Built-in governance actions (Table 4, Listing 1).
+
+Each action is a ``(validate, apply)`` pair: ``validate`` checks the
+argument shapes when a proposal is submitted; ``apply`` executes the action
+inside the accepting transaction, writing to the governance maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.app.context import RequestContext
+from repro.consensus.state import NodeStatus
+from repro.errors import GovernanceError
+from repro.node import maps
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise GovernanceError(message)
+
+
+def _check_type(args: dict, key: str, expected: type, type_name: str) -> None:
+    _check(key in args, f"missing argument {key!r}")
+    _check(isinstance(args[key], expected), f"argument {key!r} must be a {type_name}")
+
+
+@dataclass(frozen=True)
+class Action:
+    """One governance action: argument validation plus the state change."""
+
+    name: str
+    validate: Callable[[dict], None]
+    apply: Callable[[RequestContext, dict, str], None]
+
+
+def _invalidate_other_open_proposals(ctx: RequestContext, proposal_id: str) -> None:
+    """Listing 1's invalidateOtherOpenProposals: actions that change the
+    trust assumptions drop every other open proposal so stale ballots
+    cannot accept them under the new rules."""
+    for pid, info in list(ctx.items(maps.PROPOSALS_INFO)):
+        if pid != proposal_id and isinstance(info, dict) and info.get("state") == "Open":
+            ctx.put(maps.PROPOSALS_INFO, pid, dict(info, state="Dropped"))
+
+
+# ----------------------------------------------------------------------
+# Action implementations
+
+
+def _apply_set_user(ctx: RequestContext, args: dict, proposal_id: str) -> None:
+    ctx.put(
+        maps.USERS_CERTS,
+        args["subject"],
+        {"certificate": args["certificate"], "data": args.get("data", {})},
+    )
+
+
+def _apply_remove_user(ctx: RequestContext, args: dict, proposal_id: str) -> None:
+    ctx.remove(maps.USERS_CERTS, args["subject"])
+
+
+def _apply_set_member(ctx: RequestContext, args: dict, proposal_id: str) -> None:
+    ctx.put(
+        maps.MEMBERS_CERTS,
+        args["subject"],
+        {"certificate": args["certificate"], "data": args.get("data", {})},
+    )
+    if args.get("encryption_public_key"):
+        ctx.put(
+            maps.MEMBERS_KEYS, args["subject"],
+            {"public_key": args["encryption_public_key"]},
+        )
+    _invalidate_other_open_proposals(ctx, proposal_id)
+
+
+def _apply_remove_member(ctx: RequestContext, args: dict, proposal_id: str) -> None:
+    ctx.remove(maps.MEMBERS_CERTS, args["subject"])
+    ctx.remove(maps.MEMBERS_KEYS, args["subject"])
+    _invalidate_other_open_proposals(ctx, proposal_id)
+
+
+def _apply_add_node_code(ctx: RequestContext, args: dict, proposal_id: str) -> None:
+    # Listing 1, verbatim semantics: allow a code id to join.
+    ctx.put(maps.NODES_CODE_IDS, args["code_id"], "AllowedToJoin")
+    _invalidate_other_open_proposals(ctx, proposal_id)
+
+
+def _apply_remove_node_code(ctx: RequestContext, args: dict, proposal_id: str) -> None:
+    ctx.remove(maps.NODES_CODE_IDS, args["code_id"])
+    _invalidate_other_open_proposals(ctx, proposal_id)
+
+
+def _apply_transition_node_to_trusted(ctx: RequestContext, args: dict, proposal_id: str) -> None:
+    node_id = args["node_id"]
+    row = ctx.get(maps.NODES_INFO, node_id)
+    _check(isinstance(row, dict), f"unknown node {node_id}")
+    _check(
+        row["status"] == NodeStatus.PENDING.value,
+        f"node {node_id} is {row['status']}, not Pending",
+    )
+    ctx.put(maps.NODES_INFO, node_id, dict(row, status=NodeStatus.TRUSTED.value))
+
+
+def _apply_remove_node(ctx: RequestContext, args: dict, proposal_id: str) -> None:
+    node_id = args["node_id"]
+    row = ctx.get(maps.NODES_INFO, node_id)
+    _check(isinstance(row, dict), f"unknown node {node_id}")
+    if row["status"] == NodeStatus.TRUSTED.value:
+        # First retirement step; the primary appends the RETIRED record
+        # once this transaction commits (section 4.5).
+        ctx.put(maps.NODES_INFO, node_id, dict(row, status=NodeStatus.RETIRING.value))
+    elif row["status"] == NodeStatus.PENDING.value:
+        ctx.remove(maps.NODES_INFO, node_id)
+
+
+def _apply_set_js_app(ctx: RequestContext, args: dict, proposal_id: str) -> None:
+    """Live code update of the JavaScript application (section 5's live
+    code updates; Table 3's modules/endpoints maps)."""
+    ctx.put(maps.MODULES, "app", {"source": args["source"]})
+    for endpoint_name, metadata in args.get("endpoints", {}).items():
+        ctx.put(maps.ENDPOINTS, endpoint_name, metadata)
+
+
+def _apply_set_constitution(ctx: RequestContext, args: dict, proposal_id: str) -> None:
+    ctx.put(maps.CONSTITUTION, "constitution", dict(args["constitution"]))
+    _invalidate_other_open_proposals(ctx, proposal_id)
+
+
+def _apply_transition_service_to_open(ctx: RequestContext, args: dict, proposal_id: str) -> None:
+    info = ctx.get(maps.SERVICE_INFO, "service")
+    _check(isinstance(info, dict), "service info missing")
+    if info.get("status") == maps.SERVICE_RECOVERING or args.get("previous_service_identity"):
+        # Recovery binding (section 5.2): the proposal names the previous
+        # and next identities so it applies to exactly one recovery.
+        _check(
+            args.get("next_service_identity") == info["certificate"]["public_key"],
+            "next_service_identity does not match this service",
+        )
+    ctx.put(maps.SERVICE_INFO, "service", dict(info, status=maps.SERVICE_OPEN))
+
+
+def _apply_set_recovery_threshold(ctx: RequestContext, args: dict, proposal_id: str) -> None:
+    _check(args["recovery_threshold"] >= 1, "recovery threshold must be >= 1")
+    info = ctx.get(maps.SERVICE_INFO, "service") or {}
+    ctx.put(
+        maps.SERVICE_INFO, "service",
+        dict(info, recovery_threshold=args["recovery_threshold"]),
+    )
+
+
+def _apply_set_jwt_issuer(ctx: RequestContext, args: dict, proposal_id: str) -> None:
+    ctx.put(maps.JWT_ISSUERS, args["issuer"], {"public_key": args["public_key"]})
+
+
+def _apply_trigger_ledger_rekey(ctx: RequestContext, args: dict, proposal_id: str) -> None:
+    """Request a ledger-secret rotation (Table 1 notes CCF provides
+    rekeying). The committed marker makes every trusted node derive the
+    next-generation secret in-enclave from the shared service key — the new
+    secret itself never crosses the network; the primary then records the
+    wrapped form and fresh recovery shares."""
+    current = ctx.get(maps.LEDGER_SECRET, "current") or {"generation": 0}
+    ctx.put(
+        maps.LEDGER_SECRET,
+        "rekey_request",
+        {"new_generation": current["generation"] + 1, "proposal_id": proposal_id},
+    )
+
+
+# ----------------------------------------------------------------------
+# Validation
+
+
+def _validate_subject_cert(args: dict) -> None:
+    _check_type(args, "subject", str, "string")
+    _check_type(args, "certificate", dict, "certificate dict")
+
+
+def _validate_subject(args: dict) -> None:
+    _check_type(args, "subject", str, "string")
+
+
+def _validate_code_id(args: dict) -> None:
+    _check_type(args, "code_id", str, "string")
+
+
+def _validate_node_id(args: dict) -> None:
+    _check_type(args, "node_id", str, "string")
+
+
+def _validate_js_app(args: dict) -> None:
+    _check_type(args, "source", str, "string")
+
+
+def _validate_constitution(args: dict) -> None:
+    _check_type(args, "constitution", dict, "constitution descriptor")
+
+
+def _validate_open(args: dict) -> None:
+    pass  # identity-binding args are optional outside recovery
+
+
+def _validate_threshold(args: dict) -> None:
+    _check_type(args, "recovery_threshold", int, "integer")
+
+
+def _validate_jwt_issuer(args: dict) -> None:
+    _check_type(args, "issuer", str, "string")
+    _check_type(args, "public_key", str, "hex string")
+
+
+GOVERNANCE_ACTIONS: dict[str, Action] = {
+    action.name: action
+    for action in (
+        Action("set_user", _validate_subject_cert, _apply_set_user),
+        Action("remove_user", _validate_subject, _apply_remove_user),
+        Action("set_member", _validate_subject_cert, _apply_set_member),
+        Action("remove_member", _validate_subject, _apply_remove_member),
+        Action("add_node_code", _validate_code_id, _apply_add_node_code),
+        Action("remove_node_code", _validate_code_id, _apply_remove_node_code),
+        Action(
+            "transition_node_to_trusted",
+            _validate_node_id,
+            _apply_transition_node_to_trusted,
+        ),
+        Action("remove_node", _validate_node_id, _apply_remove_node),
+        Action("set_js_app", _validate_js_app, _apply_set_js_app),
+        Action("set_constitution", _validate_constitution, _apply_set_constitution),
+        Action(
+            "transition_service_to_open", _validate_open, _apply_transition_service_to_open
+        ),
+        Action("set_recovery_threshold", _validate_threshold, _apply_set_recovery_threshold),
+        Action("set_jwt_issuer", _validate_jwt_issuer, _apply_set_jwt_issuer),
+        Action("trigger_ledger_rekey", lambda args: None, _apply_trigger_ledger_rekey),
+    )
+}
+
+
+def validate_actions(actions: list[dict]) -> None:
+    """Validate a proposal's action list against the registry."""
+    _check(isinstance(actions, list) and actions, "proposal must contain actions")
+    for action in actions:
+        _check(isinstance(action, dict) and "name" in action, "malformed action")
+        registered = GOVERNANCE_ACTIONS.get(action["name"])
+        _check(registered is not None, f"unknown governance action {action['name']!r}")
+        registered.validate(action.get("args", {}))
+
+
+def apply_actions(ctx: RequestContext, actions: list[dict], proposal_id: str) -> None:
+    """Execute all of an accepted proposal's actions, in order, atomically
+    (they share the accepting transaction)."""
+    for action in actions:
+        registered = GOVERNANCE_ACTIONS[action["name"]]
+        registered.apply(ctx, action.get("args", {}), proposal_id)

@@ -1,0 +1,150 @@
+"""The programmable constitution (section 5.1).
+
+The constitution is the contract between consortium members: it defines the
+available governance actions, the ``resolve`` function that decides when a
+proposal is accepted given the submitted ballots, and the ``apply`` function
+that executes accepted proposals.
+
+Two runtimes are provided, selected by the descriptor stored in the
+``public:ccf.gov.constitution`` map:
+
+- ``{"kind": "default"}`` — the built-in majority constitution: a proposal
+  is accepted once a strict majority of active members vote for it
+  (the paper's default constitution [87]).
+- ``{"kind": "js", "resolve": <source>}`` — a resolve function written in
+  the embedded mini-JavaScript, mirroring the real CCF where the whole
+  constitution is JavaScript. Ballots may also be JS vote functions
+  (Listing 2's ``export function vote (proposal, proposer_id) ...``).
+
+The constitution itself can be replaced through governance
+(``set_constitution``), if the current constitution permits it.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.app.context import RequestContext
+from repro.errors import GovernanceError
+from repro.governance.actions import apply_actions, validate_actions
+from repro.node import maps
+
+PROPOSAL_OPEN = "Open"
+PROPOSAL_ACCEPTED = "Accepted"
+PROPOSAL_REJECTED = "Rejected"
+PROPOSAL_WITHDRAWN = "Withdrawn"
+PROPOSAL_DROPPED = "Dropped"
+
+
+class Constitution(Protocol):
+    """What a constitution must provide (section 5.1)."""
+
+    def validate(self, proposal: dict) -> None:
+        """Check a proposal's shape on submission; raise GovernanceError."""
+
+    def evaluate_ballot(self, ballot: dict, proposal: dict, proposer_id: str) -> bool:
+        """Interpret one member's ballot as a for/against vote."""
+
+    def resolve(self, ctx: RequestContext, proposal: dict, proposer_id: str,
+                votes: dict[str, bool]) -> str:
+        """Decide the proposal state given the evaluated votes."""
+
+    def apply(self, ctx: RequestContext, proposal: dict, proposal_id: str) -> None:
+        """Execute an accepted proposal's actions."""
+
+
+def _active_member_count(ctx: RequestContext) -> int:
+    return sum(1 for _k, _v in ctx.items(maps.MEMBERS_CERTS))
+
+
+class DefaultConstitution:
+    """Strict-majority voting over the active consortium members."""
+
+    def validate(self, proposal: dict) -> None:
+        validate_actions(proposal.get("actions", []))
+
+    def evaluate_ballot(self, ballot: dict, proposal: dict, proposer_id: str) -> bool:
+        if not isinstance(ballot, dict):
+            raise GovernanceError("ballot must be an object")
+        if "js" in ballot:
+            from repro.app.jsapp.interp import evaluate_vote_function
+
+            return bool(evaluate_vote_function(ballot["js"], proposal, proposer_id))
+        if "approve" in ballot:
+            return bool(ballot["approve"])
+        raise GovernanceError("ballot must contain 'approve' or a 'js' vote function")
+
+    def resolve(
+        self, ctx: RequestContext, proposal: dict, proposer_id: str, votes: dict[str, bool]
+    ) -> str:
+        members = _active_member_count(ctx)
+        approvals = sum(1 for approved in votes.values() if approved)
+        if approvals > members // 2:
+            return PROPOSAL_ACCEPTED
+        # A proposal everyone has voted against can never pass.
+        rejections = sum(1 for approved in votes.values() if not approved)
+        if members and rejections >= members - members // 2:
+            return PROPOSAL_REJECTED
+        return PROPOSAL_OPEN
+
+    def apply(self, ctx: RequestContext, proposal: dict, proposal_id: str) -> None:
+        apply_actions(ctx, proposal.get("actions", []), proposal_id)
+
+
+class JSConstitution(DefaultConstitution):
+    """A constitution whose resolve logic is mini-JavaScript source.
+
+    The resolve function receives ``(proposal, proposer_id, votes,
+    member_count)`` where votes is a list of ``{member_id, vote}`` objects,
+    and must return "Open", "Accepted", or "Rejected". Actions still apply
+    through the shared registry — the JS layer decides *whether*, the
+    action table defines *what* (Table 4).
+    """
+
+    def __init__(self, resolve_source: str):
+        self.resolve_source = resolve_source
+
+    def resolve(
+        self, ctx: RequestContext, proposal: dict, proposer_id: str, votes: dict[str, bool]
+    ) -> str:
+        from repro.app.jsapp.interp import evaluate_resolve_function
+
+        vote_rows = [
+            {"member_id": member_id, "vote": approved}
+            for member_id, approved in sorted(votes.items())
+        ]
+        outcome = evaluate_resolve_function(
+            self.resolve_source, proposal, proposer_id, vote_rows,
+            _active_member_count(ctx),
+        )
+        if outcome not in (PROPOSAL_OPEN, PROPOSAL_ACCEPTED, PROPOSAL_REJECTED):
+            raise GovernanceError(f"constitution returned invalid state {outcome!r}")
+        return outcome
+
+
+# The mini-JS source equivalent of the default constitution, used when a
+# service installs a JS constitution (and by tests mirroring the paper).
+DEFAULT_JS_RESOLVE = """
+function resolve(proposal, proposer_id, votes, member_count) {
+  var approvals = 0;
+  var rejections = 0;
+  for (var i = 0; i < votes.length; i = i + 1) {
+    if (votes[i].vote) { approvals = approvals + 1; }
+    else { rejections = rejections + 1; }
+  }
+  if (approvals > Math.floor(member_count / 2)) { return "Accepted"; }
+  if (rejections >= member_count - Math.floor(member_count / 2)) { return "Rejected"; }
+  return "Open";
+}
+"""
+
+
+def constitution_for(ctx: RequestContext) -> Constitution:
+    """Instantiate the constitution currently installed in the store."""
+    descriptor = ctx.get(maps.CONSTITUTION, "constitution") or {"kind": "default"}
+    kind = descriptor.get("kind", "default")
+    if kind == "default":
+        return DefaultConstitution()
+    if kind == "js":
+        return JSConstitution(descriptor["resolve"])
+    raise GovernanceError(f"unknown constitution kind {kind!r}")

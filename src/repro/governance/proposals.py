@@ -1,0 +1,153 @@
+"""Governance endpoints: proposals and ballots (section 5.1, Listing 2).
+
+Proposals and ballots are member-signed requests recorded — with their
+signatures — on the ledger in public maps, so governance is auditable
+offline. Resolution happens inside the same transaction that records the
+deciding ballot, exactly as in Listing 2 where txid 3.209096 contains both
+the accepting ballot and the node status changes it triggered.
+"""
+
+from __future__ import annotations
+
+from repro.app.application import Application
+from repro.app.context import RequestContext
+from repro.crypto.hashing import sha256
+from repro.errors import GovernanceError
+from repro.governance.constitution import (
+    PROPOSAL_ACCEPTED,
+    PROPOSAL_OPEN,
+    PROPOSAL_WITHDRAWN,
+    constitution_for,
+)
+from repro.kv.serialization import encode_value
+from repro.node import maps
+
+
+def _proposal_id_for(ctx: RequestContext) -> str:
+    """Deterministic proposal id: digest of the signed request."""
+    envelope = ctx.request.credentials.get("signed_request", {})
+    return sha256(encode_value(
+        {"sig": envelope.get("signature", ""), "payload": envelope.get("payload", "")}
+    )).hex()[:16]
+
+
+def _record_history(ctx: RequestContext, key: str) -> None:
+    """Store the member-signed envelope on the ledger (Table 3's history)."""
+    envelope = ctx.request.credentials.get("signed_request")
+    if envelope is not None:
+        ctx.put(maps.HISTORY, key, dict(envelope))
+
+
+def _resolve_and_maybe_apply(
+    ctx: RequestContext, proposal_id: str, proposal: dict, info: dict
+) -> dict:
+    constitution = constitution_for(ctx)
+    votes: dict[str, bool] = {}
+    for member_id, ballot in info.get("ballots", {}).items():
+        votes[member_id] = constitution.evaluate_ballot(
+            ballot, proposal, info["proposer_id"]
+        )
+    state = constitution.resolve(ctx, proposal, info["proposer_id"], votes)
+    info = dict(info, state=state)
+    if state == PROPOSAL_ACCEPTED:
+        info["final_votes"] = dict(votes)
+        # Apply within this same transaction: ballots and effects land
+        # in one atomic ledger entry (Listing 2, txid 3.209096).
+        ctx.put(maps.PROPOSALS_INFO, proposal_id, info)
+        constitution.apply(ctx, proposal, proposal_id)
+        # apply may have rewritten proposals_info rows (e.g. dropping other
+        # proposals); our own row was written before apply so re-read and
+        # keep the accepted state authoritative.
+        current = ctx.get(maps.PROPOSALS_INFO, proposal_id)
+        if current != info:
+            ctx.put(maps.PROPOSALS_INFO, proposal_id, info)
+    else:
+        ctx.put(maps.PROPOSALS_INFO, proposal_id, info)
+    return info
+
+
+def build_governance_app() -> Application:
+    """The governance endpoint set, mounted at ``/gov/`` on every node."""
+    app = Application(name="governance")
+
+    @app.endpoint("propose", auth_policy="user_signature")
+    def propose(ctx: RequestContext):
+        ctx.require(ctx.caller.kind == "member", "only members may propose")
+        actions = ctx.request.body.get("actions")
+        constitution = constitution_for(ctx)
+        constitution.validate({"actions": actions})
+        proposal_id = _proposal_id_for(ctx)
+        if ctx.get(maps.PROPOSALS, proposal_id) is not None:
+            raise GovernanceError(f"duplicate proposal {proposal_id}")
+        proposal = {"actions": actions}
+        info = {"proposer_id": ctx.caller.identifier, "state": PROPOSAL_OPEN, "ballots": {}}
+        ctx.put(maps.PROPOSALS, proposal_id, proposal)
+        _record_history(ctx, f"propose:{proposal_id}")
+        info = _resolve_and_maybe_apply(ctx, proposal_id, proposal, info)
+        return {"proposal_id": proposal_id, "state": info["state"]}
+
+    @app.endpoint("vote", auth_policy="user_signature")
+    def vote(ctx: RequestContext):
+        ctx.require(ctx.caller.kind == "member", "only members may vote")
+        proposal_id = ctx.request.body["proposal_id"]
+        ballot = ctx.request.body["ballot"]
+        proposal = ctx.get(maps.PROPOSALS, proposal_id)
+        info = ctx.get(maps.PROPOSALS_INFO, proposal_id)
+        ctx.require(proposal is not None and info is not None, f"no proposal {proposal_id}")
+        if info["state"] != PROPOSAL_OPEN:
+            raise GovernanceError(
+                f"proposal {proposal_id} is {info['state']}, not Open"
+            )
+        ballots = dict(info.get("ballots", {}))
+        ballots[ctx.caller.identifier] = ballot
+        info = dict(info, ballots=ballots)
+        _record_history(ctx, f"vote:{proposal_id}:{ctx.caller.identifier}")
+        info = _resolve_and_maybe_apply(ctx, proposal_id, proposal, info)
+        return {"proposal_id": proposal_id, "state": info["state"]}
+
+    @app.endpoint("withdraw", auth_policy="user_signature")
+    def withdraw(ctx: RequestContext):
+        ctx.require(ctx.caller.kind == "member", "only members may withdraw")
+        proposal_id = ctx.request.body["proposal_id"]
+        info = ctx.get(maps.PROPOSALS_INFO, proposal_id)
+        ctx.require(info is not None, f"no proposal {proposal_id}")
+        ctx.require(
+            info["proposer_id"] == ctx.caller.identifier,
+            "only the proposer may withdraw a proposal",
+        )
+        if info["state"] != PROPOSAL_OPEN:
+            raise GovernanceError(f"proposal {proposal_id} is {info['state']}")
+        ctx.put(maps.PROPOSALS_INFO, proposal_id, dict(info, state=PROPOSAL_WITHDRAWN))
+        _record_history(ctx, f"withdraw:{proposal_id}")
+        return {"proposal_id": proposal_id, "state": PROPOSAL_WITHDRAWN}
+
+    @app.endpoint("proposal", auth_policy="no_auth", read_only=True)
+    def proposal_status(ctx: RequestContext):
+        proposal_id = ctx.request.body["proposal_id"]
+        proposal = ctx.get(maps.PROPOSALS, proposal_id)
+        info = ctx.get(maps.PROPOSALS_INFO, proposal_id)
+        ctx.require(proposal is not None, f"no proposal {proposal_id}")
+        return {"proposal_id": proposal_id, "proposal": proposal, "info": info}
+
+    @app.endpoint("members", auth_policy="no_auth", read_only=True)
+    def members(ctx: RequestContext):
+        return {
+            "members": sorted(subject for subject, _row in ctx.items(maps.MEMBERS_CERTS))
+        }
+
+    @app.endpoint("encrypted_recovery_share", auth_policy="member_cert", read_only=True)
+    def encrypted_recovery_share(ctx: RequestContext):
+        """A member fetching their own encrypted share (they could equally
+        read it from the public ledger offline)."""
+        row = ctx.get(maps.RECOVERY_SHARES, ctx.caller.identifier)
+        ctx.require(row is not None, "no recovery share recorded for this member")
+        return {"member": ctx.caller.identifier, "encrypted_share": row["share"]}
+
+    @app.endpoint("submit_recovery_share", auth_policy="user_signature")
+    def submit_recovery_share(ctx: RequestContext):
+        ctx.require(ctx.caller.kind == "member", "only members may submit shares")
+        from repro.recovery.shares import handle_share_submission
+
+        return handle_share_submission(ctx)
+
+    return app

@@ -1,0 +1,26 @@
+"""The transactional key-value store (section 3.3).
+
+The store is a set of named *maps*; each map is an immutable CHAMP trie
+(Compressed Hash-Array Mapped Prefix-tree, the structure the real CCF uses,
+section 7). Maps whose names start with ``public:`` are written to the
+ledger in plain text; all other maps are *private* and their updates are
+encrypted with the ledger secret before leaving the (simulated) TEE.
+
+Transactions execute against a snapshot of the store and produce a
+*write set* which is applied atomically and appended to the ledger.
+"""
+
+from repro.kv.champ import ChampMap
+from repro.kv.store import KVStore
+from repro.kv.tx import Transaction, WriteSet, REMOVED
+from repro.kv.serialization import encode_value, decode_value
+
+__all__ = [
+    "ChampMap",
+    "KVStore",
+    "Transaction",
+    "WriteSet",
+    "REMOVED",
+    "encode_value",
+    "decode_value",
+]

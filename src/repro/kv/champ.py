@@ -1,0 +1,296 @@
+"""An immutable CHAMP map (Compressed Hash-Array Mapped Prefix-tree).
+
+CCF's map implementation is based on CHAMP (Steindorfer & Vinju, cited in
+section 7): a persistent hash trie with bitmap-compressed nodes that
+separates inline key-value entries from sub-node references. Persistence
+(structural sharing) is what makes CCF's snapshots and rollbacks cheap — an
+old version of a map shares almost all of its nodes with the new one — and
+we rely on the same property for the store's version history.
+
+Keys must be hashable; values are arbitrary. All operations are
+non-destructive: ``set``/``remove`` return a new map.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+_BITS = 5
+_FANOUT = 1 << _BITS  # 32-way branching
+_MASK = _FANOUT - 1
+_HASH_BITS = 32
+
+
+def _hash(key: Any) -> int:
+    """A stable 32-bit hash. Python's ``hash`` is salted for str/bytes across
+    processes, which would make trie shapes nondeterministic between runs —
+    so we hash the repr of strings/bytes with FNV-1a instead."""
+    if isinstance(key, (str, bytes)):
+        data = key.encode() if isinstance(key, str) else key
+        h = 0x811C9DC5
+        for byte in data:
+            h = ((h ^ byte) * 0x01000193) & 0xFFFFFFFF
+        return h
+    if isinstance(key, bool):
+        return 1 if key else 0
+    if isinstance(key, int):
+        return key & 0xFFFFFFFF
+    if isinstance(key, tuple):
+        h = 0x345678
+        for item in key:
+            h = ((h ^ _hash(item)) * 0x01000193) & 0xFFFFFFFF
+        return h
+    return hash(key) & 0xFFFFFFFF
+
+
+class _Node:
+    """One CHAMP node: ``data_map`` marks slots holding inline (k, v) pairs,
+    ``node_map`` marks slots holding child nodes. The ``content`` array
+    stores data entries from the left and child nodes from the right, per
+    the CHAMP paper's layout."""
+
+    __slots__ = ("data_map", "node_map", "content")
+
+    def __init__(self, data_map: int, node_map: int, content: tuple):
+        self.data_map = data_map
+        self.node_map = node_map
+        self.content = content
+
+    def _data_index(self, bit: int) -> int:
+        return bin(self.data_map & (bit - 1)).count("1")
+
+    def _node_index(self, bit: int) -> int:
+        return len(self.content) - 1 - bin(self.node_map & (bit - 1)).count("1")
+
+    def get(self, key: Any, key_hash: int, shift: int, default: Any) -> Any:
+        bit = 1 << ((key_hash >> shift) & _MASK)
+        if self.data_map & bit:
+            idx = self._data_index(bit) * 2
+            if self.content[idx] == key:
+                return self.content[idx + 1]
+            return default
+        if self.node_map & bit:
+            child = self.content[self._node_index(bit)]
+            if isinstance(child, _Collision):
+                return child.get(key, default)
+            return child.get(key, key_hash, shift + _BITS, default)
+        return default
+
+    def set(self, key: Any, value: Any, key_hash: int, shift: int) -> tuple["_Node", bool]:
+        """Returns (new node, added) where added is False on overwrite."""
+        bit = 1 << ((key_hash >> shift) & _MASK)
+        if self.data_map & bit:
+            idx = self._data_index(bit) * 2
+            existing_key = self.content[idx]
+            if existing_key == key:
+                if self.content[idx + 1] is value:
+                    return self, False
+                content = self.content[:idx + 1] + (value,) + self.content[idx + 2:]
+                return _Node(self.data_map, self.node_map, content), False
+            # Hash collision at this level: push both entries down a level.
+            existing_hash = _hash(existing_key)
+            child = _merge_two(
+                existing_key, self.content[idx + 1], existing_hash,
+                key, value, key_hash, shift + _BITS,
+            )
+            data_idx = self._data_index(bit) * 2
+            node_idx = self._node_index(bit)
+            content = (
+                self.content[:data_idx]
+                + self.content[data_idx + 2:node_idx + 1]
+                + (child,)
+                + self.content[node_idx + 1:]
+            )
+            return _Node(self.data_map ^ bit, self.node_map | bit, content), True
+        if self.node_map & bit:
+            node_idx = self._node_index(bit)
+            child = self.content[node_idx]
+            if isinstance(child, _Collision):
+                new_child, added = child.set(key, value)
+            else:
+                new_child, added = child.set(key, value, key_hash, shift + _BITS)
+            if new_child is child:
+                return self, added
+            content = self.content[:node_idx] + (new_child,) + self.content[node_idx + 1:]
+            return _Node(self.data_map, self.node_map, content), added
+        # Empty slot: insert inline.
+        idx = self._data_index(bit) * 2
+        content = self.content[:idx] + (key, value) + self.content[idx:]
+        return _Node(self.data_map | bit, self.node_map, content), True
+
+    def remove(self, key: Any, key_hash: int, shift: int) -> tuple["_Node | None", bool]:
+        """Returns (new node or None if emptied, removed)."""
+        bit = 1 << ((key_hash >> shift) & _MASK)
+        if self.data_map & bit:
+            idx = self._data_index(bit) * 2
+            if self.content[idx] != key:
+                return self, False
+            content = self.content[:idx] + self.content[idx + 2:]
+            if not content:
+                return None, True
+            return _Node(self.data_map ^ bit, self.node_map, content), True
+        if self.node_map & bit:
+            node_idx = self._node_index(bit)
+            child = self.content[node_idx]
+            if isinstance(child, _Collision):
+                new_child, removed = child.remove(key)
+            else:
+                new_child, removed = child.remove(key, key_hash, shift + _BITS)
+            if not removed:
+                return self, False
+            if new_child is None:
+                content = self.content[:node_idx] + self.content[node_idx + 1:]
+                if not content:
+                    return None, True
+                return _Node(self.data_map, self.node_map ^ bit, content), True
+            # Collapse single-entry children back inline (canonical form).
+            if isinstance(new_child, _Node) and new_child.node_map == 0 and \
+                    bin(new_child.data_map).count("1") == 1:
+                inline_key, inline_value = new_child.content
+                data_idx = self._data_index(bit) * 2
+                content = (
+                    self.content[:data_idx]
+                    + (inline_key, inline_value)
+                    + self.content[data_idx:node_idx]
+                    + self.content[node_idx + 1:]
+                )
+                return _Node(self.data_map | bit, self.node_map ^ bit, content), True
+            content = self.content[:node_idx] + (new_child,) + self.content[node_idx + 1:]
+            return _Node(self.data_map, self.node_map, content), True
+        return self, False
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        data_count = bin(self.data_map).count("1")
+        for i in range(data_count):
+            yield self.content[2 * i], self.content[2 * i + 1]
+        for child in self.content[2 * data_count:]:
+            yield from child.items()
+
+
+class _Collision:
+    """A bucket of entries whose 32-bit hashes fully collide."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: tuple):
+        self.entries = entries  # flat (k, v, k, v, ...) tuple
+
+    def get(self, key: Any, default: Any) -> Any:
+        for i in range(0, len(self.entries), 2):
+            if self.entries[i] == key:
+                return self.entries[i + 1]
+        return default
+
+    def set(self, key: Any, value: Any) -> tuple["_Collision", bool]:
+        for i in range(0, len(self.entries), 2):
+            if self.entries[i] == key:
+                entries = self.entries[:i + 1] + (value,) + self.entries[i + 2:]
+                return _Collision(entries), False
+        return _Collision(self.entries + (key, value)), True
+
+    def remove(self, key: Any) -> tuple["_Collision | None", bool]:
+        for i in range(0, len(self.entries), 2):
+            if self.entries[i] == key:
+                entries = self.entries[:i] + self.entries[i + 2:]
+                return (_Collision(entries) if entries else None), True
+        return self, False
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        for i in range(0, len(self.entries), 2):
+            yield self.entries[i], self.entries[i + 1]
+
+
+def _merge_two(key_a, value_a, hash_a, key_b, value_b, hash_b, shift):
+    """Build the minimal subtree distinguishing two colliding entries."""
+    if shift >= _HASH_BITS:
+        return _Collision((key_a, value_a, key_b, value_b))
+    frag_a = (hash_a >> shift) & _MASK
+    frag_b = (hash_b >> shift) & _MASK
+    if frag_a == frag_b:
+        child = _merge_two(key_a, value_a, hash_a, key_b, value_b, hash_b, shift + _BITS)
+        return _Node(0, 1 << frag_a, (child,))
+    if frag_a < frag_b:
+        return _Node((1 << frag_a) | (1 << frag_b), 0, (key_a, value_a, key_b, value_b))
+    return _Node((1 << frag_a) | (1 << frag_b), 0, (key_b, value_b, key_a, value_a))
+
+
+_EMPTY_NODE = _Node(0, 0, ())
+_SENTINEL = object()
+
+
+class ChampMap:
+    """The public persistent-map interface."""
+
+    __slots__ = ("_root", "_size")
+
+    def __init__(self, root: _Node = _EMPTY_NODE, size: int = 0):
+        self._root = root
+        self._size = size
+
+    @classmethod
+    def empty(cls) -> "ChampMap":
+        return _EMPTY
+
+    @classmethod
+    def from_dict(cls, items: dict) -> "ChampMap":
+        result = _EMPTY
+        for key, value in items.items():
+            result = result.set(key, value)
+        return result
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._root.get(key, _hash(key), 0, default)
+
+    def __getitem__(self, key: Any) -> Any:
+        value = self._root.get(key, _hash(key), 0, _SENTINEL)
+        if value is _SENTINEL:
+            raise KeyError(key)
+        return value
+
+    def __contains__(self, key: Any) -> bool:
+        return self._root.get(key, _hash(key), 0, _SENTINEL) is not _SENTINEL
+
+    def set(self, key: Any, value: Any) -> "ChampMap":
+        root, added = self._root.set(key, value, _hash(key), 0)
+        if root is self._root:
+            return self
+        return ChampMap(root, self._size + (1 if added else 0))
+
+    def remove(self, key: Any) -> "ChampMap":
+        root, removed = self._root.remove(key, _hash(key), 0)
+        if not removed:
+            return self
+        return ChampMap(root if root is not None else _EMPTY_NODE, self._size - 1)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Any]:
+        for key, _value in self._root.items():
+            yield key
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        return self._root.items()
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self)
+
+    def values(self) -> Iterator[Any]:
+        for _key, value in self._root.items():
+            yield value
+
+    def to_dict(self) -> dict:
+        return dict(self.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChampMap):
+            return NotImplemented
+        return len(self) == len(other) and self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(f"{k!r}: {v!r}" for k, v in list(self.items())[:4])
+        suffix = ", …" if len(self) > 4 else ""
+        return f"ChampMap({{{preview}{suffix}}}, size={len(self)})"
+
+
+_EMPTY = ChampMap()

@@ -1,0 +1,137 @@
+"""Canonical serialization of keys, values, and write sets.
+
+The ledger must be byte-identical across nodes (its Merkle root is signed),
+so everything that reaches it needs a deterministic encoding. We use a small
+canonical binary format (a CBOR-lite): type tag + big-endian length + body,
+with map keys sorted by their encoded bytes. Supported types are the
+JSON-ish set apps need: ``None``, ``bool``, ``int``, ``str``, ``bytes``,
+``list``/``tuple``, and ``dict``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import KVError
+
+_TAG_NONE = 0x00
+_TAG_FALSE = 0x01
+_TAG_TRUE = 0x02
+_TAG_INT_POS = 0x03
+_TAG_INT_NEG = 0x04
+_TAG_STR = 0x05
+_TAG_BYTES = 0x06
+_TAG_LIST = 0x07
+_TAG_DICT = 0x08
+
+
+def _encode_length(value: int) -> bytes:
+    return value.to_bytes(4, "big")
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode ``value`` into canonical bytes. Raises :class:`KVError` for
+    unsupported types so nondeterministic objects never reach the ledger."""
+    if value is None:
+        return bytes([_TAG_NONE])
+    if value is True:
+        return bytes([_TAG_TRUE])
+    if value is False:
+        return bytes([_TAG_FALSE])
+    if isinstance(value, int):
+        magnitude = value if value >= 0 else -value - 1
+        body = magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1, "big")
+        tag = _TAG_INT_POS if value >= 0 else _TAG_INT_NEG
+        return bytes([tag]) + _encode_length(len(body)) + body
+    if isinstance(value, str):
+        body = value.encode()
+        return bytes([_TAG_STR]) + _encode_length(len(body)) + body
+    if isinstance(value, (bytes, bytearray)):
+        body = bytes(value)
+        return bytes([_TAG_BYTES]) + _encode_length(len(body)) + body
+    if isinstance(value, (list, tuple)):
+        parts = [encode_value(item) for item in value]
+        body = b"".join(parts)
+        return bytes([_TAG_LIST]) + _encode_length(len(parts)) + body
+    if isinstance(value, dict):
+        encoded_items = sorted(
+            (encode_value(key), encode_value(val)) for key, val in value.items()
+        )
+        body = b"".join(k + v for k, v in encoded_items)
+        return bytes([_TAG_DICT]) + _encode_length(len(encoded_items)) + body
+    raise KVError(f"cannot serialize {type(value).__name__} values")
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode canonical bytes back into a value."""
+    value, offset = _decode(data, 0)
+    if offset != len(data):
+        raise KVError("trailing bytes after encoded value")
+    return value
+
+
+def _decode(data: bytes, offset: int) -> tuple[Any, int]:
+    if offset >= len(data):
+        raise KVError("truncated encoding")
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag in (_TAG_INT_POS, _TAG_INT_NEG, _TAG_STR, _TAG_BYTES, _TAG_LIST, _TAG_DICT):
+        if offset + 4 > len(data):
+            raise KVError("truncated length field")
+        length = int.from_bytes(data[offset : offset + 4], "big")
+        offset += 4
+        if tag in (_TAG_INT_POS, _TAG_INT_NEG):
+            if offset + length > len(data):
+                raise KVError("truncated integer body")
+            magnitude = int.from_bytes(data[offset : offset + length], "big")
+            offset += length
+            return (magnitude if tag == _TAG_INT_POS else -magnitude - 1), offset
+        if tag == _TAG_STR:
+            if offset + length > len(data):
+                raise KVError("truncated string body")
+            return data[offset : offset + length].decode(), offset + length
+        if tag == _TAG_BYTES:
+            if offset + length > len(data):
+                raise KVError("truncated bytes body")
+            return data[offset : offset + length], offset + length
+        if tag == _TAG_LIST:
+            items = []
+            for _ in range(length):
+                item, offset = _decode(data, offset)
+                items.append(item)
+            return items, offset
+        result: dict = {}
+        for _ in range(length):
+            key, offset = _decode(data, offset)
+            value, offset = _decode(data, offset)
+            result[_freeze_key(key)] = value
+        return result, offset
+    raise KVError(f"unknown type tag 0x{tag:02x}")
+
+
+def freeze_key(key: Any) -> Any:
+    """Dict keys must be hashable; lists decode to tuples in key position."""
+    if isinstance(key, list):
+        return tuple(freeze_key(item) for item in key)
+    return key
+
+
+_freeze_key = freeze_key  # internal alias used by the decoder
+
+
+def json_safe(value: Any) -> Any:
+    """Convert a value into a JSON-serializable shape (bytes become hex
+    strings tagged for reversibility). Used for ledger excerpt printing."""
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": bytes(value).hex()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): json_safe(val) for key, val in value.items()}
+    return value

@@ -1,0 +1,171 @@
+"""The versioned key-value store (section 3.3).
+
+A :class:`KVStore` is the in-enclave state of one CCF node: a collection of
+named CHAMP maps plus a version counter equal to the sequence number of the
+last applied transaction. Because CHAMP maps are persistent, the store keeps
+a *version history* — a snapshot of the map table at every applied version —
+at negligible cost, which is what lets consensus roll uncommitted suffixes
+back after an election (section 4.2). History below the commit point is
+pruned via :meth:`compact`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import KVError, TransactionConflictError
+from repro.kv.champ import ChampMap
+from repro.kv.serialization import decode_value, encode_value
+from repro.kv.tx import REMOVED, Transaction, WriteSet
+
+
+class KVStore:
+    """Named maps + version counter + rollback history."""
+
+    def __init__(self) -> None:
+        self._maps: dict[str, ChampMap] = {}
+        self.version = 0
+        # version -> map-table snapshot (shallow dict of persistent maps).
+        self._history: dict[int, dict[str, ChampMap]] = {0: {}}
+        self._history_order: list[int] = [0]
+
+    # ------------------------------------------------------------------
+    # Transactions
+
+    def begin(self) -> Transaction:
+        """Start a transaction against the current state."""
+        return Transaction(dict(self._maps), self.version)
+
+    def commit(self, tx: Transaction, seqno: int | None = None) -> WriteSet:
+        """Validate ``tx``'s reads and apply its write set at ``seqno``.
+
+        ``seqno`` defaults to ``version + 1``. Raises
+        :class:`TransactionConflictError` if any value the transaction read
+        has changed since it began (optimistic concurrency control).
+        """
+        if tx.read_version != self.version:
+            for map_name, key, value_seen in tx.reads():
+                current_map = self._maps.get(map_name)
+                current = current_map.get(key) if current_map is not None else None
+                if current != value_seen:
+                    raise TransactionConflictError(
+                        f"read of {map_name}[{key!r}] invalidated by concurrent write"
+                    )
+        if seqno is None:
+            seqno = self.version + 1
+        self.apply_write_set(tx.write_set, seqno)
+        return tx.write_set
+
+    def apply_write_set(self, write_set: WriteSet, seqno: int) -> None:
+        """Apply a write set atomically, advancing the version to ``seqno``.
+
+        Used both for locally executed transactions and for replaying
+        ledger entries received from the primary or read from disk.
+        """
+        if seqno <= self.version:
+            raise KVError(
+                f"write set seqno {seqno} is not ahead of version {self.version}"
+            )
+        for map_name, entries in write_set.updates.items():
+            current = self._maps.get(map_name, ChampMap.empty())
+            for key, value in entries.items():
+                if value is REMOVED:
+                    current = current.remove(key)
+                else:
+                    current = current.set(key, value)
+            self._maps[map_name] = current
+        self.version = seqno
+        self._history[seqno] = dict(self._maps)
+        self._history_order.append(seqno)
+
+    # ------------------------------------------------------------------
+    # Direct reads (used by read-only endpoints and internal lookups)
+
+    def get(self, map_name: str, key: Any, default: Any = None) -> Any:
+        current = self._maps.get(map_name)
+        return current.get(key, default) if current is not None else default
+
+    def items(self, map_name: str) -> Iterator[tuple[Any, Any]]:
+        current = self._maps.get(map_name)
+        if current is not None:
+            yield from current.items()
+
+    def map_names(self) -> list[str]:
+        return sorted(self._maps)
+
+    def map_size(self, map_name: str) -> int:
+        current = self._maps.get(map_name)
+        return len(current) if current is not None else 0
+
+    # ------------------------------------------------------------------
+    # Rollback & compaction (driven by consensus)
+
+    def rollback_to(self, version: int) -> None:
+        """Discard all state after ``version`` (post-election rollback)."""
+        if version == self.version:
+            return
+        snapshot = self._history.get(version)
+        if snapshot is None:
+            raise KVError(f"no retained state at version {version}")
+        self._maps = dict(snapshot)
+        self.version = version
+        for stale in [v for v in self._history_order if v > version]:
+            del self._history[stale]
+        self._history_order = [v for v in self._history_order if v <= version]
+
+    def compact(self, version: int) -> None:
+        """Drop rollback history strictly below ``version`` (commit point);
+        committed state can never be rolled back (section 4.4)."""
+        keep_from = 0
+        for i, v in enumerate(self._history_order):
+            if v >= version:
+                keep_from = i
+                break
+        else:
+            keep_from = len(self._history_order) - 1
+        for stale in self._history_order[:keep_from]:
+            if stale != self._history_order[keep_from]:
+                del self._history[stale]
+        self._history_order = self._history_order[keep_from:]
+
+    # ------------------------------------------------------------------
+    # Snapshot serialization (section 4.4: nodes may join from a snapshot)
+
+    def serialize(self) -> bytes:
+        """Canonical encoding of the full store state at this version."""
+        return self._serialize_maps(self._maps, self.version)
+
+    def serialize_at(self, version: int) -> bytes:
+        """Canonical encoding of the store as of retained ``version`` —
+        used to snapshot at the commit point while later (uncommitted)
+        transactions are already applied."""
+        snapshot = self._history.get(version)
+        if snapshot is None:
+            raise KVError(f"no retained state at version {version}")
+        return self._serialize_maps(snapshot, version)
+
+    @staticmethod
+    def _serialize_maps(maps: dict[str, ChampMap], version: int) -> bytes:
+        state = {
+            "version": version,
+            "maps": {
+                name: [[key, value] for key, value in sorted(
+                    m.items(), key=lambda item: encode_value(item[0])
+                )]
+                for name, m in maps.items()
+            },
+        }
+        return encode_value(state)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "KVStore":
+        state = decode_value(data)
+        if not isinstance(state, dict) or "version" not in state or "maps" not in state:
+            raise KVError("malformed store snapshot")
+        store = cls()
+        for name, rows in state["maps"].items():
+            store._maps[name] = ChampMap.from_dict({key: value for key, value in rows})
+        store.version = state["version"]
+        store._history = {store.version: dict(store._maps)}
+        store._history_order = [store.version]
+        return store

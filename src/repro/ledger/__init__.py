@@ -1,0 +1,27 @@
+"""The integrity-protected, append-only ledger (sections 3.2 & 3.5).
+
+Each committed transaction becomes a :class:`~repro.ledger.entry.LedgerEntry`
+whose public write set is stored in plain text and whose private write set is
+encrypted under the ledger secret. A Merkle tree is maintained over all
+entries; *signature transactions* — periodic entries containing the primary's
+signature over the Merkle root — provide integrity protection for the ledger
+while it lives on untrusted storage, and define the points at which
+transactions can commit. Receipts are offline-verifiable Merkle proofs
+anchored at those signed roots.
+"""
+
+from repro.ledger.entry import LedgerEntry, TxID, EntryKind
+from repro.ledger.ledger import Ledger, SIGNATURES_MAP
+from repro.ledger.secrets import LedgerSecret, LedgerSecretStore
+from repro.ledger.receipts import Receipt
+
+__all__ = [
+    "LedgerEntry",
+    "TxID",
+    "EntryKind",
+    "Ledger",
+    "SIGNATURES_MAP",
+    "LedgerSecret",
+    "LedgerSecretStore",
+    "Receipt",
+]

@@ -1,0 +1,179 @@
+"""Offline ledger auditing (sections 6.1 & 6.2).
+
+CCF's transparency story: governance is recorded in *public* maps with the
+members' signatures, and signature transactions commit the whole ledger
+under the service's node identities — so a third party holding only the
+ledger files and the service identity certificate can audit the service
+without any keys and without trusting the hosts that stored the files.
+
+:func:`audit_ledger` performs that audit:
+
+1. structural replay of the chunk files (framing, dense seqnos, view
+   monotonicity);
+2. verification of every signature transaction against the node identities
+   recorded in the (public, replayed) governance state;
+3. verification of every member-signed governance request recorded in the
+   history map against the member certificates in force at that point;
+4. reconstruction of the governance timeline (node lifecycle, proposals
+   and their outcomes, code-id approvals).
+
+The result is a report — a machine-checkable account of what the
+consortium did, derived purely from untrusted storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.certs import Certificate
+from repro.crypto.cose import SignedRequest
+from repro.crypto.ecdsa import VerifyingKey
+from repro.errors import IntegrityError, LedgerError, VerificationError
+from repro.kv.store import KVStore
+from repro.ledger.entry import LedgerEntry
+from repro.ledger.ledger import Ledger
+from repro.ledger.secrets import LedgerSecretStore
+from repro.node import maps
+from repro.storage.host_storage import HostStorage
+
+
+@dataclass
+class AuditFinding:
+    """One problem the auditor found."""
+
+    seqno: int
+    kind: str  # "signature", "governance-signature", "structure"
+    detail: str
+
+
+@dataclass
+class AuditReport:
+    """The auditor's account of the ledger."""
+
+    entries_audited: int = 0
+    verified_seqno: int = 0  # last seqno covered by a valid signature
+    signatures_verified: int = 0
+    governance_requests_verified: int = 0
+    findings: list[AuditFinding] = field(default_factory=list)
+    # Governance timeline: (seqno, event description).
+    timeline: list[tuple[int, str]] = field(default_factory=list)
+    node_lifecycle: dict[str, list[str]] = field(default_factory=dict)
+    proposals: dict[str, str] = field(default_factory=dict)  # id -> final state
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _node_key(store: KVStore, node_id: str) -> VerifyingKey | None:
+    row = store.get(maps.NODES_INFO, node_id)
+    if isinstance(row, dict) and "public_key" in row:
+        return VerifyingKey.decode(bytes.fromhex(row["public_key"]))
+    return None
+
+
+def _member_certificate(store: KVStore, subject: str) -> Certificate | None:
+    row = store.get(maps.MEMBERS_CERTS, subject)
+    if isinstance(row, dict) and "certificate" in row:
+        return Certificate.from_dict(row["certificate"])
+    return None
+
+
+def audit_ledger(
+    storage: HostStorage,
+    expected_service_certificate: Certificate | None = None,
+) -> AuditReport:
+    """Audit persisted ledger files offline. Never raises for *content*
+    problems — they become findings; only unreadable storage raises."""
+    report = AuditReport()
+    try:
+        entries: list[LedgerEntry] = storage.read_ledger_entries()
+    except Exception as exc:  # noqa: BLE001 - any corruption is a finding
+        report.findings.append(AuditFinding(0, "structure", str(exc)))
+        return report
+
+    ledger = Ledger(LedgerSecretStore())
+    store = KVStore()
+    for entry in entries:
+        seqno = entry.txid.seqno
+        try:
+            ledger.append(entry)
+            store.apply_write_set(entry.public_writes, seqno)
+        except Exception as exc:  # structural break: stop here
+            report.findings.append(AuditFinding(seqno, "structure", str(exc)))
+            break
+        report.entries_audited += 1
+
+        public = entry.public_writes.updates
+
+        # Signature transactions: verify against recorded node identities.
+        if entry.is_signature:
+            try:
+                record = ledger.signature_record(seqno)
+                key = _node_key(store, record.node_id)
+                if key is None:
+                    # Only legitimate for the service-opening signature
+                    # that precedes the genesis transaction.
+                    if seqno > 1:
+                        report.findings.append(AuditFinding(
+                            seqno, "signature",
+                            f"signer {record.node_id} has no recorded identity",
+                        ))
+                else:
+                    ledger.verify_signature_entry(seqno, key)
+                    report.signatures_verified += 1
+                    report.verified_seqno = seqno
+            except (IntegrityError, VerificationError) as exc:
+                report.findings.append(AuditFinding(seqno, "signature", str(exc)))
+                break  # nothing at or past a bad signature is trustworthy
+
+        # Governance history: verify member signatures on proposals/votes.
+        for key_name, envelope_dict in public.get(maps.HISTORY, {}).items():
+            if not isinstance(envelope_dict, dict):
+                continue
+            try:
+                envelope = SignedRequest.from_dict(envelope_dict)
+                certificate = _member_certificate(store, envelope.signer)
+                if certificate is None:
+                    report.findings.append(AuditFinding(
+                        seqno, "governance-signature",
+                        f"{key_name}: signer {envelope.signer} is not a member",
+                    ))
+                    continue
+                envelope.verify(certificate)
+                report.governance_requests_verified += 1
+            except (VerificationError, ValueError, KeyError) as exc:
+                report.findings.append(AuditFinding(
+                    seqno, "governance-signature", f"{key_name}: {exc}"
+                ))
+
+        # Timeline reconstruction (pure public data).
+        for node_id, info in public.get(maps.NODES_INFO, {}).items():
+            if isinstance(info, dict) and "status" in info:
+                report.node_lifecycle.setdefault(node_id, []).append(info["status"])
+                report.timeline.append((seqno, f"node {node_id} -> {info['status']}"))
+        for proposal_id, info in public.get(maps.PROPOSALS_INFO, {}).items():
+            if isinstance(info, dict) and "state" in info:
+                report.proposals[proposal_id] = info["state"]
+                report.timeline.append(
+                    (seqno, f"proposal {proposal_id} -> {info['state']}")
+                )
+        for code_id, status in public.get(maps.NODES_CODE_IDS, {}).items():
+            if isinstance(code_id, str):
+                report.timeline.append((seqno, f"code id {code_id[:16]}… {status}"))
+        service_row = public.get(maps.SERVICE_INFO, {}).get("service")
+        if isinstance(service_row, dict) and "status" in service_row:
+            report.timeline.append(
+                (seqno, f"service -> {service_row['status']}")
+            )
+
+    # Service identity cross-check (detects a substituted ledger).
+    if expected_service_certificate is not None:
+        recorded = store.get(maps.SERVICE_INFO, "service") or {}
+        cert_dict = recorded.get("certificate")
+        if cert_dict != expected_service_certificate.to_dict():
+            report.findings.append(AuditFinding(
+                0, "structure",
+                "recorded service identity does not match the expected certificate",
+            ))
+    return report

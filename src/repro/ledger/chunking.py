@@ -1,0 +1,115 @@
+"""Physical ledger files (section 3.2).
+
+The logical ledger is divided into chunk files, each terminating with a
+signature transaction, as the host writes it to persistent storage. Chunks
+use a simple length-prefixed framing with a header recording the seqno range.
+The host is untrusted — readers re-derive integrity from the signature
+transactions, never from the file structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import LedgerError
+from repro.ledger.entry import LedgerEntry
+
+_MAGIC = b"CCFLGR01"
+
+
+@dataclass(frozen=True)
+class LedgerChunk:
+    """A contiguous run of entries [first_seqno, last_seqno] ending at a
+    signature transaction (except possibly the final, still-open chunk)."""
+
+    first_seqno: int
+    last_seqno: int
+    entries: tuple[LedgerEntry, ...]
+
+    @property
+    def is_complete(self) -> bool:
+        return bool(self.entries) and self.entries[-1].is_signature
+
+    def filename(self) -> str:
+        suffix = "" if self.is_complete else ".open"
+        return f"ledger_{self.first_seqno}_{self.last_seqno}{suffix}.chunk"
+
+    def encode(self) -> bytes:
+        parts = [
+            _MAGIC,
+            self.first_seqno.to_bytes(8, "big"),
+            self.last_seqno.to_bytes(8, "big"),
+        ]
+        for entry in self.entries:
+            framed = entry.encode()
+            parts.append(len(framed).to_bytes(4, "big"))
+            parts.append(framed)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "LedgerChunk":
+        if len(data) < len(_MAGIC) + 16 or not data.startswith(_MAGIC):
+            raise LedgerError("malformed ledger chunk header")
+        offset = len(_MAGIC)
+        first_seqno = int.from_bytes(data[offset : offset + 8], "big")
+        last_seqno = int.from_bytes(data[offset + 8 : offset + 16], "big")
+        offset += 16
+        entries = []
+        while offset < len(data):
+            if offset + 4 > len(data):
+                raise LedgerError("truncated chunk entry length")
+            length = int.from_bytes(data[offset : offset + 4], "big")
+            offset += 4
+            if offset + length > len(data):
+                raise LedgerError("truncated chunk entry body")
+            entries.append(LedgerEntry.decode(data[offset : offset + length]))
+            offset += length
+        chunk = cls(first_seqno=first_seqno, last_seqno=last_seqno, entries=tuple(entries))
+        if entries and (
+            entries[0].txid.seqno != first_seqno or entries[-1].txid.seqno != last_seqno
+        ):
+            raise LedgerError("chunk header does not match its entries")
+        return chunk
+
+
+def chunk_entries(entries: list[LedgerEntry]) -> Iterator[LedgerChunk]:
+    """Split a run of entries into chunks ending at signature transactions.
+    A trailing run without a final signature becomes an open chunk."""
+    current: list[LedgerEntry] = []
+    for entry in entries:
+        current.append(entry)
+        if entry.is_signature:
+            yield LedgerChunk(
+                first_seqno=current[0].txid.seqno,
+                last_seqno=current[-1].txid.seqno,
+                entries=tuple(current),
+            )
+            current = []
+    if current:
+        yield LedgerChunk(
+            first_seqno=current[0].txid.seqno,
+            last_seqno=current[-1].txid.seqno,
+            entries=tuple(current),
+        )
+
+
+def reassemble_chunks(chunks: list[LedgerChunk]) -> list[LedgerEntry]:
+    """Order chunks by first seqno and concatenate into a contiguous entry
+    list, validating there are no gaps or overlaps. The result still needs
+    cryptographic verification (signature entries) before being trusted."""
+    ordered = sorted(chunks, key=lambda chunk: chunk.first_seqno)
+    entries: list[LedgerEntry] = []
+    expected = 1
+    for chunk in ordered:
+        if chunk.first_seqno != expected:
+            raise LedgerError(
+                f"ledger gap: expected seqno {expected}, chunk starts at "
+                f"{chunk.first_seqno}"
+            )
+        entries.extend(chunk.entries)
+        expected = chunk.last_seqno + 1
+    for seqno, entry in enumerate(entries, start=1):
+        if entry.txid.seqno != seqno:
+            raise LedgerError(f"entry out of place at seqno {seqno}")
+    return entries

@@ -1,0 +1,178 @@
+"""Ledger entries and transaction IDs (section 3.1–3.3).
+
+A transaction ID is the ordered pair (view, sequence number); sequence
+numbers are 1-based indices into the logical ledger. Every entry carries its
+public write set in plain text, its private write set encrypted under the
+ledger secret, and an optional *claims digest* the application can attach to
+make arbitrary claims verifiable through receipts (section 3.5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from functools import total_ordering
+
+from repro.crypto.hashing import Digest, sha256
+from repro.errors import LedgerError
+from repro.kv.serialization import decode_value, encode_value
+from repro.kv.tx import WriteSet
+
+
+@total_ordering
+@dataclass(frozen=True)
+class TxID:
+    """(view, seqno): unique, totally ordered transaction identifier."""
+
+    view: int
+    seqno: int
+
+    def __str__(self) -> str:
+        return f"{self.view}.{self.seqno}"
+
+    @classmethod
+    def parse(cls, text: str) -> "TxID":
+        try:
+            view_text, seqno_text = text.split(".")
+            return cls(view=int(view_text), seqno=int(seqno_text))
+        except ValueError:
+            raise LedgerError(f"malformed transaction ID {text!r}") from None
+
+    def __lt__(self, other: "TxID") -> bool:
+        return (self.view, self.seqno) < (other.view, other.seqno)
+
+
+# The transaction at seqno 0 does not exist; this sentinel is the "previous
+# transaction ID" of the very first entry.
+GENESIS_TXID = TxID(view=0, seqno=0)
+
+
+_DECODE_CACHE: dict[bytes, "LedgerEntry"] = {}
+_DECODE_CACHE_MAX = 50_000
+
+
+class EntryKind(enum.Enum):
+    """What an entry is for. Signature entries drive commit; reconfiguration
+    entries change the consensus membership (they are also ordinary writes to
+    the governance maps, section 4.4)."""
+
+    USER = "user"
+    SIGNATURE = "signature"
+    RECONFIGURATION = "reconfiguration"
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One transaction as it appears in the ledger.
+
+    ``public_writes`` is the plain-text public write set; ``private_blob`` is
+    the AEAD-sealed encoding of the private write set (empty if none), sealed
+    under ``secret_generation`` of the ledger secret.
+
+    Entries are *write-once records*: instances are shared freely (the
+    decoder caches them, replication passes them between ledgers) and must
+    never be mutated — including the dicts inside ``public_writes``. To
+    derive a modified entry (e.g. in adversarial tests), rebuild the write
+    set from bytes: ``WriteSet.decode(entry.public_writes.encode())``.
+    """
+
+    txid: TxID
+    kind: EntryKind
+    public_writes: WriteSet
+    private_blob: bytes = b""
+    secret_generation: int = 0
+    claims_digest: bytes = b""
+
+    def leaf_data(self) -> bytes:
+        """The canonical bytes hashed into the Merkle tree for this entry.
+
+        Covers the transaction ID, kind, a digest of the public write set,
+        a digest of the encrypted private payload, and the claims digest —
+        so a receipt commits to all of them.
+        """
+        return encode_value(
+            {
+                "view": self.txid.view,
+                "seqno": self.txid.seqno,
+                "kind": self.kind.value,
+                "public_digest": bytes(sha256(self.public_writes.encode())),
+                "private_digest": bytes(sha256(self.private_blob)),
+                "claims_digest": self.claims_digest,
+            }
+        )
+
+    def digest(self) -> Digest:
+        return sha256(self.leaf_data())
+
+    def encode(self) -> bytes:
+        """Full framing for replication and persistent storage.
+
+        Memoized: entries are immutable and re-encoded on every
+        append_entries batch they appear in.
+        """
+        cached = self.__dict__.get("_encoded")
+        if cached is not None:
+            return cached
+        encoded = self._encode_uncached()
+        object.__setattr__(self, "_encoded", encoded)
+        return encoded
+
+    def _encode_uncached(self) -> bytes:
+        return encode_value(
+            {
+                "view": self.txid.view,
+                "seqno": self.txid.seqno,
+                "kind": self.kind.value,
+                "public": self.public_writes.encode(),
+                "private": self.private_blob,
+                "generation": self.secret_generation,
+                "claims_digest": self.claims_digest,
+            }
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "LedgerEntry":
+        """Decode an entry from its framing. Memoized: heartbeat batches
+        re-send recent entries, and every backup decodes each batch."""
+        cached = _DECODE_CACHE.get(data)
+        if cached is not None:
+            return cached
+        entry = cls._decode_uncached(data)
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_MAX:
+            _DECODE_CACHE.clear()
+        _DECODE_CACHE[data] = entry
+        object.__setattr__(entry, "_encoded", data)
+        return entry
+
+    @classmethod
+    def _decode_uncached(cls, data: bytes) -> "LedgerEntry":
+        try:
+            raw = decode_value(data)
+            return cls(
+                txid=TxID(view=raw["view"], seqno=raw["seqno"]),
+                kind=EntryKind(raw["kind"]),
+                public_writes=WriteSet.decode(raw["public"]),
+                private_blob=raw["private"],
+                secret_generation=raw["generation"],
+                claims_digest=raw["claims_digest"],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LedgerError(f"malformed ledger entry: {exc}") from exc
+
+    @property
+    def is_signature(self) -> bool:
+        return self.kind is EntryKind.SIGNATURE
+
+    @property
+    def is_reconfiguration(self) -> bool:
+        return self.kind is EntryKind.RECONFIGURATION
+
+
+@dataclass(frozen=True)
+class TxStatus:
+    """Transaction status values of Figure 4."""
+
+    UNKNOWN = "Unknown"
+    PENDING = "Pending"
+    COMMITTED = "Committed"
+    INVALID = "Invalid"

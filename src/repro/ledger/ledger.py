@@ -1,0 +1,313 @@
+"""The in-enclave ledger: entries + Merkle tree + signature transactions.
+
+This is the single-node view of section 3.2: an append-only sequence of
+transactions with a Merkle tree over it, periodically punctuated by
+*signature transactions* in which the primary signs the current Merkle root.
+The consensus layer (section 4) replicates these entries and defines commit
+as "signature transaction replicated to a majority".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.crypto.ecdsa import SigningKey, VerifyingKey
+from repro.crypto.hashing import Digest, sha256
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.errors import IntegrityError, LedgerError
+from repro.kv.serialization import encode_value
+from repro.kv.tx import WriteSet
+from repro.ledger.entry import EntryKind, LedgerEntry, TxID
+from repro.ledger.secrets import LedgerSecretStore
+
+SIGNATURES_MAP = "public:ccf.internal.signatures"
+TREE_MAP = "public:ccf.internal.tree"
+
+
+@dataclass(frozen=True)
+class SignatureRecord:
+    """The content of a signature transaction, stored in the signatures map."""
+
+    node_id: str
+    view: int
+    seqno: int  # the seqno of the signature transaction itself
+    root: bytes  # Merkle root over entries [1, seqno - 1]
+    signature: bytes
+
+    def to_value(self) -> dict:
+        return {
+            "node_id": self.node_id,
+            "view": self.view,
+            "seqno": self.seqno,
+            "root": self.root.hex(),
+            "signature": self.signature.hex(),
+        }
+
+    @classmethod
+    def from_value(cls, value: dict) -> "SignatureRecord":
+        return cls(
+            node_id=value["node_id"],
+            view=value["view"],
+            seqno=value["seqno"],
+            root=bytes.fromhex(value["root"]),
+            signature=bytes.fromhex(value["signature"]),
+        )
+
+    def signed_payload(self) -> bytes:
+        return encode_value(
+            {"view": self.view, "seqno": self.seqno, "root": self.root}
+        )
+
+
+def make_signature_write_set(record: SignatureRecord) -> WriteSet:
+    write_set = WriteSet()
+    write_set.put(SIGNATURES_MAP, "latest", record.to_value())
+    return write_set
+
+
+class Ledger:
+    """Append-only entries with an incremental Merkle tree.
+
+    Seqnos are 1-based: ``entry_at(1)`` is the first entry, and the Merkle
+    leaf for seqno ``s`` is at tree index ``s - 1``.
+
+    A ledger may be *based* at a snapshot (section 4.4): entries at or below
+    ``base_seqno`` are unavailable (the node joined from a snapshot), but
+    their leaf hashes and transaction IDs are retained so the Merkle tree,
+    prefix checks, and receipts for later entries all still work.
+    """
+
+    def __init__(self, secrets: LedgerSecretStore | None = None):
+        self._entries: list[LedgerEntry] = []  # entries after base_seqno
+        self.base_seqno = 0
+        self._txids: list[TxID] = []  # txids for ALL seqnos from 1
+        self._sig_seqnos: list[int] = []  # signature seqnos after base
+        self._base_last_sig = TxID(0, 0)
+        self._tree = MerkleTree()
+        self.secrets = secrets if secrets is not None else LedgerSecretStore()
+
+    @classmethod
+    def from_snapshot_metadata(
+        cls,
+        secrets: LedgerSecretStore,
+        base_seqno: int,
+        txids: list[TxID],
+        leaf_hashes: list[bytes],
+        last_signature_txid: TxID,
+    ) -> "Ledger":
+        """Bootstrap a ledger from snapshot metadata: the node has the KV
+        state at ``base_seqno`` but not the entries themselves."""
+        if len(txids) != base_seqno or len(leaf_hashes) != base_seqno:
+            raise LedgerError("snapshot metadata does not cover the base prefix")
+        ledger = cls(secrets)
+        ledger.base_seqno = base_seqno
+        ledger._txids = list(txids)
+        for leaf in leaf_hashes:
+            ledger._tree.append_leaf_hash(Digest(leaf))
+        ledger._base_last_sig = last_signature_txid
+        return ledger
+
+    def snapshot_metadata(self, seqno: int) -> dict:
+        """The Merkle/txid metadata a snapshot at ``seqno`` must carry."""
+        if seqno > self.last_seqno or seqno < self.base_seqno:
+            raise LedgerError(f"no metadata for seqno {seqno}")
+        last_sig = self._base_last_sig
+        for sig_seqno in self._sig_seqnos:
+            if sig_seqno <= seqno:
+                last_sig = self.txid_at(sig_seqno)
+        return {
+            "base_seqno": seqno,
+            "txids": [[t.view, t.seqno] for t in self._txids[:seqno]],
+            "leaf_hashes": [bytes(self._tree.leaf(i)) for i in range(seqno)],
+            "last_signature_txid": [last_sig.view, last_sig.seqno],
+        }
+
+    # ------------------------------------------------------------------
+    # Shape queries
+
+    @property
+    def last_seqno(self) -> int:
+        return self.base_seqno + len(self._entries)
+
+    def last_txid(self) -> TxID:
+        if not self._txids:
+            return TxID(view=0, seqno=0)
+        return self._txids[-1]
+
+    def entry_at(self, seqno: int) -> LedgerEntry:
+        if not self.base_seqno < seqno <= self.last_seqno:
+            raise LedgerError(f"no entry at seqno {seqno} (base {self.base_seqno})")
+        return self._entries[seqno - self.base_seqno - 1]
+
+    def txid_at(self, seqno: int) -> TxID:
+        if seqno == 0:
+            return TxID(view=0, seqno=0)
+        if not 1 <= seqno <= self.last_seqno:
+            raise LedgerError(f"no txid at seqno {seqno}")
+        return self._txids[seqno - 1]
+
+    def has_txid(self, txid: TxID) -> bool:
+        """True if this exact (view, seqno) is present in the ledger."""
+        if txid.seqno == 0:
+            return True  # genesis
+        if txid.seqno > self.last_seqno:
+            return False
+        return self._txids[txid.seqno - 1] == txid
+
+    def entries(self, start: int = 1, end: int | None = None) -> Iterator[LedgerEntry]:
+        """Iterate entries with seqno in [start, end] inclusive."""
+        last = self.last_seqno if end is None else min(end, self.last_seqno)
+        for seqno in range(max(start, self.base_seqno + 1), last + 1):
+            yield self._entries[seqno - self.base_seqno - 1]
+
+    def last_signature_txid(self) -> TxID:
+        """The transaction ID of the most recent signature entry — this is
+        what election up-to-dateness compares (section 4.2)."""
+        if self._sig_seqnos:
+            return self.txid_at(self._sig_seqnos[-1])
+        return self._base_last_sig
+
+    def root(self) -> Digest:
+        return self._tree.root()
+
+    # ------------------------------------------------------------------
+    # Appending
+
+    def append(self, entry: LedgerEntry) -> None:
+        """Append a fully formed entry (primary-built or replicated)."""
+        expected_seqno = self.last_seqno + 1
+        if entry.txid.seqno != expected_seqno:
+            raise LedgerError(
+                f"entry seqno {entry.txid.seqno} != expected {expected_seqno}"
+            )
+        if self._txids and entry.txid.view < self._txids[-1].view:
+            raise LedgerError("entry view regresses")
+        self._entries.append(entry)
+        self._txids.append(entry.txid)
+        if entry.is_signature:
+            self._sig_seqnos.append(entry.txid.seqno)
+        self._tree.append(entry.leaf_data())
+
+    def build_entry(
+        self,
+        view: int,
+        write_set: WriteSet,
+        kind: EntryKind = EntryKind.USER,
+        claims: dict | None = None,
+    ) -> LedgerEntry:
+        """Construct the next entry from a transaction's write set,
+        encrypting the private half under the current ledger secret."""
+        seqno = self.last_seqno + 1
+        public, private = write_set.split()
+        claims_digest = bytes(sha256(encode_value(claims))) if claims else b""
+        private_blob = b""
+        generation = 0
+        if not private.is_empty():
+            secret = self.secrets.current()
+            generation = secret.generation
+            aad = encode_value({"view": view, "seqno": seqno, "kind": kind.value})
+            private_blob = secret.seal(seqno, private.encode(), aad)
+        return LedgerEntry(
+            txid=TxID(view=view, seqno=seqno),
+            kind=kind,
+            public_writes=public,
+            private_blob=private_blob,
+            secret_generation=generation,
+            claims_digest=claims_digest,
+        )
+
+    def decrypt_private(self, entry: LedgerEntry) -> WriteSet:
+        """Recover an entry's full write set (public merged with decrypted
+        private). Requires the ledger secret for the entry's generation."""
+        combined = WriteSet()
+        combined.merge(entry.public_writes)
+        if entry.private_blob:
+            secret = self.secrets.for_generation(entry.secret_generation)
+            aad = encode_value(
+                {
+                    "view": entry.txid.view,
+                    "seqno": entry.txid.seqno,
+                    "kind": entry.kind.value,
+                }
+            )
+            plaintext = secret.open(entry.txid.seqno, entry.private_blob, aad)
+            combined.merge(WriteSet.decode(plaintext))
+        return combined
+
+    # ------------------------------------------------------------------
+    # Signature transactions (section 3.2)
+
+    def build_signature_entry(
+        self, view: int, node_id: str, signing_key: SigningKey
+    ) -> LedgerEntry:
+        """Sign the Merkle root over all current entries and frame it as the
+        next ledger entry. The signed root covers seqnos [1, last_seqno];
+        the signature entry itself lands at last_seqno + 1."""
+        seqno = self.last_seqno + 1
+        root = self._tree.root()
+        record = SignatureRecord(
+            node_id=node_id, view=view, seqno=seqno, root=bytes(root), signature=b""
+        )
+        signature = signing_key.sign(record.signed_payload())
+        signed = SignatureRecord(
+            node_id=node_id, view=view, seqno=seqno, root=bytes(root), signature=signature
+        )
+        return self.build_entry(
+            view, make_signature_write_set(signed), kind=EntryKind.SIGNATURE
+        )
+
+    def signature_record(self, seqno: int) -> SignatureRecord:
+        """Extract the signature record from the signature entry at ``seqno``."""
+        entry = self.entry_at(seqno)
+        if not entry.is_signature:
+            raise LedgerError(f"entry {entry.txid} is not a signature transaction")
+        value = entry.public_writes.updates[SIGNATURES_MAP]["latest"]
+        return SignatureRecord.from_value(value)
+
+    def next_signature_seqno(self, after: int) -> int | None:
+        """The seqno of the first signature entry strictly after ``after``
+        (among the entries this node retains)."""
+        import bisect
+
+        index = bisect.bisect_right(self._sig_seqnos, after)
+        if index < len(self._sig_seqnos):
+            return self._sig_seqnos[index]
+        return None
+
+    def verify_signature_entry(self, seqno: int, key: VerifyingKey) -> SignatureRecord:
+        """Check that the signature entry at ``seqno`` correctly signs the
+        Merkle root over the preceding entries. Raises on mismatch."""
+        record = self.signature_record(seqno)
+        expected_root = self._tree.root_at(seqno - 1)
+        if record.root != bytes(expected_root):
+            raise IntegrityError(
+                f"signature at {seqno} commits to a different ledger prefix"
+            )
+        key.verify(record.signature, record.signed_payload())
+        return record
+
+    # ------------------------------------------------------------------
+    # Rollback (section 4.2)
+
+    def truncate(self, seqno: int) -> None:
+        """Discard all entries after ``seqno``."""
+        if seqno < self.base_seqno or seqno > self.last_seqno:
+            raise LedgerError(f"cannot truncate to {seqno} (base {self.base_seqno})")
+        del self._entries[seqno - self.base_seqno:]
+        del self._txids[seqno:]
+        self._sig_seqnos = [s for s in self._sig_seqnos if s <= seqno]
+        self._tree.retract_to(seqno)
+
+    # ------------------------------------------------------------------
+    # Proofs (consumed by receipts, section 3.5)
+
+    def proof(self, seqno: int, signature_seqno: int) -> MerkleProof:
+        """Merkle proof that entry ``seqno`` is covered by the root signed at
+        ``signature_seqno``. Works for any seqno — even below a snapshot
+        base — because leaf hashes for the whole prefix are retained."""
+        if not 1 <= seqno < signature_seqno <= self.last_seqno:
+            raise LedgerError(
+                f"cannot prove seqno {seqno} under signature at {signature_seqno}"
+            )
+        return self._tree.proof(seqno - 1, signature_seqno - 1)

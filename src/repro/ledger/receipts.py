@@ -1,0 +1,119 @@
+"""Verifiable receipts (section 3.5).
+
+A receipt proves — offline, to anyone holding the service identity
+certificate — that a transaction was committed at a specific position in the
+ledger. It bundles:
+
+- the transaction's leaf material (write-set digests and claims digest),
+- the Merkle proof from that leaf to a root,
+- the signature over that root from a subsequent signature transaction,
+- the identity of the signing node and its certificate, endorsed by the
+  service identity.
+
+Receipts are used internally to validate snapshots (section 4.4) and
+externally for audit and third-party proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.certs import Certificate
+from repro.crypto.hashing import sha256
+from repro.crypto.merkle import MerkleProof, leaf_hash
+from repro.errors import IntegrityError, VerificationError
+from repro.kv.serialization import encode_value
+from repro.ledger.entry import LedgerEntry, TxID
+from repro.ledger.ledger import Ledger, SignatureRecord
+
+
+@dataclass(frozen=True)
+class Receipt:
+    """An offline-verifiable commitment proof for one transaction."""
+
+    txid: TxID
+    leaf_data: bytes
+    proof: MerkleProof
+    signature: SignatureRecord
+    node_certificate: Certificate
+    claims: dict | None = None
+
+    def verify(self, service_certificate: Certificate) -> None:
+        """Verify the full chain: service → node → root signature → proof.
+
+        Raises :class:`VerificationError` / :class:`IntegrityError` on any
+        broken link. On success the receipt proves the transaction with this
+        leaf data was in the ledger at position ``txid.seqno`` when the
+        signature at ``signature.seqno`` was produced.
+        """
+        # 1. The node certificate must be endorsed by the service identity.
+        self.node_certificate.verify(service_certificate.public_key)
+        if self.node_certificate.subject != self.signature.node_id:
+            raise VerificationError("receipt signed by a different node")
+        # 2. The signature over the Merkle root must verify.
+        self.node_certificate.public_key.verify(
+            self.signature.signature, self.signature.signed_payload()
+        )
+        # 3. The Merkle proof must connect the leaf to the signed root.
+        if self.proof.leaf_index != self.txid.seqno - 1:
+            raise IntegrityError("receipt proof targets the wrong leaf")
+        if self.proof.tree_size != self.signature.seqno - 1:
+            raise IntegrityError("receipt proof targets the wrong tree size")
+        computed = self.proof.compute_root(leaf_hash(self.leaf_data))
+        if bytes(computed) != self.signature.root:
+            raise IntegrityError("receipt proof does not reach the signed root")
+        # 4. If claims are attached, they must match the leaf's claims digest.
+        if self.claims is not None:
+            from repro.kv.serialization import decode_value
+
+            leaf = decode_value(self.leaf_data)
+            expected = bytes(sha256(encode_value(self.claims)))
+            if leaf.get("claims_digest") != expected:
+                raise IntegrityError("receipt claims do not match the leaf digest")
+
+    def to_dict(self) -> dict:
+        return {
+            "txid": str(self.txid),
+            "leaf_data": self.leaf_data.hex(),
+            "proof": self.proof.to_dict(),
+            "signature": self.signature.to_value(),
+            "node_certificate": self.node_certificate.to_dict(),
+            "claims": self.claims,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Receipt":
+        return cls(
+            txid=TxID.parse(data["txid"]),
+            leaf_data=bytes.fromhex(data["leaf_data"]),
+            proof=MerkleProof.from_dict(data["proof"]),
+            signature=SignatureRecord.from_value(data["signature"]),
+            node_certificate=Certificate.from_dict(data["node_certificate"]),
+            claims=data.get("claims"),
+        )
+
+
+def issue_receipt(
+    ledger: Ledger,
+    seqno: int,
+    node_certificate: Certificate,
+    claims: dict | None = None,
+) -> Receipt:
+    """Build a receipt for the entry at ``seqno`` using the first signature
+    transaction after it. Raises :class:`IntegrityError` if no subsequent
+    signature exists yet (the transaction is not verifiably committed)."""
+    entry: LedgerEntry = ledger.entry_at(seqno)
+    signature_seqno = ledger.next_signature_seqno(seqno)
+    if signature_seqno is None:
+        raise IntegrityError(
+            f"no signature transaction after seqno {seqno}; receipt unavailable"
+        )
+    record = ledger.signature_record(signature_seqno)
+    return Receipt(
+        txid=entry.txid,
+        leaf_data=entry.leaf_data(),
+        proof=ledger.proof(seqno, signature_seqno),
+        signature=record,
+        node_certificate=node_certificate,
+        claims=claims,
+    )

@@ -1,0 +1,78 @@
+"""Ledger secrets: the symmetric keys that encrypt private map updates.
+
+Per Table 1, the ledger secret is shared between all trusted nodes, kept
+only in enclave memory, and its *encrypted* form (wrapped by the ledger
+secret wrapping key) is recorded in the key-value store so that disaster
+recovery can restore it from shares (section 5.2). Secrets are versioned by
+*generation* so the service can rekey — every recovery mints a new
+generation, and historical entries are opened with the generation recorded
+in their framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aead import nonce_from_counter
+from repro.crypto.fastaead import DEFAULT_SUITE, make_key
+from repro.crypto.hashing import sha256
+from repro.errors import LedgerError
+
+_LEDGER_DOMAIN = 0x4C  # 'L': nonce domain for ledger entries
+
+
+@dataclass(frozen=True)
+class LedgerSecret:
+    """One generation of the ledger secret."""
+
+    generation: int
+    key_bytes: bytes
+    suite: str = DEFAULT_SUITE
+
+    @classmethod
+    def generate(cls, seed: bytes, generation: int = 0, suite: str = DEFAULT_SUITE) -> "LedgerSecret":
+        key_bytes = bytes(sha256(b"ledger-secret", generation.to_bytes(4, "big"), seed))
+        return cls(generation=generation, key_bytes=key_bytes, suite=suite)
+
+    def seal(self, seqno: int, plaintext: bytes, aad: bytes) -> bytes:
+        """Encrypt a private write set for the entry at ``seqno``."""
+        key = make_key(self.suite, self.key_bytes)
+        return key.seal(nonce_from_counter(seqno, _LEDGER_DOMAIN), plaintext, aad)
+
+    def open(self, seqno: int, sealed: bytes, aad: bytes) -> bytes:
+        key = make_key(self.suite, self.key_bytes)
+        return key.open(nonce_from_counter(seqno, _LEDGER_DOMAIN), sealed, aad)
+
+    def __repr__(self) -> str:  # pragma: no cover - never leak key bytes
+        return f"LedgerSecret(generation={self.generation}, <secret>)"
+
+
+class LedgerSecretStore:
+    """All generations of the ledger secret known to this enclave."""
+
+    def __init__(self, initial: LedgerSecret | None = None):
+        self._by_generation: dict[int, LedgerSecret] = {}
+        if initial is not None:
+            self.add(initial)
+
+    def add(self, secret: LedgerSecret) -> None:
+        self._by_generation[secret.generation] = secret
+
+    def current(self) -> LedgerSecret:
+        if not self._by_generation:
+            raise LedgerError("no ledger secret available")
+        return self._by_generation[max(self._by_generation)]
+
+    def for_generation(self, generation: int) -> LedgerSecret:
+        try:
+            return self._by_generation[generation]
+        except KeyError:
+            raise LedgerError(
+                f"no ledger secret for generation {generation}"
+            ) from None
+
+    def generations(self) -> list[int]:
+        return sorted(self._by_generation)
+
+    def __len__(self) -> int:
+        return len(self._by_generation)

@@ -1,0 +1,13 @@
+"""Simulated network and authenticated node-to-node channels.
+
+Replaces the testbed's TCP/TLS transport: messages between named endpoints
+are delivered through the discrete-event scheduler with configurable
+latency, and node-to-node traffic is authenticated/encrypted via X25519 +
+AEAD channels (the paper's Diffie-Hellman node-to-node headers, section 7).
+The network also hosts the fault model: crashed endpoints, partitions, and
+message loss.
+"""
+
+from repro.net.network import Network, LinkConfig
+
+__all__ = ["Network", "LinkConfig"]

@@ -1,0 +1,127 @@
+"""The simulated message-passing network.
+
+Endpoints register a handler by name; ``send`` schedules delivery through
+the scheduler after the link latency. Faults — crashed endpoints, pairwise
+partitions, probabilistic loss — are first-class and drive the availability
+experiments (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.sim.scheduler import Scheduler
+
+Handler = Callable[[str, Any], None]  # (source endpoint, payload)
+
+
+@dataclass
+class LinkConfig:
+    """Latency model for one class of link: base plus uniform jitter."""
+
+    base_latency: float = 0.00025  # 250 µs one-way, LAN-like
+    jitter: float = 0.00005
+
+    def sample(self, rng) -> float:
+        if self.jitter <= 0:
+            return self.base_latency
+        return self.base_latency + rng.uniform(0, self.jitter)
+
+
+class Network:
+    """Registry of endpoints + fault state + delivery scheduling."""
+
+    def __init__(self, scheduler: Scheduler, link: LinkConfig | None = None):
+        self.scheduler = scheduler
+        self.link = link if link is not None else LinkConfig()
+        self._handlers: dict[str, Handler] = {}
+        self._down: set[str] = set()
+        self._partitions: set[frozenset[str]] = set()
+        self._loss_probability = 0.0
+        self.messages_sent = 0
+        self.messages_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+
+    def register(self, name: str, handler: Handler) -> None:
+        if name in self._handlers:
+            raise ConfigurationError(f"endpoint {name!r} already registered")
+        self._handlers[name] = handler
+
+    def unregister(self, name: str) -> None:
+        self._handlers.pop(name, None)
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._handlers
+
+    # ------------------------------------------------------------------
+    # Faults
+
+    def crash(self, name: str) -> None:
+        """Mark an endpoint as crashed: it neither sends nor receives."""
+        self._down.add(name)
+
+    def restart(self, name: str) -> None:
+        self._down.discard(name)
+
+    def is_down(self, name: str) -> bool:
+        return name in self._down
+
+    def partition(self, a: str, b: str) -> None:
+        """Block delivery between ``a`` and ``b`` (both directions)."""
+        self._partitions.add(frozenset((a, b)))
+
+    def partition_groups(self, group_a: list[str], group_b: list[str]) -> None:
+        for a in group_a:
+            for b in group_b:
+                self.partition(a, b)
+
+    def heal(self, a: str | None = None, b: str | None = None) -> None:
+        """Heal one pair, or all partitions when called without arguments."""
+        if a is None and b is None:
+            self._partitions.clear()
+        else:
+            self._partitions.discard(frozenset((a, b)))
+
+    def set_loss_probability(self, probability: float) -> None:
+        if not 0.0 <= probability < 1.0:
+            raise ConfigurationError("loss probability must be in [0, 1)")
+        self._loss_probability = probability
+
+    def _delivery_blocked(self, src: str, dst: str) -> bool:
+        if src in self._down or dst in self._down:
+            return True
+        if frozenset((src, dst)) in self._partitions:
+            return True
+        if self._loss_probability and self.scheduler.rng.random() < self._loss_probability:
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Delivery
+
+    def send(self, src: str, dst: str, payload: Any, extra_delay: float = 0.0) -> None:
+        """Fire-and-forget message. Loss and partitions silently drop — the
+        sender learns nothing, exactly like UDP/broken TCP in the field."""
+        self.messages_sent += 1
+        if src in self._down:
+            return  # a crashed node sends nothing
+        latency = self.link.sample(self.scheduler.rng) + extra_delay
+        blocked_now = frozenset((src, dst)) in self._partitions
+
+        def deliver() -> None:
+            # Re-check receiver-side faults at delivery time: a node that
+            # crashed in flight loses the message; a healed partition does
+            # not resurrect messages sent while it was in force.
+            if blocked_now or self._delivery_blocked(src, dst):
+                return
+            handler = self._handlers.get(dst)
+            if handler is None:
+                return  # destination no longer exists
+            self.messages_delivered += 1
+            handler(src, payload)
+
+        self.scheduler.at(self.scheduler.now + latency, deliver)

@@ -1,0 +1,47 @@
+"""Node configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consensus.raft import ConsensusConfig
+from repro.errors import ConfigurationError
+from repro.perf.costmodel import CostModel
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Everything that parameterizes one CCF node.
+
+    ``signature_interval`` is the number of transactions between signature
+    transactions (Figure 8 uses 100); ``signature_flush_time`` bounds the
+    commit latency of a trailing batch when traffic stops.
+    """
+
+    platform: str = "sgx"  # "sgx", "snp", or "virtual"
+    runtime: str = "native"  # "native" (C++ analog) or "js"
+    worker_threads: int = 10
+    signature_interval: int = 100
+    signature_flush_time: float = 0.05
+    snapshot_interval: int = 0  # committed txs between snapshots; 0 = off
+    replication_interval: float = 0.002  # primary push cadence for new entries
+    request_timeout: float = 1.0  # frontend-side deadline for forwarded requests
+    secure_channels: bool = True  # seal node-to-node traffic (X25519 + AEAD)
+    accept_virtual_attestation: bool = False
+    consensus: ConsensusConfig = field(default_factory=ConsensusConfig)
+    cost_model: CostModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.signature_interval < 1:
+            raise ConfigurationError("signature_interval must be >= 1")
+        if self.worker_threads < 1:
+            raise ConfigurationError("worker_threads must be >= 1")
+
+    def resolve_cost_model(self) -> CostModel:
+        if self.cost_model is not None:
+            return self.cost_model
+        return CostModel(
+            runtime=self.runtime,
+            platform=self.platform,
+            worker_threads=self.worker_threads,
+        )

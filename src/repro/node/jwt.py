@@ -1,0 +1,58 @@
+"""Minimal JWT (RFC 7519) with an ES256-style signature over P-256.
+
+CCF authenticates users by JWT or X.509 certificates (section 7). Tokens
+are ``base64url(header).base64url(payload).base64url(signature)`` with the
+signature produced by our from-scratch ECDSA. Issuer public keys are
+registered in the ``public:ccf.gov.jwt.issuers`` map via governance.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+
+from repro.crypto.ecdsa import SigningKey, VerifyingKey
+from repro.errors import AuthenticationError, VerificationError
+
+
+def _b64url_encode(data: bytes) -> str:
+    return base64.urlsafe_b64encode(data).rstrip(b"=").decode()
+
+
+def _b64url_decode(text: str) -> bytes:
+    padding = "=" * (-len(text) % 4)
+    return base64.urlsafe_b64decode(text + padding)
+
+
+def issue_token(key: SigningKey, issuer: str, subject: str, claims: dict | None = None) -> str:
+    """Mint a signed token for ``subject`` from ``issuer``."""
+    header = {"alg": "ES256", "typ": "JWT"}
+    payload = {"iss": issuer, "sub": subject, **(claims or {})}
+    signing_input = (
+        _b64url_encode(json.dumps(header, sort_keys=True).encode())
+        + "."
+        + _b64url_encode(json.dumps(payload, sort_keys=True).encode())
+    )
+    signature = key.sign(signing_input.encode())
+    return signing_input + "." + _b64url_encode(signature)
+
+
+def verify_token(token: str, issuer_keys: dict[str, VerifyingKey]) -> dict:
+    """Verify a token against the registered issuer keys; returns the
+    payload claims. Raises :class:`AuthenticationError` on any failure."""
+    try:
+        header_b64, payload_b64, signature_b64 = token.split(".")
+        payload = json.loads(_b64url_decode(payload_b64))
+        signature = _b64url_decode(signature_b64)
+    except (ValueError, json.JSONDecodeError) as exc:
+        raise AuthenticationError(f"malformed JWT: {exc}") from exc
+    issuer = payload.get("iss")
+    key = issuer_keys.get(issuer)
+    if key is None:
+        raise AuthenticationError(f"unknown JWT issuer {issuer!r}")
+    signing_input = (header_b64 + "." + payload_b64).encode()
+    try:
+        key.verify(signature, signing_input)
+    except VerificationError as exc:
+        raise AuthenticationError("JWT signature invalid") from exc
+    return payload

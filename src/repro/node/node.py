@@ -1,0 +1,1166 @@
+"""The CCF node: enclave, KV store, ledger, consensus, and frontend.
+
+This is Figure 2 assembled: application logic and the transaction handler
+execute inside the (simulated) TEE against the key-value store; the
+consensus layer replicates the resulting ledger; the untrusted host provides
+storage and networking. One :class:`CCFNode` is one simulated machine.
+
+Request lifecycle (sections 3.1, 4.3):
+
+1. A user request arrives over the (simulated) TLS session.
+2. It occupies a worker thread for its calibrated service time.
+3. The endpoint's auth policy runs, then the handler executes in a
+   transaction; writes go to the primary (forwarded if needed).
+4. The write set becomes a ledger entry; the user gets an immediate reply
+   carrying the transaction ID (local execution guarantee); commit can be
+   polled via the built-in ``tx`` endpoint (global commit guarantee).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.app.application import Application
+from repro.app.context import Caller, Request, RequestContext, Response
+from repro.consensus.messages import decode_message, encode_message
+from repro.consensus.raft import ConsensusNode
+from repro.consensus.state import NodeStatus
+from repro.crypto.certs import Certificate, issue
+from repro.crypto.ecdsa import SigningKey, VerifyingKey
+from repro.crypto.hashing import sha256
+from repro.crypto.x25519 import DHPrivateKey
+from repro.errors import (
+    AttestationError,
+    AuthenticationError,
+    AuthorizationError,
+    CCFError,
+    KVError,
+    ServiceUnavailableError,
+    VerificationError,
+)
+from repro.kv.serialization import encode_value
+from repro.kv.store import KVStore
+from repro.kv.tx import WriteSet
+from repro.ledger.entry import EntryKind, LedgerEntry, TxID
+from repro.ledger.ledger import Ledger
+from repro.ledger.receipts import Receipt, issue_receipt
+from repro.ledger.secrets import LedgerSecret, LedgerSecretStore
+from repro.ledger.chunking import chunk_entries
+from repro.net.channels import NodeChannels, SealedMessage
+from repro.net.network import Network
+from repro.node import auth as auth_module
+from repro.node import maps
+from repro.node.config import NodeConfig
+from repro.node.indexer import Indexer
+from repro.node.wire import (
+    ChannelHello,
+    ClientRequest,
+    ClientResponse,
+    ForwardedRequest,
+    ForwardedResponse,
+    JoinRequest,
+    JoinResponse,
+    SealedConsensusMessage,
+)
+from repro.sim.scheduler import Scheduler
+from repro.storage.host_storage import HostStorage
+from repro.tee.attestation import HardwareRoot, verify_quote
+from repro.tee.enclave import Enclave
+
+
+class CCFNode:
+    """One CCF node (host + enclave)."""
+
+    def __init__(
+        self,
+        node_id: str,
+        scheduler: Scheduler,
+        network: Network,
+        hardware: HardwareRoot,
+        app: Application,
+        config: NodeConfig,
+        code_id: str,
+        governance_app: Application | None = None,
+    ):
+        self.node_id = node_id
+        self.scheduler = scheduler
+        self.network = network
+        self.config = config
+        self.app = app
+        self.governance_app = governance_app
+        self.cost = config.resolve_cost_model()
+
+        self.enclave = Enclave(config.platform, code_id, hardware)
+        self._hardware = hardware
+        # Fresh node identity per instantiation (nodes are ephemeral,
+        # section 6.2): derived from node id + a per-run nonce.
+        key_seed = node_id.encode() + scheduler.rng.getrandbits(64).to_bytes(8, "big")
+        self.node_key = SigningKey.generate(key_seed)
+        self.enclave.memory.put("node_key", self.node_key)
+        self.dh_key = DHPrivateKey.generate(key_seed + b"|dh")
+        self.channels = NodeChannels(node_id, self.dh_key)
+
+        self.store: KVStore | None = None
+        self.ledger: Ledger | None = None
+        self.consensus: ConsensusNode | None = None
+        self.storage = HostStorage()
+        self.indexer = Indexer()
+        for name, factory in app.indexing_strategies.items():
+            del name
+            self.indexer.install(factory())
+
+        self.service_certificate: Certificate | None = None
+        self.node_certificate: Certificate | None = None
+
+        self._workers = [0.0] * config.worker_threads
+        self._txs_since_signature = 0
+        self._sig_flush_armed = False
+        self._sig_flush_handle = None
+        self._replication_armed = False
+        self._commit_scan = 0
+        self._committed_statuses: dict[str, str] = {}
+        self._retired_appended: set[str] = set()
+        self._pending_forwards: dict[int, tuple[str, Request]] = {}
+        self._claims_by_seqno: dict[int, dict] = {}
+        self._sessions_forwarded: set[str] = set()
+        self._last_snapshot_seqno = 0
+        self._latest_snapshot: dict | None = None  # join-ready package
+        self._persisted_seqno = 0
+        self.stopped = False
+
+        network.register(node_id, self._on_network_message)
+
+        # Observability.
+        self.requests_processed = 0
+        self.writes_executed = 0
+        self.reads_executed = 0
+        self.forwards = 0
+
+    # ==================================================================
+    # Service bootstrap (first node) and join (subsequent nodes)
+
+    def start_new_service(
+        self,
+        service_subject: str,
+        genesis_write_set: Callable[[RequestContext], None] | WriteSet,
+        secret_seed: bytes | None = None,
+    ) -> None:
+        """Create a brand-new service on this node: mint the service
+        identity and ledger secret inside the enclave, write the genesis
+        transaction (constitution, members, users, code ids, this node),
+        and become the initial primary."""
+        seed = secret_seed if secret_seed is not None else (
+            self.node_id.encode() + self.scheduler.rng.getrandbits(128).to_bytes(16, "big")
+        )
+        service_key = SigningKey.generate(seed + b"|service-identity")
+        from repro.crypto.certs import self_signed
+
+        self.service_certificate = self_signed(service_subject, service_key)
+        self.enclave.memory.put("service_key", service_key)
+        self.node_certificate = issue(
+            self.node_id, self.node_key.public_key, service_subject, service_key
+        )
+        secrets = LedgerSecretStore(LedgerSecret.generate(seed + b"|ledger-secret"))
+        self.enclave.memory.put("ledger_secrets", secrets)
+        self.ledger = Ledger(secrets)
+        self.store = KVStore()
+        self.consensus = ConsensusNode(
+            node_id=self.node_id,
+            ledger=self.ledger,
+            scheduler=self.scheduler,
+            host=self,
+            initial_nodes={self.node_id},
+            config=self.config.consensus,
+        )
+        self.consensus.start_as_initial_primary()
+        # Genesis transaction: all the service's initial governance state.
+        if isinstance(genesis_write_set, WriteSet):
+            write_set = genesis_write_set
+        else:
+            tx = self.store.begin()
+            ctx = RequestContext(
+                Request(path="/genesis"), tx, Caller("member", "genesis"), node=self
+            )
+            genesis_write_set(ctx)
+            write_set = tx.write_set
+        # The genesis writes this node's own info row.
+        write_set.put(
+            maps.NODES_INFO,
+            self.node_id,
+            self._node_info_row(NodeStatus.TRUSTED.value),
+        )
+        existing_info = write_set.updates.get(maps.SERVICE_INFO, {}).get("service") or {}
+        write_set.put(maps.SERVICE_INFO, "service", dict(
+            existing_info,
+            status=maps.SERVICE_OPENING,
+            certificate=self.service_certificate.to_dict(),
+        ))
+        self._append_local_entry(write_set)
+        self._append_signature_now()
+
+    def _node_info_row(self, status: str) -> dict:
+        return {
+            "status": status,
+            "public_key": self.node_key.public_key.encode().hex(),
+            "dh_public": self.dh_key.public.hex(),
+            "platform": self.config.platform,
+            "code_id": self.enclave.code_id,
+        }
+
+    def request_join(self, via_node: str, expected_service: Certificate) -> None:
+        """Begin joining an existing service through ``via_node``.
+
+        ``expected_service`` is the operator-provided service identity the
+        join response must match (trust anchor for the new node).
+        """
+        self._expected_service = expected_service
+        quote = self.enclave.attest(self.node_key.public_key.encode())
+        self.network.send(
+            self.node_id,
+            via_node,
+            JoinRequest(
+                node_id=self.node_id,
+                quote=quote,
+                node_public_key=self.node_key.public_key.encode(),
+                dh_public=self.dh_key.public,
+            ),
+        )
+
+    # -- Join: primary side -------------------------------------------
+
+    def _on_join_request(self, src: str, message: JoinRequest) -> None:
+        if self.consensus is None or not self.consensus.is_primary:
+            return  # only the primary admits nodes; joiner will retry
+        allowed = {code_id for code_id, _v in self.store.items(maps.NODES_CODE_IDS)}
+        try:
+            verify_quote(
+                message.quote,
+                self._hardware.public_key,
+                allowed,
+                expected_report_data=message.node_public_key,
+                accept_virtual=self.config.accept_virtual_attestation,
+            )
+        except AttestationError as exc:
+            self.network.send(
+                self.node_id, src, JoinResponse(accepted=False, error=str(exc))
+            )
+            return
+        # Attestation verified: the secrets may now be shared (section 6.1).
+        self.channels.establish(message.node_id, message.dh_public)
+        service_key = self.enclave.memory.get("service_key")
+        node_certificate = issue(
+            message.node_id,
+            # The joining node's identity key, straight from the quote.
+            VerifyingKey.decode(message.node_public_key),
+            self.service_certificate.subject,
+            service_key,
+        )
+        secrets: LedgerSecretStore = self.enclave.memory.get("ledger_secrets")
+        secret_rows = [
+            [g, secrets.for_generation(g).key_bytes, secrets.for_generation(g).suite]
+            for g in secrets.generations()
+        ]
+        # The service key and ledger secrets travel sealed: only the attested
+        # enclave that presented this DH key can open them (section 6.1).
+        secrets_payload = encode_value(
+            {
+                "ledger_secrets": secret_rows,
+                "service_key_scalar": service_key.scalar.to_bytes(32, "big"),
+            }
+        )
+        sealed = self.channels.seal(message.node_id, secrets_payload)
+        peer_dh = {
+            node_id: info["dh_public"]
+            for node_id, info in self.store.items(maps.NODES_INFO)
+            if info.get("dh_public")
+        }
+        snapshot = self._latest_snapshot or {}
+        response = JoinResponse(
+            accepted=True,
+            service_certificate=self.service_certificate.to_dict(),
+            node_certificate=node_certificate.to_dict(),
+            sealed_secrets=(sealed.sender, sealed.counter, sealed.box),
+            snapshot=snapshot.get("data", b""),
+            snapshot_metadata=snapshot.get("metadata"),
+            snapshot_receipt=snapshot.get("receipt"),
+            current_nodes=tuple(sorted(self.consensus.configurations.current.nodes)),
+            config_base_seqno=self.consensus.configurations.current.seqno,
+            peer_dh_publics=peer_dh,
+        )
+        # Record the node as PENDING (Listing 2's first transaction) with
+        # its join metadata, then start replicating to it as a learner.
+        write_set = WriteSet()
+        row = {
+            "status": NodeStatus.PENDING.value,
+            "public_key": message.node_public_key.hex(),
+            "dh_public": message.dh_public.hex(),
+            "platform": message.quote.platform,
+            "code_id": message.quote.code_id,
+        }
+        write_set.put(maps.NODES_INFO, message.node_id, row)
+        self._append_local_entry(write_set)
+        next_seqno = (snapshot.get("metadata") or {}).get("base_seqno", 0) + 1
+        self.consensus.add_learner(message.node_id, next_seqno)
+        self.network.send(self.node_id, src, response)
+
+    # -- Join: new node side --------------------------------------------
+
+    def _on_join_response(self, message: JoinResponse) -> None:
+        if not message.accepted:
+            raise AttestationError(f"join rejected: {message.error}")
+        service_certificate = Certificate.from_dict(message.service_certificate)
+        expected: Certificate = getattr(self, "_expected_service", None)
+        if expected is not None and service_certificate != expected:
+            raise VerificationError("join response from an unexpected service")
+        service_certificate.verify_self_signed()
+        self.service_certificate = service_certificate
+        self.node_certificate = Certificate.from_dict(message.node_certificate)
+        self.node_certificate.verify(service_certificate.public_key)
+
+        for peer, dh_hex in message.peer_dh_publics.items():
+            if peer != self.node_id:
+                self.channels.establish(peer, bytes.fromhex(dh_hex))
+
+        # Open the sealed key material (channel with the admitting primary
+        # was established just above from its published DH key).
+        sender, counter, box = message.sealed_secrets
+        payload = self.channels.open(SealedMessage(sender=sender, counter=counter, box=box))
+        from repro.kv.serialization import decode_value
+
+        secret_material = decode_value(payload)
+        secrets = LedgerSecretStore()
+        for generation, key_bytes, suite in secret_material["ledger_secrets"]:
+            secrets.add(LedgerSecret(generation=generation, key_bytes=key_bytes, suite=suite))
+        self.enclave.memory.put("ledger_secrets", secrets)
+        service_key = SigningKey(int.from_bytes(secret_material["service_key_scalar"], "big"))
+        if service_key.public_key.encode() != service_certificate.public_key.encode():
+            raise VerificationError("received service key does not match the certificate")
+        self.enclave.memory.put("service_key", service_key)
+
+        base_seqno = 0
+        if message.snapshot:
+            metadata = message.snapshot_metadata
+            receipt = Receipt.from_dict(message.snapshot_receipt)
+            receipt.verify(service_certificate)
+            digest = bytes(sha256(message.snapshot, encode_value(metadata)))
+            claimed = (receipt.claims or {}).get("snapshot_digest")
+            if claimed != digest.hex():
+                raise VerificationError("snapshot does not match its receipt claims")
+            self.store = KVStore.deserialize(message.snapshot)
+            self.ledger = Ledger.from_snapshot_metadata(
+                secrets,
+                base_seqno=metadata["base_seqno"],
+                txids=[TxID(v, s) for v, s in metadata["txids"]],
+                leaf_hashes=list(metadata["leaf_hashes"]),
+                last_signature_txid=TxID(*metadata["last_signature_txid"]),
+            )
+            base_seqno = metadata["base_seqno"]
+            self._commit_scan = base_seqno
+            self.indexer.last_indexed = base_seqno
+        else:
+            self.store = KVStore()
+            self.ledger = Ledger(secrets)
+
+        config_base = message.config_base_seqno if message.snapshot else 0
+        self.consensus = ConsensusNode(
+            node_id=self.node_id,
+            ledger=self.ledger,
+            scheduler=self.scheduler,
+            host=self,
+            initial_nodes=set(message.current_nodes),
+            config=self.config.consensus,
+            config_base_seqno=min(config_base, base_seqno),
+        )
+        self.consensus.start()
+
+    # ==================================================================
+    # Disaster recovery (section 5.2)
+
+    def start_recovered_service(
+        self, salvaged_storage: HostStorage, service_subject: str,
+        secret_seed: bytes | None = None,
+    ) -> dict:
+        """Start this node in recovery mode from salvaged ledger files.
+
+        Restores the public state, mints a **new** service identity (the
+        recovery is detectable by users), and waits for member recovery
+        shares before private state can be decrypted. Returns a summary
+        with the previous service identity for the opening proposal.
+        """
+        from repro.recovery.recovery import replay_public_ledger
+
+        replay = replay_public_ledger(salvaged_storage)
+        seed = secret_seed if secret_seed is not None else (
+            self.node_id.encode() + self.scheduler.rng.getrandbits(128).to_bytes(16, "big")
+        )
+        from repro.crypto.certs import self_signed
+
+        service_key = SigningKey.generate(seed + b"|recovered-service-identity")
+        self.service_certificate = self_signed(service_subject, service_key)
+        self.enclave.memory.put("service_key", service_key)
+        self.node_certificate = issue(
+            self.node_id, self.node_key.public_key, service_subject, service_key
+        )
+        # A fresh ledger secret generation for all new transactions; the
+        # previous generation arrives later via recovery shares.
+        previous_generation = 0
+        row = replay.store.get(maps.LEDGER_SECRET, "current")
+        if isinstance(row, dict):
+            previous_generation = row.get("generation", 0)
+        secrets = LedgerSecretStore(
+            LedgerSecret.generate(seed + b"|ledger-secret", generation=previous_generation + 1)
+        )
+        self.enclave.memory.put("ledger_secrets", secrets)
+        replay.ledger.secrets = secrets
+        self.ledger = replay.ledger
+        self.store = replay.store
+        self._commit_scan = replay.verified_seqno
+        self.indexer.last_indexed = replay.verified_seqno
+        self._persisted_seqno = replay.verified_seqno
+
+        self.consensus = ConsensusNode(
+            node_id=self.node_id,
+            ledger=self.ledger,
+            scheduler=self.scheduler,
+            host=self,
+            initial_nodes={self.node_id},
+            config=self.config.consensus,
+            config_base_seqno=replay.verified_seqno,
+        )
+        # Seed consensus bookkeeping with the replayed history.
+        for seqno in range(1, replay.verified_seqno + 1):
+            self.consensus.view_history.note_append(self.ledger.txid_at(seqno))
+        self.consensus.commit_seqno = replay.verified_seqno
+        self.consensus.view = replay.last_view  # will be bumped below
+        self.consensus.start_as_recovery_primary(replay.last_view + 1)
+
+        # The recovered service runs on this node alone until others join:
+        # record the new topology and status, replacing stale node rows.
+        write_set = WriteSet()
+        for node_id, _info in list(self.store.items(maps.NODES_INFO)):
+            if node_id != self.node_id:
+                write_set.remove(maps.NODES_INFO, node_id)
+        write_set.put(maps.NODES_INFO, self.node_id, self._node_info_row(NodeStatus.TRUSTED.value))
+        service_row = self.store.get(maps.SERVICE_INFO, "service") or {}
+        write_set.put(maps.SERVICE_INFO, "service", dict(
+            service_row,
+            status=maps.SERVICE_WAITING_FOR_SHARES,
+            certificate=self.service_certificate.to_dict(),
+            previous_identity=replay.previous_service_identity,
+        ))
+        self._append_local_entry(write_set)
+        self._append_signature_now()
+        return {
+            "verified_seqno": replay.verified_seqno,
+            "previous_service_identity": replay.previous_service_identity,
+            "new_service_identity": self.service_certificate.to_dict(),
+        }
+
+    def complete_private_recovery(
+        self, previous_secrets: "LedgerSecret | list[LedgerSecret]"
+    ) -> None:
+        """The wrapping key was reconstructed from member shares: install
+        the previous ledger secret generation(s) and decrypt the restored
+        private state.
+
+        Private write sets are replayed oldest-first over the restored
+        public state, validating every AEAD tag as we go. The folding is a
+        local reconstruction, not new ledger transactions — recovery
+        happens before users reconnect, so merging at the current version
+        is safe. Entries sealed under a generation that was never
+        re-wrapped (and is therefore unrecoverable) are skipped: recovery
+        is best-effort (section 5.2).
+        """
+        from repro.errors import LedgerError as _LedgerError
+        from repro.kv.champ import ChampMap
+        from repro.kv.tx import REMOVED
+
+        if isinstance(previous_secrets, LedgerSecret):
+            previous_secrets = [previous_secrets]
+        secrets: LedgerSecretStore = self.enclave.memory.get("ledger_secrets")
+        for secret in previous_secrets:
+            secrets.add(secret)
+        recovered = 0
+        for entry in self.ledger.entries(1, self._commit_scan):
+            if not entry.private_blob:
+                continue
+            try:
+                write_set = self.ledger.decrypt_private(entry)
+            except _LedgerError:
+                continue  # generation not recoverable: best effort
+            for map_name, updates in write_set.updates.items():
+                if map_name.startswith("public:"):
+                    continue  # already restored during public replay
+                current = self.store._maps.get(map_name, ChampMap.empty())
+                for key, value in updates.items():
+                    if value is REMOVED:
+                        current = current.remove(key)
+                    else:
+                        current = current.set(key, value)
+                self.store._maps[map_name] = current
+            recovered += 1
+        self.store._history[self.store.version] = dict(self.store._maps)
+        self.enclave.memory.put("recovered_private_entries", recovered)
+
+    # ==================================================================
+    # ConsensusHost interface
+
+    def send_consensus_message(self, to: str, message: object) -> None:
+        if self.config.secure_channels:
+            if not self.channels.has_channel(to):
+                return  # channel not yet established; retried by protocol
+            sealed = self.channels.seal(to, encode_message(message))
+            payload = SealedConsensusMessage(
+                sender=sealed.sender, counter=sealed.counter, box=sealed.box
+            )
+            self.network.send(self.node_id, to, payload)
+        else:
+            self.network.send(self.node_id, to, message)
+
+    def apply_replicated_entry(self, entry: LedgerEntry) -> frozenset[str] | None:
+        self.ledger.append(entry)
+        write_set = self.ledger.decrypt_private(entry)
+        self.store.apply_write_set(write_set, entry.txid.seqno)
+        self._handle_node_info_updates(write_set)
+        if entry.is_reconfiguration:
+            return self._trusted_set()
+        return None
+
+    def truncate_to(self, seqno: int) -> None:
+        self.ledger.truncate(seqno)
+        self.store.rollback_to(seqno)
+
+    def append_signature_entry(self, view: int) -> LedgerEntry:
+        entry = self.ledger.build_signature_entry(view, self.node_id, self.node_key)
+        self.ledger.append(entry)
+        self.store.apply_write_set(entry.public_writes, entry.txid.seqno)
+        self._txs_since_signature = 0
+        return entry
+
+    def on_commit(self, seqno: int) -> None:
+        self.store.compact(seqno)
+        self._scan_committed(seqno)
+        self._persist_ledger(seqno)
+        self._maybe_snapshot(seqno)
+        self._finalize_snapshot_if_ready()
+        if self.consensus.is_primary:
+            self._complete_retirements()
+
+    def on_become_primary(self) -> None:
+        self._retired_appended = set()
+
+    def on_lose_primacy(self) -> None:
+        """Fail pending forwarded requests: per section 4.3 the session is
+        terminated when forwarding is no longer possible due to a primary
+        change — the client retries (and re-discovers the primary)."""
+        for request_id, (client_id, request) in list(self._pending_forwards.items()):
+            del self._pending_forwards[request_id]
+            self.network.send(
+                self.node_id,
+                client_id,
+                ClientResponse(Response(
+                    request.request_id,
+                    status=503,
+                    error="session terminated: primary changed during forwarding",
+                )),
+            )
+
+    # ------------------------------------------------------------------
+    # Committed-prefix processing
+
+    def _scan_committed(self, commit_seqno: int) -> None:
+        """Feed the indexer and track committed node statuses over the newly
+        committed range (exactly once, in order)."""
+        start = max(self._commit_scan, self.ledger.base_seqno)
+        reload_app = False
+        for seqno in range(start + 1, commit_seqno + 1):
+            entry = self.ledger.entry_at(seqno)
+            write_set = self.ledger.decrypt_private(entry)
+            self.indexer.feed(entry.txid, write_set)
+            for node_id, info in write_set.updates.get(maps.NODES_INFO, {}).items():
+                if isinstance(info, dict):
+                    self._on_committed_status(node_id, info.get("status"))
+            if maps.MODULES in write_set.updates:
+                reload_app = True
+            rekey = write_set.updates.get(maps.LEDGER_SECRET, {}).get("rekey_request")
+            if isinstance(rekey, dict):
+                self._perform_rekey(rekey["new_generation"])
+            if (
+                maps.MEMBERS_KEYS in write_set.updates
+                and maps.LEDGER_SECRET not in write_set.updates  # not genesis/rekey
+                and self.consensus.is_primary
+            ):
+                # Membership changed: re-split the wrapping key so the new
+                # consortium can (and only it can) recover (section 5.2).
+                secrets = self.enclave.memory.get("ledger_secrets")
+                if secrets is not None and len(secrets):
+                    self._reprovision_recovery_shares(secrets.current())
+        self._commit_scan = max(self._commit_scan, commit_seqno)
+        if reload_app:
+            self.reload_js_app()
+
+    def _perform_rekey(self, generation: int) -> None:
+        """A committed rekey request: derive the next ledger-secret
+        generation in-enclave from the shared service key. Every trusted
+        node derives the same secret without it touching the network; new
+        writes seal under it, old generations stay readable (Table 1)."""
+        secrets: LedgerSecretStore = self.enclave.memory.get("ledger_secrets")
+        if secrets is None or generation in secrets.generations():
+            return
+        service_key = self.enclave.memory.get("service_key")
+        if service_key is None:
+            return  # not yet trusted with the service key
+        seed = service_key.scalar.to_bytes(32, "big") + b"|rekey"
+        secrets.add(LedgerSecret.generate(seed, generation=generation))
+        if self.consensus.is_primary:
+            # Re-provision the wrapped secret + recovery shares for the new
+            # generation so disaster recovery keeps working (section 5.2).
+            self._reprovision_recovery_shares(secrets.current())
+
+    def _reprovision_recovery_shares(self, secret: LedgerSecret) -> None:
+        from repro.recovery.shares import provision_recovery_shares
+
+        members = {
+            subject: bytes.fromhex(row["public_key"])
+            for subject, row in self.store.items(maps.MEMBERS_KEYS)
+            if isinstance(row, dict)
+        }
+        if not members:
+            return
+        info = self.store.get(maps.SERVICE_INFO, "service") or {}
+        threshold = min(info.get("recovery_threshold", 1), len(members))
+        secrets: LedgerSecretStore = self.enclave.memory.get("ledger_secrets")
+        previous = tuple(
+            secrets.for_generation(g)
+            for g in secrets.generations()
+            if g != secret.generation
+        )
+        tx = self.store.begin()
+        ctx = RequestContext(
+            Request(path="/internal/rekey"), tx, Caller("node", self.node_id), node=self
+        )
+        provision_recovery_shares(
+            ctx, secret, members, threshold, self.scheduler.rng,
+            previous_secrets=previous,
+        )
+        self._append_local_entry(tx.write_set)
+        self._request_signature_soon()
+
+    def reload_js_app(self) -> None:
+        """Live code update (section 5): rebuild the application from the
+        JS module and endpoint metadata committed in the governance maps."""
+        module = self.store.get(maps.MODULES, "app")
+        if not isinstance(module, dict) or "source" not in module:
+            return
+        endpoints = {
+            name: metadata
+            for name, metadata in self.store.items(maps.ENDPOINTS)
+            if isinstance(metadata, dict)
+        }
+        from repro.app.jsapp.jsapp import build_js_app
+
+        self.app = build_js_app(module["source"], endpoints or None)
+
+    def _on_committed_status(self, node_id: str, status: str | None) -> None:
+        if status is None:
+            return
+        self._committed_statuses[node_id] = status
+        if node_id == self.node_id and status in (
+            NodeStatus.RETIRING.value,
+            NodeStatus.RETIRED.value,
+        ):
+            # Our own retirement is committed: stop writing, stay online
+            # to replicate and vote until shut down (section 4.5).
+            self.consensus.freeze_writes()
+        if status == NodeStatus.RETIRED.value and node_id != self.node_id:
+            # Keep replicating briefly so the retired node itself learns
+            # its retirement committed (it stays online until the operator
+            # shuts it down, section 4.5), then stop.
+            grace = 2 * self.config.consensus.election_timeout_max
+
+            def drop() -> None:
+                if not self.stopped and self.consensus is not None:
+                    self.consensus.remove_learner(node_id)
+
+            self.scheduler.after(grace, drop)
+
+    def _complete_retirements(self) -> None:
+        """Second retirement step (section 4.5): once a RETIRING
+        reconfiguration is committed, the primary records RETIRED."""
+        for node_id, status in list(self._committed_statuses.items()):
+            if status == NodeStatus.RETIRING.value and node_id not in self._retired_appended:
+                self._retired_appended.add(node_id)
+                row = self.store.get(maps.NODES_INFO, node_id)
+                if not isinstance(row, dict):
+                    continue
+                write_set = WriteSet()
+                write_set.put(
+                    maps.NODES_INFO, node_id, dict(row, status=NodeStatus.RETIRED.value)
+                )
+                self._append_local_entry(write_set)
+                self._request_signature_soon()
+
+    def _persist_ledger(self, commit_seqno: int) -> None:
+        """Write committed, signature-terminated chunks to host storage."""
+        if commit_seqno <= self._persisted_seqno:
+            return
+        start = max(self._persisted_seqno, self.ledger.base_seqno)
+        new_entries = list(self.ledger.entries(start + 1, commit_seqno))
+        if not new_entries:
+            return
+        for chunk in chunk_entries(new_entries):
+            # chunk_entries numbers chunks relative to the slice; rebuild
+            # with absolute seqnos (they already carry their own txids).
+            self.storage.write_chunk(chunk)
+        self._persisted_seqno = commit_seqno
+
+    def _maybe_snapshot(self, commit_seqno: int) -> None:
+        interval = self.config.snapshot_interval
+        if not interval or not self.consensus.is_primary:
+            return
+        if commit_seqno - self._last_snapshot_seqno < interval:
+            return
+        self._last_snapshot_seqno = commit_seqno
+        data = self.store.serialize_at(commit_seqno)
+        metadata = self.ledger.snapshot_metadata(commit_seqno)
+        digest = bytes(sha256(data, encode_value(metadata)))
+        # Snapshot evidence transaction (validated by receipt, section 4.4).
+        write_set = WriteSet()
+        write_set.put(
+            maps.SNAPSHOT_EVIDENCE,
+            commit_seqno,
+            {"digest": digest.hex(), "seqno": commit_seqno},
+        )
+        claims = {"snapshot_digest": digest.hex()}
+        entry = self._append_local_entry(write_set, claims=claims)
+        self._pending_snapshot = {
+            "data": data,
+            "metadata": metadata,
+            "evidence_seqno": entry.txid.seqno,
+            "claims": claims,
+        }
+        self._request_signature_soon()
+
+    def _finalize_snapshot_if_ready(self) -> None:
+        pending = getattr(self, "_pending_snapshot", None)
+        if pending is None:
+            return
+        evidence_seqno = pending["evidence_seqno"]
+        if self.consensus.commit_seqno < evidence_seqno:
+            return
+        if self.ledger.next_signature_seqno(evidence_seqno) is None:
+            return
+        receipt = issue_receipt(
+            self.ledger, evidence_seqno, self.node_certificate, claims=pending["claims"]
+        )
+        package = {
+            "data": pending["data"],
+            "metadata": pending["metadata"],
+            "receipt": receipt.to_dict(),
+        }
+        self._latest_snapshot = package
+        self.storage.write_snapshot(pending["metadata"]["base_seqno"], pending["data"])
+        self._pending_snapshot = None
+
+    # ==================================================================
+    # Local append path (primary)
+
+    def _trusted_set(self) -> frozenset[str]:
+        return frozenset(
+            node_id
+            for node_id, info in self.store.items(maps.NODES_INFO)
+            if isinstance(info, dict) and info.get("status") == NodeStatus.TRUSTED.value
+        )
+
+    def _handle_node_info_updates(self, write_set: WriteSet) -> None:
+        """Side effects of nodes.info changes: channel establishment for new
+        peers and learner bookkeeping for retiring nodes."""
+        for node_id, info in write_set.updates.get(maps.NODES_INFO, {}).items():
+            if not isinstance(info, dict):
+                continue
+            dh_hex = info.get("dh_public")
+            if node_id != self.node_id and dh_hex and not self.channels.has_channel(node_id):
+                self.channels.establish(node_id, bytes.fromhex(dh_hex))
+            if info.get("status") == NodeStatus.RETIRING.value:
+                self.consensus.note_retiring(node_id)
+
+    def _append_local_entry(
+        self, write_set: WriteSet, claims: dict | None = None
+    ) -> LedgerEntry:
+        """Append a locally produced transaction (primary only): apply to
+        the store, frame as a ledger entry, and hand to consensus."""
+        trusted_before = self._trusted_set()
+        seqno = self.ledger.last_seqno + 1
+        self.store.apply_write_set(write_set, seqno)
+        trusted_after = self._trusted_set()
+        is_reconfig = trusted_after != trusted_before
+        entry = self.ledger.build_entry(
+            self.consensus.view,
+            write_set,
+            kind=EntryKind.RECONFIGURATION if is_reconfig else EntryKind.USER,
+            claims=claims,
+        )
+        if claims:
+            # Only the digest lands in the Merkle leaf; the executing node
+            # retains the claims so receipts can expose them (section 3.5).
+            self._claims_by_seqno[seqno] = claims
+        self.ledger.append(entry)
+        self._handle_node_info_updates(write_set)
+        self.consensus.note_local_append(
+            entry, trusted_after if is_reconfig else None
+        )
+        self._txs_since_signature += 1
+        self._arm_replication()
+        self._arm_signature_flush()
+        return entry
+
+    def _append_signature_now(self) -> None:
+        entry = self.append_signature_entry(self.consensus.view)
+        self.consensus.note_local_append(entry, None)
+        self._arm_replication()
+
+    def _request_signature_soon(self) -> None:
+        self._arm_signature_flush(immediate=True)
+
+    def _arm_signature_flush(self, immediate: bool = False) -> None:
+        if self._sig_flush_armed:
+            if not immediate:
+                return
+            # An immediate request overrides a pending (possibly long) flush.
+            if self._sig_flush_handle is not None:
+                self._sig_flush_handle.cancel()
+        self._sig_flush_armed = True
+        delay = 0.0 if immediate else self.config.signature_flush_time
+
+        def flush() -> None:
+            self._sig_flush_armed = False
+            self._sig_flush_handle = None
+            if self.stopped or not self.consensus or not self.consensus.is_primary:
+                return
+            if self._txs_since_signature > 0:
+                self._append_signature_now()
+
+        self._sig_flush_handle = self.scheduler.after(delay, flush)
+
+    def _arm_replication(self) -> None:
+        if self._replication_armed:
+            return
+        self._replication_armed = True
+
+        def push() -> None:
+            self._replication_armed = False
+            if self.stopped or not self.consensus:
+                return
+            self.consensus.replicate_now()
+
+        self.scheduler.after(self.config.replication_interval, push)
+
+    # ==================================================================
+    # Network dispatch
+
+    def _on_network_message(self, src: str, payload: object) -> None:
+        if self.stopped:
+            return
+        if isinstance(payload, SealedConsensusMessage):
+            try:
+                raw = self.channels.open(
+                    SealedMessage(sender=payload.sender, counter=payload.counter, box=payload.box)
+                )
+            except VerificationError:
+                return  # unknown peer or tampered box: drop
+            if self.consensus is not None:
+                self.consensus.dispatch(decode_message(raw))
+            return
+        if isinstance(payload, ClientRequest):
+            self._enqueue_request(src, payload.request)
+            return
+        if isinstance(payload, ForwardedRequest):
+            self._on_forwarded_request(src, payload)
+            return
+        if isinstance(payload, ForwardedResponse):
+            self._on_forwarded_response(payload)
+            return
+        if isinstance(payload, JoinRequest):
+            self._on_join_request(src, payload)
+            return
+        if isinstance(payload, JoinResponse):
+            self._on_join_response(payload)
+            return
+        if isinstance(payload, ChannelHello):
+            self.channels.establish(payload.sender, payload.dh_public)
+            return
+        # Plain consensus message (secure_channels disabled).
+        if self.consensus is not None:
+            self.consensus.dispatch(payload)
+
+    # ==================================================================
+    # Frontend: request scheduling and execution
+
+    def _enqueue_request(self, client_id: str, request: Request) -> None:
+        """Admit a request into the worker pool; processing happens after
+        the calibrated service time (the simulated compute cost)."""
+        request = Request(
+            path=request.path,
+            body=request.body,
+            credentials=request.credentials,
+            request_id=request.request_id,
+            client_id=client_id,
+            session_id=request.session_id,
+        )
+        read_only = self._is_read_only(request)
+        service_time = self.cost.read_cost() if read_only else self.cost.write_cost(
+            self._backup_count()
+        )
+        worker = min(range(len(self._workers)), key=lambda i: self._workers[i])
+        start = max(self.scheduler.now, self._workers[worker])
+        completion = start + service_time
+        self._workers[worker] = completion
+        self.scheduler.at(
+            completion, lambda: self._process_request(request, worker)
+        )
+
+    def _backup_count(self) -> int:
+        if self.consensus is None:
+            return 0
+        return max(0, len(self.consensus.configurations.current.nodes) - 1)
+
+    def _is_read_only(self, request: Request) -> bool:
+        endpoint = self._lookup_endpoint(request.path)
+        return endpoint is not None and endpoint.read_only
+
+    def _lookup_endpoint(self, path: str):
+        if path.startswith("/app/"):
+            return self.app.lookup(path[len("/app/"):])
+        if path.startswith("/gov/") and self.governance_app is not None:
+            return self.governance_app.lookup(path[len("/gov/"):])
+        if path.startswith("/node/"):
+            from repro.node.endpoints import BUILTIN_ENDPOINTS
+
+            return BUILTIN_ENDPOINTS.get(path[len("/node/"):])
+        return None
+
+    def _respond(self, request: Request, response: Response) -> None:
+        self.network.send(self.node_id, request.client_id, ClientResponse(response))
+
+    def _process_request(self, request: Request, worker: int) -> None:
+        if self.stopped:
+            return
+        self.requests_processed += 1
+        endpoint = self._lookup_endpoint(request.path)
+        if endpoint is None:
+            self._respond(
+                request,
+                Response(request.request_id, status=404, error=f"no endpoint {request.path}"),
+            )
+            return
+        if self.store is None or self.consensus is None:
+            self._respond(
+                request,
+                Response(request.request_id, status=503, error="node not yet part of a service"),
+            )
+            return
+
+        if endpoint.read_only:
+            # Session consistency: once a session was forwarded to the
+            # primary, subsequent reads follow it too (section 4.3).
+            if request.session_id and request.session_id in self._sessions_forwarded:
+                self._forward_or_fail(request)
+                return
+            self._execute_read(request, endpoint)
+            return
+
+        if not self.consensus.can_accept_writes:
+            self._forward_or_fail(request)
+            return
+        response = self._execute_write(request, endpoint, worker)
+        if response is not None:
+            self._respond(request, response)
+
+    def _forward_or_fail(self, request: Request) -> None:
+        leader = self.consensus.leader_id
+        if leader is None or leader == self.node_id or self.network.is_down(leader):
+            self._respond(
+                request,
+                Response(
+                    request.request_id,
+                    status=503,
+                    error="no known primary; retry another node",
+                ),
+            )
+            return
+        self.forwards += 1
+        if request.session_id:
+            self._sessions_forwarded.add(request.session_id)
+        self._pending_forwards[request.request_id] = (request.client_id, request)
+        self.network.send(
+            self.node_id,
+            leader,
+            ForwardedRequest(request=request, origin_node=self.node_id),
+            extra_delay=self.cost.forwarding_cost,
+        )
+
+    def _on_forwarded_request(self, src: str, payload: ForwardedRequest) -> None:
+        request = payload.request
+        endpoint = self._lookup_endpoint(request.path)
+        if endpoint is None or self.consensus is None or not self.consensus.can_accept_writes:
+            response = Response(request.request_id, status=503, error="not primary")
+        else:
+            worker = min(range(len(self._workers)), key=lambda i: self._workers[i])
+            response = self._execute_write(request, endpoint, worker, defer_ok=False)
+        self.network.send(
+            self.node_id,
+            payload.origin_node,
+            ForwardedResponse(response=response, origin_request_id=request.request_id),
+        )
+
+    def _on_forwarded_response(self, payload: ForwardedResponse) -> None:
+        pending = self._pending_forwards.pop(payload.origin_request_id, None)
+        if pending is None:
+            return
+        client_id, request = pending
+        self.network.send(self.node_id, client_id, ClientResponse(payload.response))
+        del request
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    def _authenticate(self, request: Request, endpoint) -> Caller:
+        reader = auth_module.StoreReader(self.store.get)
+        return auth_module.authenticate(request, endpoint.auth_policy, reader)
+
+    def _require_service_open(self, request: Request) -> None:
+        if request.path.startswith("/app/"):
+            info = self.store.get(maps.SERVICE_INFO, "service") or {}
+            if info.get("status") != maps.SERVICE_OPEN:
+                raise ServiceUnavailableError(
+                    "service is not open to users (status: "
+                    f"{info.get('status', 'unknown')})"
+                )
+
+    def _execute_read(self, request: Request, endpoint) -> None:
+        try:
+            self._require_service_open(request)
+            caller = self._authenticate(request, endpoint)
+            tx = self.store.begin()
+            ctx = RequestContext(request, tx, caller, node=self)
+            body = endpoint.handler(ctx)
+            # Read-only: reply with the ID of the last applied transaction
+            # (section 3.4).
+            txid = self.ledger.txid_at(min(self.store.version, self.ledger.last_seqno))
+            self.reads_executed += 1
+            self._respond(request, Response(request.request_id, body=body, txid=str(txid)))
+        except CCFError as exc:
+            self._respond(request, self._error_response(request, exc))
+
+    @staticmethod
+    def _check_app_write_set(request: Request, write_set: WriteSet) -> None:
+        """Section 6.1: application logic may read but never write CCF's
+        internal and governance maps — those change only through governance
+        proposals and the framework itself."""
+        if not request.path.startswith("/app/"):
+            return
+        for map_name in write_set.maps():
+            if map_name.startswith(maps.GOV_PREFIX) or map_name.startswith(
+                maps.INTERNAL_PREFIX
+            ):
+                raise AuthorizationError(
+                    f"application logic may not write to {map_name}"
+                )
+
+    def _execute_write(
+        self, request: Request, endpoint, worker: int, defer_ok: bool = True
+    ) -> Response | None:
+        try:
+            self._require_service_open(request)
+            caller = self._authenticate(request, endpoint)
+            tx = self.store.begin()
+            ctx = RequestContext(request, tx, caller, node=self)
+            body = endpoint.handler(ctx)
+            self._check_app_write_set(request, tx.write_set)
+            if tx.is_read_only:
+                txid = self.ledger.txid_at(min(self.store.version, self.ledger.last_seqno))
+                return Response(request.request_id, body=body, txid=str(txid))
+            entry = self._append_local_entry(tx.write_set, claims=ctx.claims)
+            self.writes_executed += 1
+            response = Response(request.request_id, body=body, txid=str(entry.txid))
+            if self._txs_since_signature >= self.config.signature_interval:
+                # The triggering request pays for the signature: its
+                # response (and this worker) are delayed by the signing
+                # cost — Figure 8's periodic latency spike.
+                self._append_signature_now()
+                self._workers[worker] += self.cost.signature_cost
+                if defer_ok:
+                    self.scheduler.after(
+                        self.cost.signature_cost,
+                        lambda: self._respond(request, response),
+                    )
+                    return None
+            return response
+        except CCFError as exc:
+            return self._error_response(request, exc)
+
+    def _error_response(self, request: Request, exc: CCFError) -> Response:
+        from repro.errors import GovernanceError
+
+        status_by_type = {
+            AuthenticationError: 401,
+            AuthorizationError: 403,
+            ServiceUnavailableError: 503,
+            GovernanceError: 400,
+            KVError: 400,
+        }
+        status = 500
+        for exc_type, code in status_by_type.items():
+            if isinstance(exc, exc_type):
+                status = code
+                break
+        return Response(request.request_id, status=status, error=str(exc))
+
+    def certificate_for_node(self, node_id: str) -> Certificate:
+        """The service-endorsed identity certificate for ``node_id``.
+
+        Trusted nodes share the service key (Table 1), so any of them can
+        produce the endorsement for a peer's recorded public key.
+        """
+        if node_id == self.node_id:
+            return self.node_certificate
+        row = self.store.get(maps.NODES_INFO, node_id)
+        if not isinstance(row, dict) or "public_key" not in row:
+            raise KVError(f"no recorded identity for node {node_id}")
+        service_key = self.enclave.memory.get("service_key")
+        return issue(
+            node_id,
+            VerifyingKey.decode(bytes.fromhex(row["public_key"])),
+            self.service_certificate.subject,
+            service_key,
+        )
+
+    # ==================================================================
+    # Historical queries (section 3.4)
+
+    def historical_range(self, start_seqno: int, end_seqno: int):
+        """Decrypted write sets of committed entries in [start, end]."""
+        end = min(end_seqno, self.consensus.commit_seqno if self.consensus else 0)
+        result = []
+        for entry in self.ledger.entries(max(1, start_seqno), end):
+            result.append(self.ledger.decrypt_private(entry))
+        return result
+
+    # ==================================================================
+    # Lifecycle
+
+    def crash(self) -> None:
+        """Simulate a machine failure: enclave memory is lost, timers die,
+        the network endpoint goes dark. Host storage survives."""
+        self.stopped = True
+        if self.consensus is not None:
+            self.consensus.stop()
+        self.enclave.destroy()
+        self.network.crash(self.node_id)
+
+    @property
+    def is_primary(self) -> bool:
+        return self.consensus is not None and self.consensus.is_primary
+
+    def tx_status(self, txid: TxID) -> str:
+        return self.consensus.status_of(txid).value

@@ -1,0 +1,5 @@
+"""Performance cost models for the simulated testbed."""
+
+from repro.perf.costmodel import CostModel, ExecutionCosts
+
+__all__ = ["CostModel", "ExecutionCosts"]

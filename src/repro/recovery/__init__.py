@@ -1,0 +1,10 @@
+"""Disaster recovery (section 5.2)."""
+
+from repro.recovery.shares import provision_recovery_shares, handle_share_submission
+from repro.recovery.recovery import replay_public_ledger
+
+__all__ = [
+    "provision_recovery_shares",
+    "handle_share_submission",
+    "replay_public_ledger",
+]

@@ -1,0 +1,99 @@
+"""The disaster recovery protocol (section 5.2).
+
+If more than a majority of nodes fail, the service restarts — best effort —
+from the persistent ledger files of as little as one host:
+
+1. A node starts in recovery mode with the salvaged ledger files.
+2. The *public* parts of transactions are restored by replay; signature
+   transactions are verified against the node identities recorded in the
+   (public) governance maps, and any unverifiable suffix is dropped.
+3. The recovered service presents a **new service identity**, making the
+   recovery (and any rollback it implies) detectable by users.
+4. Members submit recovery shares; the previous ledger secret is
+   reconstructed in the TEE and the private state decrypted.
+5. Members vote to open the recovered service, naming the old and new
+   service identities to bind the proposal to this exact recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.ecdsa import VerifyingKey
+from repro.errors import IntegrityError, RecoveryError, VerificationError
+from repro.kv.store import KVStore
+from repro.ledger.entry import LedgerEntry
+from repro.ledger.ledger import Ledger
+from repro.ledger.secrets import LedgerSecretStore
+from repro.node import maps
+from repro.storage.host_storage import HostStorage
+
+
+@dataclass
+class PublicReplayResult:
+    """What a recovery replay yields before shares arrive."""
+
+    ledger: Ledger
+    store: KVStore  # public state only
+    verified_seqno: int  # last seqno covered by a verified signature
+    last_view: int
+    previous_service_identity: dict | None
+
+
+def replay_public_ledger(storage: HostStorage) -> PublicReplayResult:
+    """Rebuild ledger + public store from untrusted chunk files, verifying
+    every signature transaction against node identities found in the public
+    state itself. Entries after the last verifiable signature are dropped
+    (best effort, as the paper specifies)."""
+    try:
+        entries: list[LedgerEntry] = storage.read_ledger_entries()
+    except Exception as exc:
+        raise RecoveryError(f"ledger files unreadable: {exc}") from exc
+
+    ledger = Ledger(LedgerSecretStore())
+    store = KVStore()
+    verified_seqno = 0
+    last_view = 0
+    for entry in entries:
+        try:
+            ledger.append(entry)
+            store.apply_write_set(entry.public_writes, entry.txid.seqno)
+        except Exception:
+            break  # structurally broken suffix: stop here
+        last_view = entry.txid.view
+        if entry.is_signature:
+            try:
+                record = ledger.signature_record(entry.txid.seqno)
+                key = _node_public_key(store, record.node_id)
+            except RecoveryError:
+                # The signer's identity is not recorded yet — true only for
+                # the service-opening signature that precedes the genesis
+                # transaction. Skip it without advancing the verified point.
+                continue
+            try:
+                ledger.verify_signature_entry(entry.txid.seqno, key)
+            except (IntegrityError, VerificationError):
+                break  # tampered: nothing at or past this point is trusted
+            verified_seqno = entry.txid.seqno
+    if verified_seqno == 0:
+        raise RecoveryError("no verifiable signature transaction in the ledger files")
+    # Drop everything after the verified prefix.
+    ledger.truncate(verified_seqno)
+    store.rollback_to(verified_seqno)
+    store.compact(verified_seqno)
+    service_row = store.get(maps.SERVICE_INFO, "service")
+    previous_identity = service_row.get("certificate") if service_row else None
+    return PublicReplayResult(
+        ledger=ledger,
+        store=store,
+        verified_seqno=verified_seqno,
+        last_view=last_view,
+        previous_service_identity=previous_identity,
+    )
+
+
+def _node_public_key(store: KVStore, node_id: str) -> VerifyingKey:
+    row = store.get(maps.NODES_INFO, node_id)
+    if not isinstance(row, dict) or "public_key" not in row:
+        raise RecoveryError(f"no recorded identity for signing node {node_id}")
+    return VerifyingKey.decode(bytes.fromhex(row["public_key"]))

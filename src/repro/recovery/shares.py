@@ -1,0 +1,126 @@
+"""Recovery shares (section 5.2).
+
+The ledger secret is wrapped by the *ledger secret wrapping key*, which is
+split k-of-n: each share is encrypted to one consortium member's public
+encryption key and recorded in the ledger. During recovery, members decrypt
+their shares and submit them to the recovering service; once ``k`` arrive,
+the wrapping key is reconstructed inside the TEE, the previous ledger
+secret unwrapped, and the old private state decrypted.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.app.context import RequestContext
+from repro.crypto import ecies, shamir
+from repro.crypto.aead import nonce_from_counter
+from repro.crypto.fastaead import FastAEADKey
+from repro.errors import GovernanceError, RecoveryError
+from repro.ledger.secrets import LedgerSecret
+from repro.node import maps
+
+_WRAP_DOMAIN = 0x57  # 'W': nonce domain for wrapped ledger secrets
+
+
+def wrap_ledger_secret(wrapping_key: bytes, secret: LedgerSecret) -> dict:
+    """Encrypt the ledger secret under the wrapping key for ledger storage."""
+    key = FastAEADKey(wrapping_key)
+    sealed = key.seal(
+        nonce_from_counter(secret.generation, _WRAP_DOMAIN),
+        secret.key_bytes,
+        aad=secret.suite.encode(),
+    )
+    return {"generation": secret.generation, "wrapped": sealed.hex(), "suite": secret.suite}
+
+
+def unwrap_ledger_secret(wrapping_key: bytes, row: dict) -> LedgerSecret:
+    """Decrypt a wrapped ledger secret; raises on a wrong wrapping key —
+    this is how the protocol detects insufficient/incorrect shares."""
+    key = FastAEADKey(wrapping_key)
+    key_bytes = key.open(
+        nonce_from_counter(row["generation"], _WRAP_DOMAIN),
+        bytes.fromhex(row["wrapped"]),
+        aad=row["suite"].encode(),
+    )
+    return LedgerSecret(generation=row["generation"], key_bytes=key_bytes, suite=row["suite"])
+
+
+def provision_recovery_shares(
+    ctx: RequestContext,
+    secret: LedgerSecret,
+    members: dict[str, bytes],  # subject -> encryption public key
+    threshold: int,
+    rng: random.Random,
+    previous_secrets: tuple[LedgerSecret, ...] = (),
+) -> None:
+    """Write the wrapped ledger secret(s) and the per-member encrypted
+    shares into the governance maps (Table 3: ledger_secret,
+    recovery_shares). On rekey, every *previous* generation is re-wrapped
+    under the new wrapping key so a later disaster recovery can decrypt the
+    entire ledger history, not just post-rekey entries."""
+    if not 1 <= threshold <= len(members):
+        raise RecoveryError(
+            f"recovery threshold {threshold} invalid for {len(members)} members"
+        )
+    wrapping_key = rng.getrandbits(256).to_bytes(32, "big")
+    ctx.put(maps.LEDGER_SECRET, "current", wrap_ledger_secret(wrapping_key, secret))
+    for previous in previous_secrets:
+        ctx.put(
+            maps.LEDGER_SECRET,
+            f"generation_{previous.generation}",
+            wrap_ledger_secret(wrapping_key, previous),
+        )
+    shares = shamir.split(wrapping_key, threshold, len(members), rng)
+    for (subject, enc_public), share in zip(sorted(members.items()), shares):
+        box = ecies.encrypt(
+            enc_public, share.encode(), entropy=wrapping_key + subject.encode()
+        )
+        ctx.put(maps.RECOVERY_SHARES, subject, {"share": box.hex()})
+    # Former members' shares are useless (new wrapping key) and misleading:
+    # drop them.
+    for subject, _row in list(ctx.items(maps.RECOVERY_SHARES)):
+        if subject not in members:
+            ctx.remove(maps.RECOVERY_SHARES, subject)
+    info = ctx.get(maps.SERVICE_INFO, "service") or {}
+    ctx.put(maps.SERVICE_INFO, "service", dict(info, recovery_threshold=threshold))
+
+
+def handle_share_submission(ctx: RequestContext):
+    """The ``/gov/submit_recovery_share`` endpoint body (section 5.2).
+
+    Members submit their *decrypted* shares over their authenticated
+    session; the node accumulates them in enclave memory and, at the
+    threshold, reconstructs the wrapping key and unwraps the previous
+    ledger secret.
+    """
+    node = ctx.node
+    info = ctx.get(maps.SERVICE_INFO, "service") or {}
+    if info.get("status") != maps.SERVICE_WAITING_FOR_SHARES:
+        raise GovernanceError("service is not waiting for recovery shares")
+    share_hex = ctx.request.body.get("share")
+    if not isinstance(share_hex, str):
+        raise GovernanceError("submission must carry the decrypted share hex")
+    share = shamir.Share.decode(bytes.fromhex(share_hex))
+    submitted = node.enclave.memory.get("recovery_submissions") or {}
+    submitted[ctx.caller.identifier] = share
+    node.enclave.memory.put("recovery_submissions", submitted)
+    threshold = info.get("recovery_threshold", 1)
+    if len(submitted) < threshold:
+        return {"submitted": len(submitted), "required": threshold, "recovered": False}
+    # Threshold reached: reconstruct in-enclave and unwrap.
+    wrapped_row = ctx.get(maps.LEDGER_SECRET, "current")
+    if wrapped_row is None:
+        raise RecoveryError("no wrapped ledger secret recorded")
+    try:
+        wrapping_key = shamir.combine(list(submitted.values()))
+        recovered_secrets = [unwrap_ledger_secret(wrapping_key, wrapped_row)]
+        # Older generations re-wrapped at rekey time (same wrapping key).
+        for key, row in ctx.items(maps.LEDGER_SECRET):
+            if isinstance(key, str) and key.startswith("generation_"):
+                recovered_secrets.append(unwrap_ledger_secret(wrapping_key, row))
+    except Exception as exc:
+        raise RecoveryError(f"share reconstruction failed: {exc}") from exc
+    node.complete_private_recovery(recovered_secrets)
+    ctx.put(maps.SERVICE_INFO, "service", dict(info, status=maps.SERVICE_RECOVERING))
+    return {"submitted": len(submitted), "required": threshold, "recovered": True}

@@ -1,0 +1,7 @@
+"""Service-level orchestration: bootstrap, clients, members, operators."""
+
+from repro.service.service import CCFService, ServiceSetup
+from repro.service.client import ServiceClient
+from repro.service.operator import Operator
+
+__all__ = ["CCFService", "ServiceSetup", "ServiceClient", "Operator"]

@@ -1,0 +1,215 @@
+"""Simulated clients: users, members, and closed-loop load generators.
+
+A :class:`ServiceClient` is one network endpoint that sends requests to CCF
+nodes and correlates the responses. Users retry against other nodes when
+their node fails (section 4.3); sessions give session consistency.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from repro.app.context import Request, Response
+from repro.crypto.certs import Identity
+from repro.crypto.cose import sign_request
+from repro.net.network import Network
+from repro.node.wire import ClientRequest, ClientResponse
+from repro.sim.metrics import LatencyRecorder, ThroughputRecorder
+from repro.sim.scheduler import Scheduler
+
+_client_ids = itertools.count(1)
+
+
+class ServiceClient:
+    """A user or member endpoint on the simulated network."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        network: Network,
+        name: str | None = None,
+        identity: Identity | None = None,
+    ):
+        self.client_id = name or f"client-{next(_client_ids)}"
+        self.scheduler = scheduler
+        self.network = network
+        self.identity = identity
+        self.responses: dict[int, Response] = {}
+        self._callbacks: dict[int, Callable[[Response], None]] = {}
+        network.register(self.client_id, self._on_message)
+
+    def _on_message(self, src: str, payload: object) -> None:
+        if isinstance(payload, ClientResponse):
+            response = payload.response
+            self.responses[response.request_id] = response
+            callback = self._callbacks.pop(response.request_id, None)
+            if callback is not None:
+                callback(response)
+
+    # ------------------------------------------------------------------
+
+    def credentials_for_cert_auth(self) -> dict:
+        if self.identity is None:
+            return {}
+        return {"certificate": self.identity.certificate.to_dict()}
+
+    def send(
+        self,
+        node_id: str,
+        path: str,
+        body: dict | None = None,
+        credentials: dict | None = None,
+        session_id: str = "",
+        on_response: Callable[[Response], None] | None = None,
+    ) -> int:
+        """Fire a request; returns the request id for correlation."""
+        request = Request(
+            path=path,
+            body=body or {},
+            credentials=credentials if credentials is not None else self.credentials_for_cert_auth(),
+            session_id=session_id or self.client_id,
+        )
+        if on_response is not None:
+            self._callbacks[request.request_id] = on_response
+        self.network.send(self.client_id, node_id, ClientRequest(request))
+        return request.request_id
+
+    def send_signed(
+        self,
+        node_id: str,
+        path: str,
+        body: dict,
+        on_response: Callable[[Response], None] | None = None,
+    ) -> int:
+        """Send a member/user-signed request (governance traffic)."""
+        if self.identity is None:
+            raise ValueError("signing requires an identity")
+        envelope = sign_request(self.identity, body, headers={"path": path})
+        return self.send(
+            node_id,
+            path,
+            body=body,
+            credentials={"signed_request": envelope.to_dict()},
+            on_response=on_response,
+        )
+
+    def call(self, node_id: str, path: str, body: dict | None = None,
+             credentials: dict | None = None, timeout: float = 5.0,
+             signed: bool = False) -> Response:
+        """Convenience: send and run the scheduler until the reply arrives."""
+        if signed:
+            request_id = self.send_signed(node_id, path, body or {})
+        else:
+            request_id = self.send(node_id, path, body, credentials)
+        deadline = self.scheduler.now + timeout
+        while request_id not in self.responses and self.scheduler.now < deadline:
+            if not self.scheduler.step():
+                break
+        response = self.responses.pop(request_id, None)
+        if response is None:
+            return Response(request_id, status=504, error="client-side timeout")
+        return response
+
+
+class ClosedLoopClient:
+    """The paper's load generator: up to ``concurrency`` outstanding
+    requests in a closed loop (section 7's "up to 1k concurrent requests").
+
+    ``request_factory(i)`` returns (path, body, credentials) for the i-th
+    request; responses are recorded into the shared metrics objects.
+    Failed/timed-out requests are retried against ``fallback_nodes`` —
+    users "simply retry with other nodes" (section 4.3).
+    """
+
+    def __init__(
+        self,
+        client: ServiceClient,
+        target_node: str,
+        request_factory: Callable[[int], tuple[str, dict, dict | None]],
+        concurrency: int,
+        throughput: ThroughputRecorder | None = None,
+        latency: LatencyRecorder | None = None,
+        fallback_nodes: list[str] | None = None,
+        retry_timeout: float = 0.2,
+    ):
+        self.client = client
+        self.target_node = target_node
+        self.request_factory = request_factory
+        self.concurrency = concurrency
+        self.throughput = throughput if throughput is not None else ThroughputRecorder()
+        self.latency = latency if latency is not None else LatencyRecorder()
+        self.fallback_nodes = fallback_nodes or []
+        self.retry_timeout = retry_timeout
+        self._counter = itertools.count()
+        self._running = False
+        self.errors = 0
+
+    def start(self) -> None:
+        self._running = True
+        for _ in range(self.concurrency):
+            self._fire()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        i = next(self._counter)
+        path, body, credentials = self.request_factory(i)
+        sent_at = self.client.scheduler.now
+        sent_to = self.target_node
+        state = {"done": False}
+
+        def on_response(response) -> None:
+            if state["done"]:
+                return
+            state["done"] = True
+            timer.cancel()
+            now = self.client.scheduler.now
+            if response.ok:
+                self.throughput.record(now)
+                self.latency.record(now, now - sent_at)
+            else:
+                self.errors += 1
+            self._fire()
+
+        def on_timeout() -> None:
+            if state["done"]:
+                return
+            state["done"] = True
+            self.errors += 1
+            # Rotate away from the unresponsive node — but only once per
+            # failure event, not once per outstanding request (section 4.3:
+            # "users … will retry with other nodes").
+            if self.fallback_nodes and self.target_node == sent_to:
+                self.fallback_nodes.append(self.target_node)
+                self.target_node = self.fallback_nodes.pop(0)
+                self._probe_for_primary()
+            self._fire()
+
+        timer = self.client.scheduler.after(self.retry_timeout, on_timeout)
+        self.client.send(
+            self.target_node, path, body, credentials, on_response=on_response
+        )
+
+    def _probe_for_primary(self) -> None:
+        """After a failure, ask the current node who the primary is and
+        re-target writes there (what a real client does via /node/network)."""
+
+        def on_network_info(response) -> None:
+            if not self._running or not response.ok:
+                return
+            primary = (response.body or {}).get("primary")
+            if primary and primary != self.target_node:
+                nodes = (response.body or {}).get("nodes", {})
+                if primary in nodes:
+                    if self.target_node not in self.fallback_nodes:
+                        self.fallback_nodes.append(self.target_node)
+                    if primary in self.fallback_nodes:
+                        self.fallback_nodes.remove(primary)
+                    self.target_node = primary
+
+        self.client.send(self.target_node, "/node/network", {}, {},
+                         on_response=on_network_info)

@@ -1,0 +1,114 @@
+"""The operator: the untrusted party that runs the machines (section 2).
+
+Operators deploy nodes, watch for failures, and drive replacement — but
+hold no keys and cannot read any private state. :class:`Operator`
+implements the paper's Figure 9 test-infrastructure behaviour: detect the
+failed primary (A), prepare and join a replacement node (B), open a
+governance proposal to trust the new node and remove the old one (C),
+collect ballots (D), and retire the old node once reconfiguration completes
+(E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CCFError
+from repro.node import maps
+from repro.node.node import CCFNode
+from repro.service.service import CCFService
+
+
+@dataclass
+class ReplacementTimeline:
+    """Timestamps of the Figure 9 events for one node replacement."""
+
+    failure_detected: float = 0.0  # ~A
+    joined: float = 0.0  # B
+    proposal_submitted: float = 0.0  # C
+    proposal_accepted: float = 0.0  # D
+    reconfiguration_complete: float = 0.0  # E
+    events: list[tuple[str, float]] = field(default_factory=list)
+
+    def mark(self, name: str, time: float) -> None:
+        self.events.append((name, time))
+        setattr(self, name, time)
+
+
+class Operator:
+    """Automates node replacement against a running service."""
+
+    def __init__(self, service: CCFService):
+        self.service = service
+
+    def replace_node(self, failed_node_id: str) -> tuple[CCFNode, ReplacementTimeline]:
+        """Replace ``failed_node_id`` with a fresh node, following the
+        Figure 9 sequence. Returns the new node and the event timeline."""
+        service = self.service
+        timeline = ReplacementTimeline()
+        timeline.mark("failure_detected", service.scheduler.now)
+
+        # B: prepare a new host (snapshots are copied implicitly via the
+        # join protocol) and send the join request to the current primary.
+        node_id = service.new_node_id()
+        node = service._make_node(node_id)
+        primary = service.primary_node()
+        if primary is None:
+            # Wait for the election to finish first.
+            service.run_until(lambda: service.primary_node() is not None, timeout=10.0)
+            primary = service.primary_node()
+        node.request_join(primary.node_id, primary.service_certificate)
+        service.run_until(lambda: node.consensus is not None, timeout=10.0)
+        timeline.mark("joined", service.scheduler.now)
+
+        # C: one proposal trusts the new node and removes the failed one.
+        proposer = service.members[0]
+        response = proposer.client.call(
+            service.primary_node().node_id,
+            "/gov/propose",
+            {
+                "actions": [
+                    {"name": "transition_node_to_trusted", "args": {"node_id": node_id}},
+                    {"name": "remove_node", "args": {"node_id": failed_node_id}},
+                ]
+            },
+            signed=True,
+            timeout=10.0,
+        )
+        if not response.ok:
+            raise CCFError(f"replacement proposal failed: {response.error}")
+        proposal_id = response.body["proposal_id"]
+        timeline.mark("proposal_submitted", service.scheduler.now)
+
+        # D: members ballot until accepted.
+        state = response.body["state"]
+        for member in service.members[1:]:
+            if state == "Accepted":
+                break
+            vote = member.client.call(
+                service.primary_node().node_id,
+                "/gov/vote",
+                {"proposal_id": proposal_id, "ballot": {"approve": True}},
+                signed=True,
+                timeout=10.0,
+            )
+            if vote.ok:
+                state = vote.body["state"]
+        if state != "Accepted":
+            raise CCFError(f"replacement proposal ended {state}")
+        timeline.mark("proposal_accepted", service.scheduler.now)
+
+        # E: wait for the reconfiguration to commit — the new node is in
+        # the current configuration and the old one is Retired.
+        def reconfigured() -> bool:
+            current_primary = service.primary_node()
+            if current_primary is None:
+                return False
+            in_config = node_id in current_primary.consensus.configurations.current.nodes
+            row = current_primary.store.get(maps.NODES_INFO, failed_node_id)
+            retired = isinstance(row, dict) and row.get("status") == "Retired"
+            return in_config and retired
+
+        service.run_until(reconfigured, timeout=10.0)
+        timeline.mark("reconfiguration_complete", service.scheduler.now)
+        return node, timeline

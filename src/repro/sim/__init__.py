@@ -1,0 +1,13 @@
+"""Deterministic discrete-event simulation runtime.
+
+This package replaces the paper's Azure testbed (section 7): a virtual clock
+with an event queue, a message-passing network with configurable latency and
+fault injection, closed-loop workload clients, and metrics collection.
+Everything is driven by a single seeded RNG, so a (seed, config) pair always
+reproduces the same run — ledger bytes, elections, and throughput curves.
+"""
+
+from repro.sim.scheduler import Scheduler, EventHandle
+from repro.sim.metrics import LatencyRecorder, ThroughputRecorder
+
+__all__ = ["Scheduler", "EventHandle", "LatencyRecorder", "ThroughputRecorder"]

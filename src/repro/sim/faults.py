@@ -1,0 +1,64 @@
+"""Scripted fault injection for experiments.
+
+Figure 9-style experiments need faults at precise simulated times; this
+module schedules them declaratively: crash/restart nodes, partition and
+heal groups, and inject message loss windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.network import Network
+from repro.sim.scheduler import Scheduler
+
+
+@dataclass
+class FaultPlan:
+    """A scripted sequence of faults, armed onto a scheduler."""
+
+    scheduler: Scheduler
+    network: Network
+    log: list[tuple[float, str]] = field(default_factory=list)
+
+    def _note(self, description: str) -> None:
+        self.log.append((self.scheduler.now, description))
+
+    def crash_node_at(self, time: float, node) -> "FaultPlan":
+        """Crash a CCFNode (enclave wiped, endpoint dark) at ``time``."""
+
+        def fire() -> None:
+            node.crash()
+            self._note(f"crash {node.node_id}")
+
+        self.scheduler.at(time, fire)
+        return self
+
+    def partition_at(self, time: float, group_a: list[str], group_b: list[str]) -> "FaultPlan":
+        def fire() -> None:
+            self.network.partition_groups(group_a, group_b)
+            self._note(f"partition {group_a} | {group_b}")
+
+        self.scheduler.at(time, fire)
+        return self
+
+    def heal_at(self, time: float) -> "FaultPlan":
+        def fire() -> None:
+            self.network.heal()
+            self._note("heal all partitions")
+
+        self.scheduler.at(time, fire)
+        return self
+
+    def loss_window(self, start: float, end: float, probability: float) -> "FaultPlan":
+        def begin() -> None:
+            self.network.set_loss_probability(probability)
+            self._note(f"loss {probability:.0%} begins")
+
+        def finish() -> None:
+            self.network.set_loss_probability(0.0)
+            self._note("loss window ends")
+
+        self.scheduler.at(start, begin)
+        self.scheduler.at(end, finish)
+        return self

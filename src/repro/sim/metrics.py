@@ -1,0 +1,82 @@
+"""Metrics collection for simulated experiments.
+
+Benchmarks record completion events and latencies in simulated time; these
+helpers turn them into the series the paper plots — throughput over time
+(Figure 9), throughput points (Figure 7, Table 5), and response-time
+distributions (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ThroughputRecorder:
+    """Counts completion events; reports totals and bucketed time series."""
+
+    events: list[float] = field(default_factory=list)
+
+    def record(self, time: float) -> None:
+        self.events.append(time)
+
+    @property
+    def count(self) -> int:
+        return len(self.events)
+
+    def throughput(self, start: float, end: float) -> float:
+        """Events per second over the window [start, end)."""
+        if end <= start:
+            return 0.0
+        n = sum(1 for t in self.events if start <= t < end)
+        return n / (end - start)
+
+    def series(self, start: float, end: float, bucket: float) -> list[tuple[float, float]]:
+        """(bucket start time, events/sec) pairs covering [start, end)."""
+        buckets: list[tuple[float, float]] = []
+        t = start
+        while t < end:
+            buckets.append((t, self.throughput(t, min(t + bucket, end))))
+            t += bucket
+        return buckets
+
+
+@dataclass
+class LatencyRecorder:
+    """Records per-request latencies (with completion timestamps)."""
+
+    samples: list[tuple[float, float]] = field(default_factory=list)  # (time, latency)
+
+    def record(self, completion_time: float, latency: float) -> None:
+        self.samples.append((completion_time, latency))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def latencies(self) -> list[float]:
+        return [latency for _time, latency in self.samples]
+
+    def mean(self) -> float:
+        values = self.latencies()
+        return sum(values) / len(values) if values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile latency (p in [0, 100])."""
+        values = sorted(self.latencies())
+        if not values:
+            return 0.0
+        rank = min(len(values) - 1, max(0, round(p / 100 * (len(values) - 1))))
+        return values[rank]
+
+    def max(self) -> float:
+        values = self.latencies()
+        return max(values) if values else 0.0
+
+    def histogram(self, bucket: float) -> dict[float, int]:
+        """latency-bucket -> count, for response-time distributions."""
+        counts: dict[float, int] = {}
+        for _time, latency in self.samples:
+            key = round(latency // bucket * bucket, 9)
+            counts[key] = counts.get(key, 0) + 1
+        return dict(sorted(counts.items()))

@@ -1,0 +1,92 @@
+"""The discrete-event scheduler: a virtual clock plus an event queue.
+
+Time is a float in *seconds* of simulated time. Events scheduled for the
+same instant fire in scheduling order (a monotone sequence number breaks
+ties), which keeps runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Callable
+
+from repro.errors import CCFError
+
+
+class EventHandle:
+    """A cancellation token for a scheduled event."""
+
+    __slots__ = ("cancelled", "fire_at")
+
+    def __init__(self, fire_at: float):
+        self.cancelled = False
+        self.fire_at = fire_at
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Scheduler:
+    """Priority-queue event loop over virtual time."""
+
+    def __init__(self, seed: int = 0):
+        self.now = 0.0
+        self.rng = random.Random(seed)
+        self._queue: list[tuple[float, int, EventHandle, Callable[[], None]]] = []
+        self._sequence = 0
+        self._events_processed = 0
+
+    def at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual ``time``."""
+        if time < self.now:
+            raise CCFError(f"cannot schedule in the past ({time} < {self.now})")
+        handle = EventHandle(time)
+        heapq.heappush(self._queue, (time, self._sequence, handle, callback))
+        self._sequence += 1
+        return handle
+
+    def after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise CCFError(f"negative delay {delay}")
+        return self.at(self.now + delay, callback)
+
+    def step(self) -> bool:
+        """Run the next event. Returns False when the queue is empty."""
+        while self._queue:
+            time, _seq, handle, callback = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self.now = time
+            self._events_processed += 1
+            callback()
+            return True
+        return False
+
+    def run_until(self, deadline: float) -> None:
+        """Process events until virtual time reaches ``deadline``."""
+        while self._queue:
+            time, _seq, handle, _callback = self._queue[0]
+            if time > deadline:
+                break
+            if handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            self.step()
+        self.now = max(self.now, deadline)
+
+    def run_to_completion(self, max_events: int = 10_000_000) -> None:
+        """Drain the queue entirely (bounded against runaway loops)."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise CCFError(f"exceeded {max_events} events; likely a scheduling loop")
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for _t, _s, handle, _c in self._queue if not handle.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed

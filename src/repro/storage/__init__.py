@@ -1,0 +1,5 @@
+"""Untrusted host persistent storage."""
+
+from repro.storage.host_storage import HostStorage
+
+__all__ = ["HostStorage"]

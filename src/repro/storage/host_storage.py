@@ -1,0 +1,104 @@
+"""Untrusted host storage: ledger chunk files and snapshot files.
+
+"The persistent storage is outside the trust boundary and thus could be
+modified or rolled back by a malicious host" (section 2). This module is
+deliberately *dumb and adversary-friendly*: it stores named blobs and also
+exposes tampering operations (truncate, corrupt, roll back) that integrity
+tests use to prove that the enclave-side verification catches a malicious
+host. Nothing read from here is trusted until signatures verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LedgerError
+from repro.ledger.chunking import LedgerChunk, reassemble_chunks
+from repro.ledger.entry import LedgerEntry
+
+
+@dataclass
+class HostStorage:
+    """One host's disk: a flat namespace of blobs, plus typed helpers."""
+
+    files: dict[str, bytes] = field(default_factory=dict)
+    bytes_written: int = 0
+
+    # ------------------------------------------------------------------
+    # Raw blob interface
+
+    def write(self, name: str, data: bytes) -> None:
+        self.files[name] = bytes(data)
+        self.bytes_written += len(data)
+
+    def read(self, name: str) -> bytes:
+        try:
+            return self.files[name]
+        except KeyError:
+            raise LedgerError(f"no such file {name!r}") from None
+
+    def delete(self, name: str) -> None:
+        self.files.pop(name, None)
+
+    def list_files(self, prefix: str = "") -> list[str]:
+        return sorted(name for name in self.files if name.startswith(prefix))
+
+    # ------------------------------------------------------------------
+    # Ledger chunk helpers
+
+    def write_chunk(self, chunk: LedgerChunk) -> None:
+        # A completed chunk replaces its open predecessor.
+        open_name = f"ledger_{chunk.first_seqno}_{chunk.last_seqno}.open.chunk"
+        if chunk.is_complete and open_name in self.files:
+            del self.files[open_name]
+        # Drop any stale open chunk overlapping this range.
+        for name in [n for n in self.files if n.startswith(f"ledger_{chunk.first_seqno}_") and n.endswith(".open.chunk")]:
+            del self.files[name]
+        self.write(chunk.filename(), chunk.encode())
+
+    def read_chunks(self) -> list[LedgerChunk]:
+        chunks = []
+        for name in self.list_files("ledger_"):
+            chunks.append(LedgerChunk.decode(self.files[name]))
+        return chunks
+
+    def read_ledger_entries(self) -> list[LedgerEntry]:
+        """Reassemble the persisted ledger. Structure-checked only — callers
+        must still verify signature transactions before trusting it."""
+        return reassemble_chunks(self.read_chunks())
+
+    # ------------------------------------------------------------------
+    # Snapshot helpers
+
+    def write_snapshot(self, seqno: int, data: bytes) -> None:
+        self.write(f"snapshot_{seqno}.bin", data)
+
+    def latest_snapshot(self) -> tuple[int, bytes] | None:
+        best: tuple[int, bytes] | None = None
+        for name in self.list_files("snapshot_"):
+            seqno = int(name.split("_")[1].split(".")[0])
+            if best is None or seqno > best[0]:
+                best = (seqno, self.files[name])
+        return best
+
+    # ------------------------------------------------------------------
+    # Adversarial operations (the malicious host of the threat model)
+
+    def tamper_flip_byte(self, name: str, offset: int) -> None:
+        data = bytearray(self.read(name))
+        data[offset % len(data)] ^= 0xFF
+        self.files[name] = bytes(data)
+
+    def tamper_truncate_ledger(self, keep_chunks: int) -> None:
+        """Roll the ledger back by deleting the newest chunk files."""
+        names = sorted(
+            self.list_files("ledger_"),
+            key=lambda name: int(name.split("_")[1]),
+        )
+        for name in names[keep_chunks:]:
+            del self.files[name]
+
+    def clone(self) -> "HostStorage":
+        """Copy the disk (e.g. an operator salvaging ledger files for
+        disaster recovery)."""
+        return HostStorage(files=dict(self.files))

@@ -1,0 +1,21 @@
+"""The simulated trusted execution environment.
+
+Real CCF runs each node's trusted half inside an Intel SGX enclave; enclave
+execution is infeasible here, so this package preserves the *protocol* shape
+of the TEE while simulating the hardware:
+
+- :mod:`repro.tee.attestation` — a synthetic hardware root of trust issues
+  quotes binding (code id, node identity); verifiers check the quote chain
+  and the governance-approved code-id policy exactly as in the paper.
+- :mod:`repro.tee.enclave` — the enclave container: code identity, enclave
+  memory (key material that never leaves), and the host interface.
+- :mod:`repro.tee.ringbuffer` — the host↔enclave ringbuffer pair from
+  section 7, with transition accounting feeding the cost model.
+- :mod:`repro.tee.platform` — platform descriptors (sgx / snp / virtual)
+  and their cost multipliers (Table 5's SGX-vs-virtual gap).
+"""
+
+from repro.tee.attestation import AttestationQuote, HardwareRoot, verify_quote
+from repro.tee.platform import Platform, PLATFORMS
+
+__all__ = ["AttestationQuote", "HardwareRoot", "verify_quote", "Platform", "PLATFORMS"]

@@ -1,0 +1,123 @@
+"""Simulated remote attestation.
+
+Attestation is "the process by which a host can produce a verifiable proof
+that it has a TEE and of what code is running inside the TEE" (section 2).
+The protocol-visible artifact is the *quote*: a signature by the hardware
+manufacturer's key over (platform, code id, report data), where CCF puts the
+node's public identity key in the report data so the quote binds code to
+key. Joining nodes present a quote; the service verifies it against the
+hardware root and checks the code id against the governance-approved
+``nodes.code_ids`` map (Table 3, Listing 1).
+
+Here the "hardware manufacturer" is a simulated root key. Everything above
+the root — quote structure, binding, policy check — is the real code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.ecdsa import SigningKey, VerifyingKey
+from repro.errors import AttestationError, VerificationError
+from repro.kv.serialization import decode_value, encode_value
+
+
+@dataclass(frozen=True)
+class AttestationQuote:
+    """A quote: the manufacturer's signature over platform, code, and report
+    data (the node's public key)."""
+
+    platform: str  # "sgx", "snp", or "virtual"
+    code_id: str  # hex digest of the enclave's code (MRENCLAVE analog)
+    report_data: bytes  # the attested node's public identity key
+    signature: bytes
+
+    def signed_payload(self) -> bytes:
+        return encode_value(
+            {
+                "platform": self.platform,
+                "code_id": self.code_id,
+                "report_data": self.report_data,
+            }
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "platform": self.platform,
+            "code_id": self.code_id,
+            "report_data": self.report_data.hex(),
+            "signature": self.signature.hex(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AttestationQuote":
+        return cls(
+            platform=data["platform"],
+            code_id=data["code_id"],
+            report_data=bytes.fromhex(data["report_data"]),
+            signature=bytes.fromhex(data["signature"]),
+        )
+
+    def encode(self) -> bytes:
+        return encode_value(self.to_dict())
+
+    @classmethod
+    def decode(cls, data: bytes) -> "AttestationQuote":
+        return cls.from_dict(decode_value(data))
+
+
+class HardwareRoot:
+    """The simulated hardware manufacturer: issues quotes for enclaves.
+
+    A single instance is shared by all nodes of a simulation — the analog of
+    "all our VMs have Intel CPUs". Verifiers hold only the public half.
+    """
+
+    def __init__(self, seed: bytes = b"hardware-root"):
+        self._key = SigningKey.generate(seed)
+
+    @property
+    def public_key(self) -> VerifyingKey:
+        return self._key.public_key
+
+    def quote(self, platform: str, code_id: str, report_data: bytes) -> AttestationQuote:
+        """Produce a quote. ``virtual`` platform quotes are unsigned — a
+        virtual-mode node cannot prove anything (section 6.4)."""
+        if platform == "virtual":
+            return AttestationQuote(
+                platform=platform, code_id=code_id, report_data=report_data, signature=b""
+            )
+        unsigned = AttestationQuote(
+            platform=platform, code_id=code_id, report_data=report_data, signature=b""
+        )
+        return AttestationQuote(
+            platform=platform,
+            code_id=code_id,
+            report_data=report_data,
+            signature=self._key.sign(unsigned.signed_payload()),
+        )
+
+
+def verify_quote(
+    quote: AttestationQuote,
+    hardware_key: VerifyingKey,
+    allowed_code_ids: set[str],
+    expected_report_data: bytes,
+    accept_virtual: bool = False,
+) -> None:
+    """Full join-time verification: hardware signature, code-id policy, and
+    report-data binding. Raises :class:`AttestationError` on any failure."""
+    if quote.platform == "virtual":
+        if not accept_virtual:
+            raise AttestationError("virtual-mode quote rejected by policy")
+    else:
+        try:
+            hardware_key.verify(quote.signature, quote.signed_payload())
+        except VerificationError as exc:
+            raise AttestationError(f"quote signature invalid: {exc}") from exc
+    if quote.code_id not in allowed_code_ids:
+        raise AttestationError(
+            f"code id {quote.code_id[:16]}… is not in the allowed set"
+        )
+    if quote.report_data != expected_report_data:
+        raise AttestationError("quote does not bind the presented node key")

@@ -1,0 +1,89 @@
+"""Host↔enclave ringbuffers (section 7).
+
+"The host and the TEE communicate via a pair of lock-free multi-producer
+single-consumer ringbuffers to minimize the expensive transitions to/from
+the TEE." In the simulation the buffers are bounded queues; their purpose
+here is (a) to make the trust boundary explicit in code — everything
+crossing it is a serialized message through these buffers — and (b) to
+count transitions for the cost model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import CCFError
+
+
+class RingBufferFullError(CCFError):
+    """Writer outpaced the consumer; callers should apply backpressure."""
+
+
+@dataclass
+class RingBuffer:
+    """A bounded MPSC byte-message queue crossing the trust boundary."""
+
+    capacity: int = 4096
+    _queue: deque = field(default_factory=deque)
+    messages_written: int = 0
+    messages_read: int = 0
+
+    def write(self, message: bytes) -> None:
+        if len(self._queue) >= self.capacity:
+            raise RingBufferFullError("ringbuffer full")
+        self._queue.append(bytes(message))
+        self.messages_written += 1
+
+    def try_read(self) -> bytes | None:
+        if not self._queue:
+            return None
+        self.messages_read += 1
+        return self._queue.popleft()
+
+    def drain(self) -> list[bytes]:
+        messages = []
+        while True:
+            message = self.try_read()
+            if message is None:
+                return messages
+            messages.append(message)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+@dataclass
+class HostInterface:
+    """The pair of ringbuffers between one node's host and its enclave.
+
+    ``to_enclave`` carries network input and storage completions inward;
+    ``to_host`` carries outbound messages and storage writes outward.
+    ``transitions`` counts consumer wake-ups — the quantity whose cost the
+    ringbuffer design amortizes on real SGX.
+    """
+
+    to_enclave: RingBuffer = field(default_factory=RingBuffer)
+    to_host: RingBuffer = field(default_factory=RingBuffer)
+    transitions: int = 0
+
+    def host_send(self, message: bytes) -> None:
+        """Host side: push a message toward the enclave."""
+        self.to_enclave.write(message)
+
+    def enclave_send(self, message: bytes) -> None:
+        """Enclave side: push a message toward the host."""
+        self.to_host.write(message)
+
+    def enclave_poll(self) -> list[bytes]:
+        """Enclave side: consume all pending inbound messages (one
+        transition regardless of batch size)."""
+        if len(self.to_enclave):
+            self.transitions += 1
+        return self.to_enclave.drain()
+
+    def host_poll(self) -> list[bytes]:
+        """Host side: consume all pending outbound messages."""
+        if len(self.to_host):
+            self.transitions += 1
+        return self.to_host.drain()

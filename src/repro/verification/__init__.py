@@ -1,0 +1,27 @@
+"""Mechanical checking of the consensus protocol.
+
+The paper's authors model-checked CCF's consensus (including
+reconfiguration) in TLA+ [68, 88]. This package provides the laptop-scale
+analog for the reproduction:
+
+- :mod:`repro.verification.invariants` — the classic safety invariants
+  (election safety, log matching, leader completeness, commit safety)
+  as executable checks over a set of live nodes.
+- :mod:`repro.verification.explorer` — a bounded explicit-state explorer
+  that drives small clusters through many adversarial schedules (message
+  orderings, crashes, partitions) derived from a seed, checking the
+  invariants at every step.
+"""
+
+from repro.verification.invariants import check_all_invariants, InvariantViolation
+from repro.verification.explorer import explore, ExplorationResult
+from repro.verification.model import check as model_check, ModelResult
+
+__all__ = [
+    "check_all_invariants",
+    "InvariantViolation",
+    "explore",
+    "ExplorationResult",
+    "model_check",
+    "ModelResult",
+]

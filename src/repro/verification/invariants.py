@@ -1,0 +1,131 @@
+"""Executable safety invariants for CCF's consensus (section 4).
+
+Each check takes the consensus engines of all (live and dead) nodes and
+raises :class:`InvariantViolation` with a diagnostic if the corresponding
+property is broken. They are the runtime analog of the TLA+ spec's
+invariants [88]:
+
+- **Election safety** — at most one primary per view.
+- **Log matching** — if two ledgers contain the same transaction ID, they
+  are identical up to and including that transaction (section 4.1's
+  prev-txid induction).
+- **Commit safety** — the committed prefixes of any two nodes agree
+  entry-for-entry.
+- **Signature commit rule** — every node's commit point is at a signature
+  transaction (or 0 / its snapshot base).
+- **Configuration agreement** — nodes agree on the configuration
+  established at any committed reconfiguration seqno.
+"""
+
+from __future__ import annotations
+
+from repro.consensus.raft import ConsensusNode
+from repro.consensus.state import Role
+from repro.errors import CCFError
+
+
+class InvariantViolation(CCFError):
+    """A consensus safety property was violated (this is a bug, not an
+    environmental failure)."""
+
+
+def check_election_safety(nodes: list[ConsensusNode]) -> None:
+    primaries_by_view: dict[int, list[str]] = {}
+    for node in nodes:
+        if node.role is Role.PRIMARY:
+            primaries_by_view.setdefault(node.view, []).append(node.node_id)
+    for view, primaries in primaries_by_view.items():
+        if len(primaries) > 1:
+            raise InvariantViolation(
+                f"election safety: view {view} has primaries {primaries}"
+            )
+
+
+def check_log_matching(nodes: list[ConsensusNode]) -> None:
+    for i, node_a in enumerate(nodes):
+        for node_b in nodes[i + 1:]:
+            last_common = min(node_a.ledger.last_seqno, node_b.ledger.last_seqno)
+            base = max(node_a.ledger.base_seqno, node_b.ledger.base_seqno)
+            # Find the highest seqno where the txids agree; everything
+            # before it must agree too.
+            for seqno in range(last_common, base, -1):
+                if node_a.ledger.txid_at(seqno) == node_b.ledger.txid_at(seqno):
+                    for earlier in range(base + 1, seqno + 1):
+                        entry_a = node_a.ledger.entry_at(earlier) \
+                            if earlier > node_a.ledger.base_seqno else None
+                        entry_b = node_b.ledger.entry_at(earlier) \
+                            if earlier > node_b.ledger.base_seqno else None
+                        if entry_a is None or entry_b is None:
+                            continue  # below a snapshot base on one side
+                        if entry_a.encode() != entry_b.encode():
+                            raise InvariantViolation(
+                                "log matching: "
+                                f"{node_a.node_id} and {node_b.node_id} share txid "
+                                f"{node_a.ledger.txid_at(seqno)} but differ at "
+                                f"seqno {earlier}"
+                            )
+                    break
+
+
+def check_commit_safety(nodes: list[ConsensusNode]) -> None:
+    for i, node_a in enumerate(nodes):
+        for node_b in nodes[i + 1:]:
+            common_commit = min(node_a.commit_seqno, node_b.commit_seqno)
+            base = max(node_a.ledger.base_seqno, node_b.ledger.base_seqno)
+            for seqno in range(base + 1, common_commit + 1):
+                if node_a.ledger.txid_at(seqno) != node_b.ledger.txid_at(seqno):
+                    raise InvariantViolation(
+                        f"commit safety: {node_a.node_id} committed "
+                        f"{node_a.ledger.txid_at(seqno)} at {seqno} but "
+                        f"{node_b.node_id} committed {node_b.ledger.txid_at(seqno)}"
+                    )
+
+
+def check_commit_at_signature(nodes: list[ConsensusNode]) -> None:
+    for node in nodes:
+        commit = node.commit_seqno
+        if commit == 0 or commit <= node.ledger.base_seqno:
+            continue
+        if commit > node.ledger.last_seqno:
+            raise InvariantViolation(
+                f"{node.node_id}: commit {commit} beyond ledger end"
+            )
+        entry = node.ledger.entry_at(commit)
+        if not entry.is_signature:
+            raise InvariantViolation(
+                f"{node.node_id}: commit point {commit} is a "
+                f"{entry.kind.value} transaction, not a signature"
+            )
+
+
+def check_configuration_agreement(nodes: list[ConsensusNode]) -> None:
+    established: dict[int, tuple[str, frozenset]] = {}
+    for node in nodes:
+        for config in node.configurations._configs:
+            if config.seqno > node.commit_seqno:
+                continue  # pending configs may legitimately differ
+            seen = established.get(config.seqno)
+            if seen is None:
+                established[config.seqno] = (node.node_id, config.nodes)
+            elif seen[1] != config.nodes:
+                raise InvariantViolation(
+                    f"configuration agreement: seqno {config.seqno} is "
+                    f"{sorted(seen[1])} on {seen[0]} but "
+                    f"{sorted(config.nodes)} on {node.node_id}"
+                )
+
+
+ALL_INVARIANTS = (
+    check_election_safety,
+    check_log_matching,
+    check_commit_safety,
+    check_commit_at_signature,
+    check_configuration_agreement,
+)
+
+
+def check_all_invariants(nodes: list[ConsensusNode]) -> None:
+    """Run every invariant; raises on the first violation."""
+    live = [node for node in nodes if node is not None]
+    for invariant in ALL_INVARIANTS:
+        invariant(live)

@@ -1,0 +1,6 @@
+"""Consensus test harness — re-exported from the library so both the test
+suite and `repro.verification.explorer` share one implementation."""
+
+from repro.verification.harness import MiniHost, Cluster, NODES_INFO_MAP
+
+__all__ = ["MiniHost", "Cluster", "NODES_INFO_MAP"]

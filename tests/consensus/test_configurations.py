@@ -1,0 +1,193 @@
+"""Unit tests for active configurations, view history, and tx status."""
+
+import pytest
+
+from repro.consensus.configurations import ActiveConfigurations, Configuration
+from repro.consensus.state import TxStatus, ViewHistory, transaction_status
+from repro.errors import ConsensusError
+from repro.ledger.entry import TxID
+
+
+class TestConfiguration:
+    def test_majority(self):
+        assert Configuration(0, frozenset("a")).majority() == 1
+        assert Configuration(0, frozenset("ab")).majority() == 2
+        assert Configuration(0, frozenset("abc")).majority() == 2
+        assert Configuration(0, frozenset("abcd")).majority() == 3
+        assert Configuration(0, frozenset("abcde")).majority() == 3
+
+    def test_quorum_satisfied(self):
+        config = Configuration(0, frozenset({"a", "b", "c"}))
+        assert config.quorum_satisfied({"a", "b"})
+        assert not config.quorum_satisfied({"a"})
+        assert config.quorum_satisfied({"a", "b", "c", "z"})  # outsiders ignored
+
+
+class TestActiveConfigurations:
+    def test_initial(self):
+        configs = ActiveConfigurations({"a", "b", "c"})
+        assert configs.current.nodes == frozenset({"a", "b", "c"})
+        assert len(configs) == 1
+
+    def test_empty_initial_rejected(self):
+        with pytest.raises(ConsensusError):
+            ActiveConfigurations(set())
+
+    def test_add_pending(self):
+        configs = ActiveConfigurations({"a", "b", "c"})
+        configs.add(5, {"a", "b", "d"})
+        assert len(configs) == 2
+        assert configs.current.nodes == frozenset({"a", "b", "c"})
+        assert configs.pending[0].nodes == frozenset({"a", "b", "d"})
+        assert configs.all_nodes() == frozenset({"a", "b", "c", "d"})
+
+    def test_add_requires_increasing_seqno(self):
+        configs = ActiveConfigurations({"a"})
+        configs.add(5, {"a", "b"})
+        with pytest.raises(ConsensusError):
+            configs.add(5, {"a", "c"})
+
+    def test_quorum_in_each_during_reconfig(self):
+        """Both old and new configs must reach majority (section 4.4)."""
+        configs = ActiveConfigurations({"a", "b", "c"})
+        configs.add(5, {"c", "d", "e"})
+        assert not configs.quorum_in_each({"a", "b"})  # old ok, new not
+        assert not configs.quorum_in_each({"d", "e"})  # new ok, old not
+        assert configs.quorum_in_each({"a", "b", "d", "e"})
+        assert configs.quorum_in_each({"b", "c", "d"})  # c counts in both
+
+    def test_commit_drops_earlier_configs(self):
+        configs = ActiveConfigurations({"a", "b", "c"})
+        configs.add(5, {"b", "c", "d"})
+        configs.add(8, {"c", "d", "e"})
+        configs.on_commit(5)
+        assert len(configs) == 2
+        assert configs.current.nodes == frozenset({"b", "c", "d"})
+        configs.on_commit(8)
+        assert len(configs) == 1
+        assert configs.current.nodes == frozenset({"c", "d", "e"})
+
+    def test_commit_before_pending_is_noop(self):
+        configs = ActiveConfigurations({"a", "b"})
+        configs.add(5, {"a", "c"})
+        configs.on_commit(4)
+        assert len(configs) == 2
+
+    def test_rollback_removes_pending(self):
+        configs = ActiveConfigurations({"a", "b", "c"})
+        configs.add(5, {"a", "b", "d"})
+        configs.add(9, {"a", "d", "e"})
+        configs.rollback(6)
+        assert len(configs) == 2
+        configs.rollback(2)
+        assert len(configs) == 1
+        assert configs.current.nodes == frozenset({"a", "b", "c"})
+
+    def test_rollback_never_removes_current(self):
+        configs = ActiveConfigurations({"a"})
+        configs.rollback(0)
+        assert configs.current.nodes == frozenset({"a"})
+
+    def test_atomic_multi_node_swap(self):
+        """Arbitrary transitions: replace the entire node set at once."""
+        configs = ActiveConfigurations({"a", "b", "c"})
+        configs.add(5, {"x", "y", "z", "w", "v"})
+        configs.on_commit(5)
+        assert configs.current.nodes == frozenset({"x", "y", "z", "w", "v"})
+        assert configs.current.majority() == 3
+
+
+class TestViewHistory:
+    def test_records_view_starts(self):
+        history = ViewHistory()
+        history.note_append(TxID(1, 1))
+        history.note_append(TxID(1, 2))
+        history.note_append(TxID(2, 3))
+        starts = history.starts()
+        assert [(s.view, s.first_seqno) for s in starts] == [(1, 1), (2, 3)]
+
+    def test_view_of(self):
+        history = ViewHistory()
+        history.note_append(TxID(1, 1))
+        history.note_append(TxID(3, 5))
+        assert history.view_of(1) == 1
+        assert history.view_of(4) == 1
+        assert history.view_of(5) == 3
+        assert history.view_of(100) == 3
+
+    def test_rollback(self):
+        history = ViewHistory()
+        history.note_append(TxID(1, 1))
+        history.note_append(TxID(2, 4))
+        history.rollback(3)
+        assert history.view_of(4) == 1
+
+    def test_view_regression_rejected(self):
+        history = ViewHistory()
+        history.note_append(TxID(3, 1))
+        with pytest.raises(ConsensusError):
+            history.note_append(TxID(2, 2))
+
+    def test_invalidated(self):
+        history = ViewHistory()
+        history.note_append(TxID(1, 1))
+        history.note_append(TxID(3, 4))
+        # 1.5 can never appear: view 3 started at seqno 4 <= 5.
+        assert history.invalidated(TxID(1, 5))
+        # 1.3 precedes the view-3 start; not invalidated by history alone.
+        assert not history.invalidated(TxID(1, 3))
+        assert not history.invalidated(TxID(3, 10))
+
+
+class TestTransactionStatus:
+    """Figure 4: Unknown / Pending / Committed / Invalid."""
+
+    def _history(self):
+        history = ViewHistory()
+        history.note_append(TxID(1, 1))
+        history.note_append(TxID(2, 6))
+        return history
+
+    def test_committed(self):
+        status = transaction_status(
+            TxID(1, 3), ledger_has_txid=True, last_seqno=8, commit_seqno=5,
+            history=self._history(),
+        )
+        assert status == TxStatus.COMMITTED
+
+    def test_pending(self):
+        status = transaction_status(
+            TxID(2, 7), ledger_has_txid=True, last_seqno=8, commit_seqno=5,
+            history=self._history(),
+        )
+        assert status == TxStatus.PENDING
+
+    def test_invalid_superseded_by_commit(self):
+        """Another transaction committed at this seqno."""
+        status = transaction_status(
+            TxID(1, 4), ledger_has_txid=False, last_seqno=8, commit_seqno=5,
+            history=self._history(),
+        )
+        assert status == TxStatus.INVALID
+
+    def test_invalid_greater_view_started_earlier(self):
+        """View 2 started at seqno 6, so 1.7 can never appear."""
+        status = transaction_status(
+            TxID(1, 7), ledger_has_txid=False, last_seqno=8, commit_seqno=5,
+            history=self._history(),
+        )
+        assert status == TxStatus.INVALID
+
+    def test_unknown_future(self):
+        status = transaction_status(
+            TxID(2, 100), ledger_has_txid=False, last_seqno=8, commit_seqno=5,
+            history=self._history(),
+        )
+        assert status == TxStatus.UNKNOWN
+
+    def test_genesis_is_committed(self):
+        status = transaction_status(
+            TxID(0, 0), ledger_has_txid=False, last_seqno=0, commit_seqno=0,
+            history=ViewHistory(),
+        )
+        assert status == TxStatus.COMMITTED

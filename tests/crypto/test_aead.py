@@ -1,0 +1,215 @@
+"""Tests for ChaCha20, Poly1305, both AEAD suites, X25519, HKDF, ECIES."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aead import AEADKey, nonce_from_counter
+from repro.crypto.chacha20 import chacha20_block, chacha20_xor
+from repro.crypto.ecies import EncryptionKeyPair, encrypt
+from repro.crypto.fastaead import DEFAULT_SUITE, FastAEADKey, make_key
+from repro.crypto.hkdf import hkdf
+from repro.crypto.poly1305 import poly1305_mac
+from repro.crypto.x25519 import DHPrivateKey, x25519
+from repro.errors import CryptoError, VerificationError
+
+
+class TestChaCha20:
+    def test_rfc8439_block_vector(self):
+        # RFC 8439 section 2.3.2 test vector.
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000090000004a00000000")
+        block = chacha20_block(key, 1, nonce)
+        assert block.hex().startswith("10f1e7e4d13b5915500fdd1fa32071c4")
+
+    def test_rfc8439_encryption_vector(self):
+        # RFC 8439 section 2.4.2.
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000000000004a00000000")
+        plaintext = (
+            b"Ladies and Gentlemen of the class of '99: If I could offer you "
+            b"only one tip for the future, sunscreen would be it."
+        )
+        ciphertext = chacha20_xor(key, nonce, plaintext, initial_counter=1)
+        assert ciphertext.hex().startswith("6e2e359a2568f98041ba0728dd0d6981")
+
+    def test_xor_is_involution(self):
+        key = b"\x07" * 32
+        nonce = b"\x01" * 12
+        data = b"some ledger entry payload"
+        assert chacha20_xor(key, nonce, chacha20_xor(key, nonce, data)) == data
+
+
+class TestPoly1305:
+    def test_rfc8439_mac_vector(self):
+        # RFC 8439 section 2.5.2.
+        key = bytes.fromhex(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b"
+        )
+        tag = poly1305_mac(key, b"Cryptographic Forum Research Group")
+        assert tag == bytes.fromhex("a8061dc1305136c6c22b8baf0c0127a9")
+
+
+@pytest.mark.parametrize("key_cls", [AEADKey, FastAEADKey], ids=["chacha", "fast"])
+class TestAEADSuites:
+    def test_seal_open_roundtrip(self, key_cls):
+        key = key_cls.generate(b"ledger-secret")
+        nonce = nonce_from_counter(42)
+        sealed = key.seal(nonce, b"private map update", b"txid:2.42")
+        assert key.open(nonce, sealed, b"txid:2.42") == b"private map update"
+
+    def test_open_rejects_tampered_ciphertext(self, key_cls):
+        key = key_cls.generate(b"k")
+        nonce = nonce_from_counter(1)
+        sealed = bytearray(key.seal(nonce, b"payload"))
+        sealed[0] ^= 0xFF
+        with pytest.raises(VerificationError):
+            key.open(nonce, bytes(sealed))
+
+    def test_open_rejects_tampered_tag(self, key_cls):
+        key = key_cls.generate(b"k")
+        nonce = nonce_from_counter(1)
+        sealed = bytearray(key.seal(nonce, b"payload"))
+        sealed[-1] ^= 0x01
+        with pytest.raises(VerificationError):
+            key.open(nonce, bytes(sealed))
+
+    def test_open_rejects_wrong_aad(self, key_cls):
+        key = key_cls.generate(b"k")
+        nonce = nonce_from_counter(1)
+        sealed = key.seal(nonce, b"payload", b"context-a")
+        with pytest.raises(VerificationError):
+            key.open(nonce, sealed, b"context-b")
+
+    def test_open_rejects_wrong_nonce(self, key_cls):
+        key = key_cls.generate(b"k")
+        sealed = key.seal(nonce_from_counter(1), b"payload")
+        with pytest.raises(VerificationError):
+            key.open(nonce_from_counter(2), sealed)
+
+    def test_open_rejects_wrong_key(self, key_cls):
+        nonce = nonce_from_counter(1)
+        sealed = key_cls.generate(b"k1").seal(nonce, b"payload")
+        with pytest.raises(VerificationError):
+            key_cls.generate(b"k2").open(nonce, sealed)
+
+    def test_open_rejects_truncated_box(self, key_cls):
+        key = key_cls.generate(b"k")
+        with pytest.raises(VerificationError):
+            key.open(nonce_from_counter(0), b"abc")
+
+    def test_empty_plaintext(self, key_cls):
+        key = key_cls.generate(b"k")
+        nonce = nonce_from_counter(9)
+        assert key.open(nonce, key.seal(nonce, b"")) == b""
+
+    def test_rejects_bad_key_size(self, key_cls):
+        with pytest.raises(CryptoError):
+            key_cls(b"short")
+
+    def test_rejects_bad_nonce_size(self, key_cls):
+        key = key_cls.generate(b"k")
+        with pytest.raises(CryptoError):
+            key.seal(b"short", b"data")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=300), st.binary(max_size=50), st.integers(0, 2**40))
+    def test_property_roundtrip(self, key_cls, plaintext, aad, counter):
+        key = key_cls.generate(b"prop")
+        nonce = nonce_from_counter(counter)
+        assert key.open(nonce, key.seal(nonce, plaintext, aad), aad) == plaintext
+
+
+class TestNonce:
+    def test_nonces_are_unique_per_counter(self):
+        assert nonce_from_counter(1) != nonce_from_counter(2)
+        assert nonce_from_counter(1, domain=0) != nonce_from_counter(1, domain=1)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(CryptoError):
+            nonce_from_counter(-1)
+        with pytest.raises(CryptoError):
+            nonce_from_counter(1 << 90)
+
+
+class TestSuiteRegistry:
+    def test_default_suite_resolves(self):
+        key = make_key(DEFAULT_SUITE, b"\x01" * 32)
+        nonce = nonce_from_counter(3)
+        assert key.open(nonce, key.seal(nonce, b"x")) == b"x"
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(CryptoError):
+            make_key("rot13", b"\x01" * 32)
+
+
+class TestX25519:
+    def test_rfc7748_vector(self):
+        scalar = bytes.fromhex(
+            "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4"
+        )
+        point = bytes.fromhex(
+            "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c"
+        )
+        expected = bytes.fromhex(
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        )
+        assert x25519(scalar, point) == expected
+
+    def test_diffie_hellman_agreement(self):
+        alice = DHPrivateKey.generate(b"alice")
+        bob = DHPrivateKey.generate(b"bob")
+        assert alice.exchange(bob.public) == bob.exchange(alice.public)
+
+    def test_distinct_parties_distinct_secrets(self):
+        alice = DHPrivateKey.generate(b"alice")
+        bob = DHPrivateKey.generate(b"bob")
+        carol = DHPrivateKey.generate(b"carol")
+        assert alice.exchange(bob.public) != alice.exchange(carol.public)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(CryptoError):
+            x25519(b"short", b"\x09" + b"\x00" * 31)
+        with pytest.raises(CryptoError):
+            DHPrivateKey(b"short")
+
+
+class TestHKDF:
+    def test_rfc5869_case1(self):
+        ikm = b"\x0b" * 22
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        okm = hkdf(ikm, info, 42, salt)
+        assert okm == bytes.fromhex(
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_output_keyed_by_info(self):
+        assert hkdf(b"secret", b"a", 32) != hkdf(b"secret", b"b", 32)
+
+
+class TestECIES:
+    def test_encrypt_decrypt_roundtrip(self):
+        member = EncryptionKeyPair.generate(b"member0-enc")
+        box = encrypt(member.public, b"recovery share #3", b"entropy")
+        assert member.decrypt(box) == b"recovery share #3"
+
+    def test_wrong_recipient_cannot_decrypt(self):
+        member0 = EncryptionKeyPair.generate(b"m0")
+        member1 = EncryptionKeyPair.generate(b"m1")
+        box = encrypt(member0.public, b"share", b"entropy")
+        with pytest.raises(VerificationError):
+            member1.decrypt(box)
+
+    def test_tampered_box_rejected(self):
+        member = EncryptionKeyPair.generate(b"m0")
+        box = bytearray(encrypt(member.public, b"share", b"entropy"))
+        box[-1] ^= 0x01
+        with pytest.raises(VerificationError):
+            member.decrypt(bytes(box))
+
+    def test_truncated_box_rejected(self):
+        member = EncryptionKeyPair.generate(b"m0")
+        with pytest.raises(VerificationError):
+            member.decrypt(b"tiny")

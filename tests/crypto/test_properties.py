@@ -1,0 +1,93 @@
+"""Additional property-based tests across the crypto layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.certs import Identity, issue
+from repro.crypto.cose import sign_request
+from repro.crypto.ecies import EncryptionKeyPair, encrypt
+from repro.crypto.hkdf import hkdf
+from repro.crypto.x25519 import DHPrivateKey
+from repro.net.channels import NodeChannels
+
+
+class TestECIESProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=200), st.binary(min_size=1, max_size=16),
+           st.binary(min_size=1, max_size=16))
+    def test_roundtrip_any_payload(self, payload, key_seed, entropy):
+        member = EncryptionKeyPair.generate(key_seed)
+        assert member.decrypt(encrypt(member.public, payload, entropy)) == payload
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.binary(min_size=1, max_size=8), st.binary(min_size=1, max_size=8))
+    def test_distinct_recipients_distinct_boxes(self, seed_a, seed_b):
+        if seed_a == seed_b:
+            return
+        a = EncryptionKeyPair.generate(seed_a)
+        b = EncryptionKeyPair.generate(seed_b)
+        box = encrypt(a.public, b"share", b"entropy")
+        assert box != encrypt(b.public, b"share", b"entropy")
+
+
+class TestHKDFProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=1, max_size=64), st.binary(max_size=32),
+           st.integers(min_value=1, max_value=128))
+    def test_deterministic_and_length(self, ikm, info, length):
+        out = hkdf(ikm, info, length)
+        assert len(out) == length
+        assert out == hkdf(ikm, info, length)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=1, max_size=32))
+    def test_prefix_consistency(self, ikm):
+        """HKDF output of length n is a prefix of the length-2n output."""
+        assert hkdf(ikm, b"info", 16) == hkdf(ikm, b"info", 32)[:16]
+
+
+class TestChannelProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.binary(max_size=100), min_size=1, max_size=10))
+    def test_message_sequences_roundtrip(self, payloads):
+        a = NodeChannels("a", DHPrivateKey.generate(b"a"))
+        b = NodeChannels("b", DHPrivateKey.generate(b"b"))
+        a.establish("b", b.public)
+        b.establish("a", a.public)
+        for payload in payloads:
+            assert b.open(a.seal("b", payload)) == payload
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.binary(min_size=1, max_size=8), st.binary(min_size=1, max_size=8))
+    def test_pairwise_keys_are_distinct(self, seed_a, seed_b):
+        if seed_a == seed_b:
+            return
+        a = NodeChannels("a", DHPrivateKey.generate(seed_a))
+        b = NodeChannels("b", DHPrivateKey.generate(seed_b))
+        c = NodeChannels("c", DHPrivateKey.generate(seed_a + b"c"))
+        a.establish("b", b.public)
+        a.establish("c", c.public)
+        assert a._keys["b"].key != a._keys["c"].key
+
+
+class TestCertChainProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.text(alphabet="abcdefgh", min_size=1, max_size=10),
+           st.binary(min_size=1, max_size=8))
+    def test_issue_verify_chain(self, subject, seed):
+        service = Identity.create("svc", seed + b"|svc")
+        from repro.crypto.ecdsa import SigningKey
+
+        node_key = SigningKey.generate(seed + b"|node")
+        cert = issue(subject, node_key.public_key, "svc", service.key)
+        cert.verify(service.certificate.public_key)
+        assert cert.subject == subject
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.dictionaries(st.text(alphabet="xyz", min_size=1, max_size=5),
+                           st.integers(), max_size=5))
+    def test_signed_request_roundtrip(self, body):
+        member = Identity.create("m0", b"prop-m0")
+        envelope = sign_request(member, body)
+        envelope.verify(member.certificate)
+        assert envelope.payload_json() == {str(k): v for k, v in body.items()}

@@ -1,0 +1,271 @@
+"""Governance integration tests (section 5.1, Table 4, Listings 1 & 2)."""
+
+import pytest
+
+from repro.crypto.certs import Identity
+from repro.node import maps
+
+from tests.node.conftest import make_service
+
+
+@pytest.fixture
+def service():
+    return make_service(n_nodes=1, n_members=3)
+
+
+def propose(service, member, actions, node=None):
+    node = node or service.primary_node()
+    return member.client.call(
+        node.node_id, "/gov/propose", {"actions": actions}, signed=True
+    )
+
+
+def vote(service, member, proposal_id, approve=True, ballot=None):
+    node = service.primary_node()
+    return member.client.call(
+        node.node_id,
+        "/gov/vote",
+        {"proposal_id": proposal_id, "ballot": ballot or {"approve": approve}},
+        signed=True,
+    )
+
+
+class TestProposalLifecycle:
+    def test_majority_accepts(self, service):
+        new_user = Identity.create("u-new", b"new-user")
+        response = propose(
+            service,
+            service.members[0],
+            [{"name": "set_user", "args": {
+                "subject": "u-new", "certificate": new_user.certificate.to_dict()}}],
+        )
+        assert response.ok, response.error
+        proposal_id = response.body["proposal_id"]
+        assert response.body["state"] == "Open"
+        first = vote(service, service.members[0], proposal_id)
+        assert first.body["state"] == "Open"  # 1 of 3: not a majority
+        second = vote(service, service.members[1], proposal_id)
+        assert second.body["state"] == "Accepted"  # 2 of 3
+        # The action applied: the user can now call app endpoints.
+        primary = service.primary_node()
+        assert primary.store.get(maps.USERS_CERTS, "u-new") is not None
+
+    def test_rejection(self, service):
+        response = propose(
+            service, service.members[0],
+            [{"name": "set_recovery_threshold", "args": {"recovery_threshold": 1}}],
+        )
+        proposal_id = response.body["proposal_id"]
+        first = vote(service, service.members[0], proposal_id, approve=False)
+        assert first.body["state"] == "Open"
+        second = vote(service, service.members[1], proposal_id, approve=False)
+        assert second.body["state"] == "Rejected"
+
+    def test_no_double_effect_on_repeat_votes(self, service):
+        """Once resolved, further ballots are refused."""
+        response = propose(
+            service, service.members[0],
+            [{"name": "set_recovery_threshold", "args": {"recovery_threshold": 1}}],
+        )
+        proposal_id = response.body["proposal_id"]
+        vote(service, service.members[0], proposal_id)
+        vote(service, service.members[1], proposal_id)
+        late = vote(service, service.members[2], proposal_id)
+        assert late.status == 400
+
+    def test_withdraw(self, service):
+        response = propose(
+            service, service.members[0],
+            [{"name": "set_recovery_threshold", "args": {"recovery_threshold": 1}}],
+        )
+        proposal_id = response.body["proposal_id"]
+        withdrawal = service.members[0].client.call(
+            service.primary_node().node_id,
+            "/gov/withdraw",
+            {"proposal_id": proposal_id},
+            signed=True,
+        )
+        assert withdrawal.body["state"] == "Withdrawn"
+        late = vote(service, service.members[1], proposal_id)
+        assert late.status == 400
+
+    def test_only_proposer_can_withdraw(self, service):
+        response = propose(
+            service, service.members[0],
+            [{"name": "set_recovery_threshold", "args": {"recovery_threshold": 1}}],
+        )
+        attempt = service.members[1].client.call(
+            service.primary_node().node_id,
+            "/gov/withdraw",
+            {"proposal_id": response.body["proposal_id"]},
+            signed=True,
+        )
+        assert attempt.status == 403
+
+    def test_non_member_cannot_propose(self, service):
+        user_client = service.any_user_client()
+        response = user_client.call(
+            service.primary_node().node_id,
+            "/gov/propose",
+            {"actions": [{"name": "set_recovery_threshold",
+                          "args": {"recovery_threshold": 1}}]},
+            signed=True,
+        )
+        assert response.status == 403
+
+    def test_unsigned_proposal_rejected(self, service):
+        member = service.members[0]
+        response = member.client.call(
+            service.primary_node().node_id,
+            "/gov/propose",
+            {"actions": []},
+            credentials={"certificate": member.identity.certificate.to_dict()},
+        )
+        assert response.status == 401
+
+    def test_unknown_action_rejected(self, service):
+        response = propose(
+            service, service.members[0], [{"name": "format_all_disks", "args": {}}]
+        )
+        assert response.status == 400
+
+    def test_proposals_recorded_with_signature_on_ledger(self, service):
+        """Section 5.1: proposals/ballots and their member signatures are
+        public on the ledger for offline audit."""
+        response = propose(
+            service, service.members[0],
+            [{"name": "set_recovery_threshold", "args": {"recovery_threshold": 1}}],
+        )
+        proposal_id = response.body["proposal_id"]
+        primary = service.primary_node()
+        assert primary.store.get(maps.PROPOSALS, proposal_id) is not None
+        envelope = primary.store.get(maps.HISTORY, f"propose:{proposal_id}")
+        assert envelope is not None
+        # The recorded envelope verifies against the member certificate.
+        from repro.crypto.cose import SignedRequest
+
+        SignedRequest.from_dict(envelope).verify(service.members[0].identity.certificate)
+
+
+class TestActions:
+    def test_set_and_remove_user(self, service):
+        new_user = Identity.create("u-x", b"ux")
+        service.run_governance([
+            {"name": "set_user", "args": {
+                "subject": "u-x", "certificate": new_user.certificate.to_dict()}},
+        ])
+        client = service.any_user_client()
+        response = client.call(
+            service.primary_node().node_id,
+            "/app/write_message",
+            {"id": 1, "msg": "hello"},
+            credentials={"certificate": new_user.certificate.to_dict()},
+        )
+        assert response.ok
+        service.run_governance([{"name": "remove_user", "args": {"subject": "u-x"}}])
+        response = client.call(
+            service.primary_node().node_id,
+            "/app/write_message",
+            {"id": 2, "msg": "denied"},
+            credentials={"certificate": new_user.certificate.to_dict()},
+        )
+        assert response.status == 401
+
+    def test_set_member_changes_majority(self, service):
+        """Adding members raises the bar for future proposals."""
+        extra = Identity.create("m-extra", b"m-extra")
+        service.run_governance([
+            {"name": "set_member", "args": {
+                "subject": "m-extra", "certificate": extra.certificate.to_dict()}},
+        ])
+        # 4 members now: 2 approvals are no longer a strict majority.
+        response = propose(
+            service, service.members[0],
+            [{"name": "set_recovery_threshold", "args": {"recovery_threshold": 1}}],
+        )
+        proposal_id = response.body["proposal_id"]
+        vote(service, service.members[0], proposal_id)
+        second = vote(service, service.members[1], proposal_id)
+        assert second.body["state"] == "Open"
+        third = vote(service, service.members[2], proposal_id)
+        assert third.body["state"] == "Accepted"
+
+    def test_add_node_code(self, service):
+        service.run_governance([
+            {"name": "add_node_code", "args": {"code_id": "ff" * 32}},
+        ])
+        primary = service.primary_node()
+        assert primary.store.get(maps.NODES_CODE_IDS, "ff" * 32) == "AllowedToJoin"
+
+    def test_add_node_code_invalidates_open_proposals(self, service):
+        """Listing 1's invalidateOtherOpenProposals."""
+        open_response = propose(
+            service, service.members[0],
+            [{"name": "set_recovery_threshold", "args": {"recovery_threshold": 1}}],
+        )
+        open_id = open_response.body["proposal_id"]
+        service.run_governance([
+            {"name": "add_node_code", "args": {"code_id": "aa" * 32}},
+        ])
+        primary = service.primary_node()
+        info = primary.store.get(maps.PROPOSALS_INFO, open_id)
+        assert info["state"] == "Dropped"
+
+    def test_set_recovery_threshold(self, service):
+        service.run_governance([
+            {"name": "set_recovery_threshold", "args": {"recovery_threshold": 3}},
+        ])
+        info = service.primary_node().store.get(maps.SERVICE_INFO, "service")
+        assert info["recovery_threshold"] == 3
+
+    def test_set_jwt_issuer_enables_jwt_auth(self, service):
+        from repro.crypto.ecdsa import SigningKey
+        from repro.node.jwt import issue_token
+
+        issuer_key = SigningKey.generate(b"idp")
+        service.run_governance([
+            {"name": "set_jwt_issuer", "args": {
+                "issuer": "https://idp.example",
+                "public_key": issuer_key.public_key.encode().hex()}},
+        ])
+        # Add a jwt-authenticated endpoint on the fly for the test app.
+        primary = service.primary_node()
+        primary.app.add_endpoint(
+            "whoami", lambda ctx: {"sub": ctx.caller.identifier},
+            auth_policy="jwt", read_only=True,
+        )
+        token = issue_token(issuer_key, "https://idp.example", "alice")
+        client = service.any_user_client()
+        response = client.call(
+            primary.node_id, "/app/whoami", {}, credentials={"jwt": token}
+        )
+        assert response.ok
+        assert response.body["sub"] == "alice"
+        # A token from an unknown issuer fails.
+        rogue = SigningKey.generate(b"rogue-idp")
+        bad = issue_token(rogue, "https://rogue.example", "mallory")
+        response = client.call(
+            primary.node_id, "/app/whoami", {}, credentials={"jwt": bad}
+        )
+        assert response.status == 401
+
+
+class TestGovernanceAtomicity:
+    def test_accepting_ballot_and_effects_share_one_transaction(self, service):
+        """Listing 2, txid 3.209096: the deciding ballot and the resulting
+        state changes are one atomic ledger entry."""
+        response = propose(
+            service, service.members[0],
+            [{"name": "set_recovery_threshold", "args": {"recovery_threshold": 1}}],
+        )
+        proposal_id = response.body["proposal_id"]
+        vote(service, service.members[0], proposal_id)
+        accepting = vote(service, service.members[1], proposal_id)
+        assert accepting.body["state"] == "Accepted"
+        primary = service.primary_node()
+        from repro.ledger.entry import TxID
+
+        entry = primary.ledger.entry_at(TxID.parse(accepting.txid).seqno)
+        updates = entry.public_writes.updates
+        assert maps.PROPOSALS_INFO in updates
+        assert maps.SERVICE_INFO in updates  # the threshold change

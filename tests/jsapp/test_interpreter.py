@@ -1,0 +1,324 @@
+"""Tests for the mini-JavaScript engine."""
+
+import pytest
+
+from repro.app.jsapp.interp import (
+    Interpreter,
+    JSThrow,
+    evaluate_script,
+    evaluate_vote_function,
+    js_repr,
+)
+from repro.errors import JSError
+
+
+def run_expr(expression, setup=""):
+    env = evaluate_script(f"{setup}\nvar __result = {expression};")
+    return env.lookup("__result")
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "expression,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("(1 + 2) * 3", 9),
+            ("10 % 3", 1.0),
+            ("2 ** 10", 1024),
+            ("7 / 2", 3.5),
+            ("'a' + 'b'", "ab"),
+            ("'n=' + 5", "n=5"),
+            ("1 < 2", True),
+            ("2 <= 2", True),
+            ("3 === 3", True),
+            ("3 !== '3'", True),
+            ("'b' > 'a'", True),
+            ("true && false", False),
+            ("true || false", True),
+            ("!0", True),
+            ("-5", -5),
+            ("1 === 1 ? 'yes' : 'no'", "yes"),
+            ("typeof 'x'", "string"),
+            ("typeof 5", "number"),
+            ("typeof true", "boolean"),
+            ("typeof undefined", "undefined"),
+            ("typeof {}", "object"),
+            ("typeof (x => x)", "function"),
+            ("null === undefined", True),  # both are None in our model
+            ("'key' in {key: 1}", True),
+            ("'nope' in {key: 1}", False),
+        ],
+    )
+    def test_expression_values(self, expression, expected):
+        assert run_expr(expression) == expected
+
+    def test_short_circuit(self):
+        env = evaluate_script("""
+            var called = false;
+            function sideEffect() { called = true; return true; }
+            var r = false && sideEffect();
+        """)
+        assert env.lookup("called") is False
+
+    def test_division_by_zero_throws(self):
+        with pytest.raises(JSThrow):
+            run_expr("1 / 0")
+
+    def test_strict_equality_no_coercion(self):
+        assert run_expr("1 === true") is False
+        assert run_expr("0 === false") is False
+
+
+class TestStatements:
+    def test_while_loop(self):
+        env = evaluate_script("var i = 0; while (i < 5) { i++; }")
+        assert env.lookup("i") == 5
+
+    def test_for_loop_with_break_continue(self):
+        env = evaluate_script("""
+            var evens = [];
+            for (var i = 0; i < 20; i++) {
+                if (i % 2 !== 0) { continue; }
+                if (i > 8) { break; }
+                evens.push(i);
+            }
+        """)
+        assert env.lookup("evens") == [0, 2, 4, 6, 8]
+
+    def test_for_of_array_and_object(self):
+        env = evaluate_script("""
+            var total = 0;
+            for (var x of [1, 2, 3]) { total += x; }
+            var keys = [];
+            for (var k of {a: 1, b: 2}) { keys.push(k); }
+        """)
+        assert env.lookup("total") == 6
+        assert env.lookup("keys") == ["a", "b"]
+
+    def test_block_scoping_of_let(self):
+        env = evaluate_script("""
+            var x = 1;
+            { let x = 2; }
+            var after = x;
+        """)
+        assert env.lookup("after") == 1
+
+    def test_closures(self):
+        env = evaluate_script("""
+            function counter() {
+                var n = 0;
+                return function() { n = n + 1; return n; };
+            }
+            var c = counter();
+            c(); c();
+            var third = c();
+        """)
+        assert env.lookup("third") == 3
+
+    def test_recursion(self):
+        env = evaluate_script(
+            "function fact(n) { return n <= 1 ? 1 : n * fact(n - 1); }"
+        )
+        assert env.lookup("fact")(10) == 3628800
+
+    def test_try_catch_finally(self):
+        env = evaluate_script("""
+            var log = [];
+            try {
+                log.push("try");
+                throw Error("boom");
+            } catch (e) {
+                log.push("caught:" + e.message);
+            } finally {
+                log.push("finally");
+            }
+        """)
+        assert env.lookup("log") == ["try", "caught:boom", "finally"]
+
+    def test_uncaught_throw_escapes(self):
+        with pytest.raises(JSThrow):
+            evaluate_script("throw Error('unhandled');")
+
+    def test_arrow_functions(self):
+        env = evaluate_script("""
+            var add = (a, b) => a + b;
+            var square = x => x * x;
+            var r1 = add(2, 3);
+            var r2 = square(4);
+        """)
+        assert env.lookup("r1") == 5
+        assert env.lookup("r2") == 16
+
+    def test_compound_assignment_and_update(self):
+        env = evaluate_script("""
+            var x = 10;
+            x += 5; x -= 2; x *= 3;
+            var obj = {n: 1};
+            obj.n += 10;
+            var arr = [1];
+            arr[0] += 100;
+        """)
+        assert env.lookup("x") == 39
+        assert env.lookup("obj")["n"] == 11
+        assert env.lookup("arr") == [101]
+
+
+class TestDataStructures:
+    def test_object_literals_and_access(self):
+        env = evaluate_script("""
+            var person = {name: "heidi", roles: ["author"], "quoted key": 1};
+            var byDot = person.name;
+            var byIndex = person["roles"][0];
+            person.added = true;
+            delete person["quoted key"];
+        """)
+        assert env.lookup("byDot") == "heidi"
+        assert env.lookup("byIndex") == "author"
+        assert env.lookup("person") == {"name": "heidi", "roles": ["author"], "added": True}
+
+    def test_array_methods(self):
+        env = evaluate_script("""
+            var a = [5, 3, 8, 1];
+            var doubled = a.map(x => x * 2);
+            var big = a.filter(x => x > 3);
+            var total = a.reduce((acc, x) => acc + x, 0);
+            var found = a.find(x => x === 8);
+            var idx = a.indexOf(8);
+            var joined = a.join("-");
+            var has = a.includes(3);
+            var sliced = a.slice(1, 3);
+        """)
+        assert env.lookup("doubled") == [10, 6, 16, 2]
+        assert env.lookup("big") == [5, 8]
+        assert env.lookup("total") == 17
+        assert env.lookup("found") == 8
+        assert env.lookup("idx") == 2
+        assert env.lookup("joined") == "5-3-8-1"
+        assert env.lookup("has") is True
+        assert env.lookup("sliced") == [3, 8]
+
+    def test_string_methods(self):
+        env = evaluate_script("""
+            var s = "  Confidential Consortium  ";
+            var t = s.trim();
+            var upper = t.toUpperCase();
+            var starts = t.startsWith("Conf");
+            var parts = t.split(" ");
+            var sub = t.substring(0, 12);
+        """)
+        assert env.lookup("t") == "Confidential Consortium"
+        assert env.lookup("upper") == "CONFIDENTIAL CONSORTIUM"
+        assert env.lookup("starts") is True
+        assert env.lookup("parts") == ["Confidential", "Consortium"]
+        assert env.lookup("sub") == "Confidential"
+
+    def test_json_roundtrip(self):
+        env = evaluate_script("""
+            var doc = {actions: [{name: "add_node_code", args: {code_id: "ff"}}]};
+            var text = JSON.stringify(doc);
+            var back = JSON.parse(text);
+        """)
+        assert env.lookup("back") == env.lookup("doc")
+
+    def test_math(self):
+        assert run_expr("Math.floor(3.7)") == 3
+        assert run_expr("Math.max(1, 9, 4)") == 9
+        assert run_expr("Math.abs(0 - 5)") == 5
+
+    def test_object_keys_entries(self):
+        assert run_expr("Object.keys({a: 1, b: 2})") == ["a", "b"]
+        assert run_expr("Object.entries({a: 1})") == [["a", 1]]
+
+    def test_spread_in_array(self):
+        assert run_expr("[0, ...[1, 2], 3]") == [0, 1, 2, 3]
+
+
+class TestSafety:
+    def test_infinite_loop_bounded(self):
+        with pytest.raises(JSError, match="budget"):
+            evaluate_script("while (true) { }")
+
+    def test_undefined_variable(self):
+        with pytest.raises(JSError, match="not defined"):
+            evaluate_script("var x = notDeclaredAnywhere;")
+
+    def test_syntax_error_reported_with_line(self):
+        with pytest.raises(JSError, match="line"):
+            evaluate_script("var x = ;")
+
+    def test_calling_non_function_throws(self):
+        with pytest.raises(JSThrow):
+            evaluate_script("var x = 5; x();")
+
+    def test_null_member_access_throws(self):
+        with pytest.raises(JSThrow):
+            evaluate_script("var x = null; var y = x.field;")
+
+
+class TestGovernanceIntegration:
+    def test_listing2_ballot(self):
+        """The exact ballot source from Listing 2."""
+        source = "export function vote (proposal, proposer_id) {return true}"
+        assert evaluate_vote_function(source, {"actions": []}, "m0") is True
+
+    def test_conditional_ballot(self):
+        """Ballots may inspect the proposal (section 5.1)."""
+        source = """
+        export function vote(proposal, proposer_id) {
+            if (proposer_id === "m-evil") { return false; }
+            for (var action of proposal.actions) {
+                if (action.name === "set_constitution") { return false; }
+            }
+            return true;
+        }
+        """
+        friendly = {"actions": [{"name": "set_user", "args": {}}]}
+        hostile = {"actions": [{"name": "set_constitution", "args": {}}]}
+        assert evaluate_vote_function(source, friendly, "m0") is True
+        assert evaluate_vote_function(source, hostile, "m0") is False
+        assert evaluate_vote_function(source, friendly, "m-evil") is False
+
+    def test_js_resolve_default_constitution(self):
+        from repro.app.jsapp.interp import evaluate_resolve_function
+        from repro.governance.constitution import DEFAULT_JS_RESOLVE
+
+        def resolve(votes, members):
+            rows = [{"member_id": f"m{i}", "vote": vote} for i, vote in enumerate(votes)]
+            return evaluate_resolve_function(
+                DEFAULT_JS_RESOLVE, {"actions": []}, "m0", rows, members
+            )
+
+        assert resolve([True], 3) == "Open"
+        assert resolve([True, True], 3) == "Accepted"
+        assert resolve([False, False], 3) == "Rejected"
+        assert resolve([True, False], 3) == "Open"
+        assert resolve([True, True, False], 5) == "Open"
+        assert resolve([True, True, True], 5) == "Accepted"
+
+    def test_veto_constitution(self):
+        """An alternative constitution: one member holds veto power
+        (section 5.1's example of unequal voting power)."""
+        from repro.app.jsapp.interp import evaluate_resolve_function
+
+        source = """
+        function resolve(proposal, proposer_id, votes, member_count) {
+            var approvals = 0;
+            for (var v of votes) {
+                if (v.member_id === "m0" && !v.vote) { return "Rejected"; }
+                if (v.vote) { approvals = approvals + 1; }
+            }
+            if (approvals > Math.floor(member_count / 2)) { return "Accepted"; }
+            return "Open";
+        }
+        """
+        votes = [{"member_id": "m0", "vote": False}, {"member_id": "m1", "vote": True}]
+        assert evaluate_resolve_function(source, {}, "m1", votes, 3) == "Rejected"
+
+
+class TestJsRepr:
+    def test_representations(self):
+        assert js_repr(None) == "null"
+        assert js_repr(True) == "true"
+        assert js_repr(3.0) == "3"
+        assert js_repr([1, 2]) == "1,2"
+        assert js_repr({"a": 1}) == "[object Object]"

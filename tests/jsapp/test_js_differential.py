@@ -1,0 +1,105 @@
+"""Differential property testing: the mini-JS engine vs Python semantics.
+
+Hypothesis generates random integer arithmetic/comparison expressions and
+random list programs; the interpreter's result must match the equivalent
+Python computation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.app.jsapp.interp import evaluate_script
+
+# Integer arithmetic where JS (our subset) and Python agree exactly:
+# +, -, * over integers, comparisons, boolean combinations.
+
+
+@st.composite
+def int_expressions(draw, depth=0):
+    """Returns (source, python_value) pairs."""
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(st.integers(min_value=-50, max_value=50))
+        return (f"({value})", value)
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left_src, left_val = draw(int_expressions(depth=depth + 1))
+    right_src, right_val = draw(int_expressions(depth=depth + 1))
+    result = {"+": left_val + right_val, "-": left_val - right_val,
+              "*": left_val * right_val}[op]
+    return (f"({left_src} {op} {right_src})", result)
+
+
+class TestArithmeticDifferential:
+    @settings(max_examples=150, deadline=None)
+    @given(int_expressions())
+    def test_integer_arithmetic_matches_python(self, pair):
+        source, expected = pair
+        env = evaluate_script(f"var r = {source};")
+        assert env.lookup("r") == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=-100, max_value=100),
+        st.sampled_from(["<", "<=", ">", ">=", "===", "!=="]),
+    )
+    def test_comparisons_match_python(self, a, b, op):
+        python_op = {"===": "==", "!==": "!="}.get(op, op)
+        expected = eval(f"{a} {python_op} {b}")  # noqa: S307 - test oracle
+        env = evaluate_script(f"var r = ({a}) {op} ({b});")
+        assert env.lookup("r") == expected
+
+
+class TestListProgramDifferential:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=15))
+    def test_sum_loop(self, values):
+        env = evaluate_script(f"""
+            var xs = {values};
+            var total = 0;
+            for (var x of xs) {{ total += x; }}
+        """)
+        assert env.lookup("total") == sum(values)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=15))
+    def test_max_via_reduce(self, values):
+        env = evaluate_script(f"""
+            var xs = {values};
+            var best = xs.reduce(function (a, b) {{ return a > b ? a : b; }});
+        """)
+        assert env.lookup("best") == max(values)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=15))
+    def test_filter_map(self, values):
+        env = evaluate_script(f"""
+            var xs = {values};
+            var out = xs.filter(function (x) {{ return x % 2 === 0; }})
+                        .map(function (x) {{ return x * 3; }});
+        """)
+        assert env.lookup("out") == [x * 3 for x in values if x % 2 == 0]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.text(alphabet="abcxyz", max_size=5), max_size=10))
+    def test_join_split_roundtrip(self, words):
+        import json
+
+        env = evaluate_script(f"""
+            var words = {json.dumps(words)};
+            var joined = words.join("|");
+        """)
+        assert env.lookup("joined") == "|".join(words)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.dictionaries(st.text(alphabet="abcdef", min_size=1, max_size=4),
+                           st.integers(min_value=-50, max_value=50), max_size=8))
+    def test_object_keys_and_json(self, source_dict):
+        import json
+
+        env = evaluate_script(f"""
+            var obj = {json.dumps(source_dict)};
+            var keys = Object.keys(obj);
+            var round = JSON.parse(JSON.stringify(obj));
+        """)
+        assert env.lookup("keys") == list(source_dict.keys())
+        assert env.lookup("round") == source_dict

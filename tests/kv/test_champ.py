@@ -1,0 +1,171 @@
+"""Tests for the CHAMP persistent map."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kv.champ import ChampMap
+
+
+class TestBasics:
+    def test_empty(self):
+        m = ChampMap.empty()
+        assert len(m) == 0
+        assert m.get("x") is None
+        assert "x" not in m
+
+    def test_set_get(self):
+        m = ChampMap.empty().set("a", 1)
+        assert m["a"] == 1
+        assert "a" in m
+        assert len(m) == 1
+
+    def test_getitem_raises_for_missing(self):
+        with pytest.raises(KeyError):
+            ChampMap.empty()["missing"]
+
+    def test_overwrite_keeps_size(self):
+        m = ChampMap.empty().set("a", 1).set("a", 2)
+        assert m["a"] == 2
+        assert len(m) == 1
+
+    def test_remove(self):
+        m = ChampMap.empty().set("a", 1).set("b", 2).remove("a")
+        assert "a" not in m
+        assert m["b"] == 2
+        assert len(m) == 1
+
+    def test_remove_missing_is_noop(self):
+        m = ChampMap.empty().set("a", 1)
+        assert m.remove("zzz") is m
+
+    def test_persistence(self):
+        """Old versions are unaffected by new writes (structural sharing)."""
+        v1 = ChampMap.empty().set("a", 1)
+        v2 = v1.set("a", 2).set("b", 3)
+        assert v1["a"] == 1
+        assert "b" not in v1
+        assert v2["a"] == 2
+        assert v2["b"] == 3
+
+    def test_set_same_value_returns_self(self):
+        value = object()
+        m = ChampMap.empty().set("k", value)
+        assert m.set("k", value) is m
+
+    def test_from_dict_and_to_dict(self):
+        source = {f"key-{i}": i for i in range(100)}
+        m = ChampMap.from_dict(source)
+        assert m.to_dict() == source
+        assert len(m) == 100
+
+    def test_iteration(self):
+        m = ChampMap.from_dict({"a": 1, "b": 2})
+        assert sorted(m) == ["a", "b"]
+        assert sorted(m.keys()) == ["a", "b"]
+        assert sorted(m.values()) == [1, 2]
+        assert sorted(m.items()) == [("a", 1), ("b", 2)]
+
+    def test_equality(self):
+        a = ChampMap.from_dict({"x": 1, "y": 2})
+        b = ChampMap.empty().set("y", 2).set("x", 1)
+        assert a == b
+        assert a != b.set("z", 3)
+
+    def test_mixed_key_types(self):
+        m = ChampMap.empty().set(1, "int").set("1", "str").set((1, 2), "tuple")
+        assert m[1] == "int"
+        assert m["1"] == "str"
+        assert m[(1, 2)] == "tuple"
+
+    def test_bytes_keys(self):
+        m = ChampMap.empty().set(b"k", 1)
+        assert m[b"k"] == 1
+
+
+class TestScale:
+    def test_many_inserts_and_removals(self):
+        m = ChampMap.empty()
+        for i in range(2000):
+            m = m.set(f"key-{i}", i)
+        assert len(m) == 2000
+        for i in range(0, 2000, 2):
+            m = m.remove(f"key-{i}")
+        assert len(m) == 1000
+        for i in range(2000):
+            expected = None if i % 2 == 0 else i
+            assert m.get(f"key-{i}") == expected
+
+    def test_collision_handling(self):
+        """Keys engineered to share 32-bit hashes fall into collision buckets."""
+
+        class Colliding:
+            def __init__(self, name):
+                self.name = name
+
+            def __hash__(self):
+                return 42  # full 32-bit collision for every instance
+
+            def __eq__(self, other):
+                return isinstance(other, Colliding) and self.name == other.name
+
+        keys = [Colliding(f"c{i}") for i in range(10)]
+        m = ChampMap.empty()
+        for i, key in enumerate(keys):
+            m = m.set(key, i)
+        assert len(m) == 10
+        for i, key in enumerate(keys):
+            assert m[key] == i
+        m = m.remove(keys[3])
+        assert keys[3] not in m
+        assert len(m) == 9
+        assert m[keys[4]] == 4
+
+
+class TestPropertyVsDict:
+    """Model-based testing: a ChampMap must behave exactly like a dict."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["set", "remove"]),
+                st.integers(min_value=0, max_value=30),
+                st.integers(),
+            ),
+            max_size=60,
+        )
+    )
+    def test_operations_match_dict(self, ops):
+        champ = ChampMap.empty()
+        model: dict = {}
+        for op, key, value in ops:
+            if op == "set":
+                champ = champ.set(key, value)
+                model[key] = value
+            else:
+                champ = champ.remove(key)
+                model.pop(key, None)
+            assert len(champ) == len(model)
+        assert champ.to_dict() == model
+        for key in range(31):
+            assert champ.get(key, "missing") == model.get(key, "missing")
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.dictionaries(st.text(max_size=8), st.integers(), max_size=40))
+    def test_from_dict_roundtrip(self, source):
+        assert ChampMap.from_dict(source).to_dict() == source
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.dictionaries(st.text(max_size=6), st.integers(), max_size=20),
+        st.text(max_size=6),
+        st.integers(),
+    )
+    def test_persistence_property(self, source, key, value):
+        """Any write leaves every previous version untouched."""
+        original = ChampMap.from_dict(source)
+        before = original.to_dict()
+        original.set(key, value)
+        original.remove(key)
+        assert original.to_dict() == before

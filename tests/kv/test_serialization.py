@@ -1,0 +1,117 @@
+"""Tests for the canonical value codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KVError
+from repro.kv.serialization import decode_value, encode_value, json_safe
+
+# Strategy for the supported value universe.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+)
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+class TestCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            2**70,
+            -(2**70),
+            "",
+            "hello",
+            "ünïcödé",
+            b"",
+            b"\x00\xff",
+            [],
+            [1, "two", b"three", None],
+            {},
+            {"k": "v", "nested": {"a": [1, 2]}},
+        ],
+    )
+    def test_roundtrip_examples(self, value):
+        decoded = decode_value(encode_value(value))
+        assert decoded == value
+
+    def test_tuple_encodes_as_list(self):
+        assert decode_value(encode_value((1, 2))) == [1, 2]
+
+    def test_canonical_dict_ordering(self):
+        """Key order must not affect the encoding (ledger determinism)."""
+        a = encode_value({"x": 1, "y": 2, "z": 3})
+        b = encode_value({"z": 3, "x": 1, "y": 2})
+        assert a == b
+
+    def test_distinct_values_distinct_encodings(self):
+        assert encode_value("1") != encode_value(1)
+        assert encode_value(b"1") != encode_value("1")
+        assert encode_value(True) != encode_value(1)
+        assert encode_value(None) != encode_value(False)
+        assert encode_value(0) != encode_value(-1)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(KVError):
+            encode_value(3.14)
+        with pytest.raises(KVError):
+            encode_value({1, 2})
+        with pytest.raises(KVError):
+            encode_value(object())
+
+    def test_truncated_input_rejected(self):
+        encoded = encode_value({"key": "value"})
+        with pytest.raises(KVError):
+            decode_value(encoded[:-3])
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(KVError):
+            decode_value(encode_value(1) + b"\x00")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(KVError):
+            decode_value(b"\x7f")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(KVError):
+            decode_value(b"")
+
+    @settings(max_examples=200, deadline=None)
+    @given(_values)
+    def test_property_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    @settings(max_examples=100, deadline=None)
+    @given(_values, _values)
+    def test_property_injective(self, a, b):
+        """Different values never share an encoding."""
+        if a != b:
+            assert encode_value(a) != encode_value(b)
+
+
+class TestJsonSafe:
+    def test_bytes_become_tagged_hex(self):
+        assert json_safe(b"\x01\x02") == {"__bytes__": "0102"}
+
+    def test_nested_structures(self):
+        value = {"list": [b"\xff", {"inner": b"\x00"}], "n": 1}
+        import json
+
+        json.dumps(json_safe(value))  # must be JSON-serializable

@@ -1,0 +1,249 @@
+"""Tests for ledger entries, the ledger, secrets, and signature transactions."""
+
+import pytest
+
+from repro.crypto.ecdsa import SigningKey
+from repro.errors import IntegrityError, LedgerError, VerificationError
+from repro.kv.tx import WriteSet
+from repro.ledger.entry import EntryKind, LedgerEntry, TxID
+from repro.ledger.ledger import SIGNATURES_MAP, Ledger
+from repro.ledger.secrets import LedgerSecret, LedgerSecretStore
+
+
+def make_ledger():
+    secrets = LedgerSecretStore(LedgerSecret.generate(b"test-seed"))
+    return Ledger(secrets)
+
+
+def user_write_set(i, private=True):
+    ws = WriteSet()
+    if private:
+        ws.put("messages", i, f"message body {i}")
+    else:
+        ws.put("public:messages", i, f"message body {i}")
+    return ws
+
+
+class TestTxID:
+    def test_ordering(self):
+        assert TxID(1, 5) < TxID(2, 1)
+        assert TxID(2, 1) < TxID(2, 2)
+        assert TxID(2, 2) == TxID(2, 2)
+
+    def test_str_and_parse_roundtrip(self):
+        txid = TxID(view=3, seqno=198408)
+        assert str(txid) == "3.198408"
+        assert TxID.parse("3.198408") == txid
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(LedgerError):
+            TxID.parse("not-a-txid")
+
+
+class TestAppend:
+    def test_append_and_query(self):
+        ledger = make_ledger()
+        entry = ledger.build_entry(1, user_write_set(0))
+        ledger.append(entry)
+        assert ledger.last_seqno == 1
+        assert ledger.last_txid() == TxID(1, 1)
+        assert ledger.entry_at(1) == entry
+
+    def test_seqnos_are_dense(self):
+        ledger = make_ledger()
+        for i in range(5):
+            ledger.append(ledger.build_entry(1, user_write_set(i)))
+        assert [e.txid.seqno for e in ledger.entries()] == [1, 2, 3, 4, 5]
+
+    def test_append_rejects_wrong_seqno(self):
+        ledger = make_ledger()
+        entry = ledger.build_entry(1, user_write_set(0))
+        ledger.append(entry)
+        with pytest.raises(LedgerError):
+            ledger.append(entry)  # same seqno again
+
+    def test_append_rejects_view_regression(self):
+        ledger = make_ledger()
+        ledger.append(ledger.build_entry(3, user_write_set(0)))
+        bad = ledger.build_entry(2, user_write_set(1))
+        with pytest.raises(LedgerError):
+            ledger.append(bad)
+
+    def test_has_txid(self):
+        ledger = make_ledger()
+        ledger.append(ledger.build_entry(2, user_write_set(0)))
+        assert ledger.has_txid(TxID(2, 1))
+        assert not ledger.has_txid(TxID(1, 1))  # different view, same seqno
+        assert not ledger.has_txid(TxID(2, 2))
+        assert ledger.has_txid(TxID(0, 0))  # genesis
+
+    def test_entries_range(self):
+        ledger = make_ledger()
+        for i in range(10):
+            ledger.append(ledger.build_entry(1, user_write_set(i)))
+        subset = list(ledger.entries(3, 5))
+        assert [e.txid.seqno for e in subset] == [3, 4, 5]
+
+
+class TestEncryption:
+    def test_private_writes_are_encrypted_on_ledger(self):
+        ledger = make_ledger()
+        entry = ledger.build_entry(1, user_write_set(0, private=True))
+        assert entry.private_blob != b""
+        assert b"message body" not in entry.private_blob
+        assert b"message body" not in entry.encode()
+        assert "messages" not in entry.public_writes.updates
+
+    def test_public_writes_are_plaintext(self):
+        ledger = make_ledger()
+        entry = ledger.build_entry(1, user_write_set(0, private=False))
+        assert entry.private_blob == b""
+        assert b"message body" in entry.encode()
+
+    def test_decrypt_private_roundtrip(self):
+        ledger = make_ledger()
+        ws = user_write_set(7, private=True)
+        ws.put("public:meta", "k", "v")
+        entry = ledger.build_entry(1, ws)
+        ledger.append(entry)
+        recovered = ledger.decrypt_private(entry)
+        assert recovered.updates == ws.updates
+
+    def test_decrypt_fails_with_wrong_secret(self):
+        ledger = make_ledger()
+        entry = ledger.build_entry(1, user_write_set(0))
+        other = Ledger(LedgerSecretStore(LedgerSecret.generate(b"other-seed")))
+        with pytest.raises(VerificationError):
+            other.decrypt_private(entry)
+
+    def test_decrypt_uses_recorded_generation(self):
+        secrets = LedgerSecretStore(LedgerSecret.generate(b"seed", generation=0))
+        ledger = Ledger(secrets)
+        old_entry = ledger.build_entry(1, user_write_set(0))
+        ledger.append(old_entry)
+        secrets.add(LedgerSecret.generate(b"seed2", generation=1))
+        new_entry = ledger.build_entry(1, user_write_set(1))
+        ledger.append(new_entry)
+        assert old_entry.secret_generation == 0
+        assert new_entry.secret_generation == 1
+        assert ledger.decrypt_private(old_entry).updates
+        assert ledger.decrypt_private(new_entry).updates
+
+    def test_entry_encode_decode_roundtrip(self):
+        ledger = make_ledger()
+        ws = user_write_set(3)
+        ws.put("public:x", "y", [1, 2])
+        entry = ledger.build_entry(2, ws, claims={"who": "alice"})
+        decoded = LedgerEntry.decode(entry.encode())
+        assert decoded == entry
+        assert decoded.leaf_data() == entry.leaf_data()
+
+
+class TestSecretsStore:
+    def test_current_is_latest_generation(self):
+        store = LedgerSecretStore(LedgerSecret.generate(b"a", 0))
+        store.add(LedgerSecret.generate(b"b", 3))
+        assert store.current().generation == 3
+        assert store.for_generation(0).generation == 0
+        assert store.generations() == [0, 3]
+
+    def test_missing_generation_rejected(self):
+        store = LedgerSecretStore(LedgerSecret.generate(b"a", 0))
+        with pytest.raises(LedgerError):
+            store.for_generation(9)
+
+    def test_empty_store_has_no_current(self):
+        with pytest.raises(LedgerError):
+            LedgerSecretStore().current()
+
+
+class TestSignatureTransactions:
+    def _ledger_with_signature(self, n_user=5):
+        ledger = make_ledger()
+        key = SigningKey.generate(b"node0")
+        for i in range(n_user):
+            ledger.append(ledger.build_entry(1, user_write_set(i)))
+        ledger.append(ledger.build_signature_entry(1, "node0", key))
+        return ledger, key
+
+    def test_signature_entry_is_signature_kind(self):
+        ledger, _key = self._ledger_with_signature()
+        assert ledger.entry_at(6).is_signature
+        assert ledger.last_signature_txid() == TxID(1, 6)
+
+    def test_signature_verifies(self):
+        ledger, key = self._ledger_with_signature()
+        record = ledger.verify_signature_entry(6, key.public_key)
+        assert record.node_id == "node0"
+        assert record.seqno == 6
+
+    def test_signature_rejects_wrong_key(self):
+        ledger, _key = self._ledger_with_signature()
+        with pytest.raises(VerificationError):
+            ledger.verify_signature_entry(6, SigningKey.generate(b"evil").public_key)
+
+    def test_signature_detects_tampered_prefix(self):
+        """Replace a pre-signature entry: the signed root no longer matches."""
+        ledger, key = self._ledger_with_signature()
+        entries = list(ledger.entries())
+        tampered = Ledger(ledger.secrets)
+        for entry in entries:
+            if entry.txid.seqno == 2:
+                forged_ws = WriteSet()
+                forged_ws.put("public:messages", 1, "FORGED")
+                entry = LedgerEntry(
+                    txid=entry.txid,
+                    kind=entry.kind,
+                    public_writes=forged_ws,
+                )
+            tampered.append(entry)
+        with pytest.raises(IntegrityError):
+            tampered.verify_signature_entry(6, key.public_key)
+
+    def test_signature_record_in_signatures_map(self):
+        ledger, _key = self._ledger_with_signature()
+        entry = ledger.entry_at(6)
+        assert SIGNATURES_MAP in entry.public_writes.updates
+
+    def test_next_signature_seqno(self):
+        ledger, key = self._ledger_with_signature(3)
+        for i in range(2):
+            ledger.append(ledger.build_entry(1, user_write_set(10 + i)))
+        ledger.append(ledger.build_signature_entry(1, "node0", key))
+        assert ledger.next_signature_seqno(0) == 4
+        assert ledger.next_signature_seqno(4) == 7
+        assert ledger.next_signature_seqno(7) is None
+
+    def test_non_signature_entry_has_no_record(self):
+        ledger, _key = self._ledger_with_signature()
+        with pytest.raises(LedgerError):
+            ledger.signature_record(1)
+
+
+class TestTruncate:
+    def test_truncate_discards_suffix(self):
+        ledger = make_ledger()
+        for i in range(8):
+            ledger.append(ledger.build_entry(1, user_write_set(i)))
+        root_at_5 = None
+        # Build a reference ledger stopped at 5 to compare roots.
+        reference = make_ledger()
+        for i in range(5):
+            reference.append(reference.build_entry(1, user_write_set(i)))
+        root_at_5 = reference.root()
+        ledger.truncate(5)
+        assert ledger.last_seqno == 5
+        assert ledger.root() == root_at_5
+
+    def test_truncate_then_append_new_view(self):
+        ledger = make_ledger()
+        for i in range(4):
+            ledger.append(ledger.build_entry(1, user_write_set(i)))
+        ledger.truncate(2)
+        ledger.append(ledger.build_entry(2, user_write_set(99)))
+        assert ledger.last_txid() == TxID(2, 3)
+
+    def test_truncate_out_of_range(self):
+        ledger = make_ledger()
+        with pytest.raises(LedgerError):
+            ledger.truncate(5)

@@ -1,0 +1,123 @@
+"""Model-based property tests for the ledger (hypothesis).
+
+A random sequence of operations — append user entry, append signature,
+truncate to a random point — is applied both to the real :class:`Ledger`
+and to a trivial reference model (a Python list). Every observable must
+agree, and roots must be reproducible from scratch.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ecdsa import SigningKey
+from repro.kv.tx import WriteSet
+from repro.ledger.entry import TxID
+from repro.ledger.ledger import Ledger
+from repro.ledger.secrets import LedgerSecret, LedgerSecretStore
+
+_KEY = SigningKey.generate(b"prop-signer")
+
+# Operations: ("user",), ("sig",), ("truncate", fraction)
+_operations = st.lists(
+    st.one_of(
+        st.just(("user",)),
+        st.just(("sig",)),
+        st.tuples(st.just("truncate"), st.floats(min_value=0.0, max_value=1.0)),
+    ),
+    max_size=40,
+)
+
+
+def _fresh_ledger():
+    return Ledger(LedgerSecretStore(LedgerSecret.generate(b"prop")))
+
+
+def _apply(ledger: Ledger, model: list, op, view: int) -> None:
+    if op[0] == "user":
+        ws = WriteSet()
+        ws.put("m", ledger.last_seqno, ledger.last_seqno * 7)
+        ledger.append(ledger.build_entry(view, ws))
+        model.append(("user", view))
+    elif op[0] == "sig":
+        ledger.append(ledger.build_signature_entry(view, "signer", _KEY))
+        model.append(("sig", view))
+    else:
+        target = int(len(model) * op[1])
+        ledger.truncate(target)
+        del model[target:]
+
+
+class TestLedgerModel:
+    @settings(max_examples=60, deadline=None)
+    @given(_operations)
+    def test_operations_match_model(self, operations):
+        ledger = _fresh_ledger()
+        model: list = []
+        for op in operations:
+            _apply(ledger, model, op, view=1)
+            # Observables agree after every step.
+            assert ledger.last_seqno == len(model)
+            sig_seqnos = [i + 1 for i, (kind, _v) in enumerate(model) if kind == "sig"]
+            expected_sig = TxID(1, sig_seqnos[-1]) if sig_seqnos else TxID(0, 0)
+            assert ledger.last_signature_txid() == expected_sig
+            # next_signature_seqno agrees with the model.
+            after = len(model) // 2
+            following = [s for s in sig_seqnos if s > after]
+            assert ledger.next_signature_seqno(after) == (
+                following[0] if following else None
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(_operations)
+    def test_root_reproducible_from_scratch(self, operations):
+        """After any op sequence, replaying the surviving entries into a
+        fresh ledger yields the same Merkle root (truncation leaves no
+        residue)."""
+        ledger = _fresh_ledger()
+        model: list = []
+        for op in operations:
+            _apply(ledger, model, op, view=1)
+        rebuilt = _fresh_ledger()
+        for entry in ledger.entries():
+            rebuilt.append(entry)
+        assert rebuilt.root() == ledger.root()
+        assert rebuilt.last_signature_txid() == ledger.last_signature_txid()
+
+    @settings(max_examples=40, deadline=None)
+    @given(_operations, st.integers(min_value=0, max_value=100))
+    def test_has_txid_consistency(self, operations, probe):
+        ledger = _fresh_ledger()
+        model: list = []
+        for op in operations:
+            _apply(ledger, model, op, view=1)
+        seqno = probe % (len(model) + 2)
+        expected = 1 <= seqno <= len(model)
+        assert ledger.has_txid(TxID(1, seqno)) == expected if seqno else True
+        # A different view at the same seqno is never present.
+        if expected:
+            assert not ledger.has_txid(TxID(9, seqno))
+
+    @settings(max_examples=30, deadline=None)
+    @given(_operations)
+    def test_snapshot_metadata_roundtrip(self, operations):
+        """A ledger bootstrapped from snapshot metadata agrees on roots and
+        prefix txids with the original."""
+        ledger = _fresh_ledger()
+        model: list = []
+        for op in operations:
+            _apply(ledger, model, op, view=1)
+        if ledger.last_seqno == 0:
+            return
+        base = ledger.last_seqno
+        metadata = ledger.snapshot_metadata(base)
+        restored = Ledger.from_snapshot_metadata(
+            ledger.secrets,
+            base_seqno=metadata["base_seqno"],
+            txids=[TxID(v, s) for v, s in metadata["txids"]],
+            leaf_hashes=list(metadata["leaf_hashes"]),
+            last_signature_txid=TxID(*metadata["last_signature_txid"]),
+        )
+        assert restored.root() == ledger.root()
+        assert restored.last_signature_txid() == ledger.last_signature_txid()
+        for seqno in range(1, base + 1):
+            assert restored.txid_at(seqno) == ledger.txid_at(seqno)

@@ -1,0 +1,194 @@
+"""Tests for receipts (section 3.5) and ledger chunking."""
+
+import pytest
+
+from repro.crypto.certs import Identity, issue
+from repro.crypto.ecdsa import SigningKey
+from repro.errors import IntegrityError, LedgerError, VerificationError
+from repro.kv.tx import WriteSet
+from repro.ledger.chunking import LedgerChunk, chunk_entries, reassemble_chunks
+from repro.ledger.entry import TxID
+from repro.ledger.ledger import Ledger
+from repro.ledger.receipts import Receipt, issue_receipt
+from repro.ledger.secrets import LedgerSecret, LedgerSecretStore
+
+
+@pytest.fixture
+def service():
+    """A single-node 'service': ledger + node identity endorsed by service."""
+    service_identity = Identity.create("ccf-service", b"service-seed")
+    node_key = SigningKey.generate(b"node0-seed")
+    node_cert = issue("node0", node_key.public_key, "ccf-service", service_identity.key)
+    ledger = Ledger(LedgerSecretStore(LedgerSecret.generate(b"ls")))
+    return service_identity, node_key, node_cert, ledger
+
+
+def post_messages(ledger, n, view=1, start=0):
+    for i in range(start, start + n):
+        ws = WriteSet()
+        ws.put("messages", i, f"msg-{i}")
+        ledger.append(ledger.build_entry(view, ws))
+
+
+class TestReceipts:
+    def test_receipt_verifies(self, service):
+        identity, node_key, node_cert, ledger = service
+        post_messages(ledger, 5)
+        ledger.append(ledger.build_signature_entry(1, "node0", node_key))
+        receipt = issue_receipt(ledger, 3, node_cert)
+        receipt.verify(identity.certificate)
+        assert receipt.txid == TxID(1, 3)
+
+    def test_receipt_for_every_position(self, service):
+        identity, node_key, node_cert, ledger = service
+        post_messages(ledger, 7)
+        ledger.append(ledger.build_signature_entry(1, "node0", node_key))
+        for seqno in range(1, 8):
+            issue_receipt(ledger, seqno, node_cert).verify(identity.certificate)
+
+    def test_receipt_uses_next_signature(self, service):
+        identity, node_key, node_cert, ledger = service
+        post_messages(ledger, 3)
+        ledger.append(ledger.build_signature_entry(1, "node0", node_key))  # seqno 4
+        post_messages(ledger, 3, start=10)
+        ledger.append(ledger.build_signature_entry(1, "node0", node_key))  # seqno 8
+        early = issue_receipt(ledger, 2, node_cert)
+        late = issue_receipt(ledger, 6, node_cert)
+        assert early.signature.seqno == 4
+        assert late.signature.seqno == 8
+        early.verify(identity.certificate)
+        late.verify(identity.certificate)
+
+    def test_no_receipt_before_signature(self, service):
+        _identity, _node_key, node_cert, ledger = service
+        post_messages(ledger, 3)
+        with pytest.raises(IntegrityError):
+            issue_receipt(ledger, 2, node_cert)
+
+    def test_receipt_rejects_wrong_service(self, service):
+        _identity, node_key, node_cert, ledger = service
+        post_messages(ledger, 3)
+        ledger.append(ledger.build_signature_entry(1, "node0", node_key))
+        receipt = issue_receipt(ledger, 1, node_cert)
+        other_service = Identity.create("other-service", b"other")
+        with pytest.raises(VerificationError):
+            receipt.verify(other_service.certificate)
+
+    def test_receipt_rejects_forged_node_cert(self, service):
+        identity, node_key, _node_cert, ledger = service
+        post_messages(ledger, 3)
+        ledger.append(ledger.build_signature_entry(1, "node0", node_key))
+        rogue_key = SigningKey.generate(b"rogue")
+        rogue_identity = Identity.create("node0", b"rogue")
+        receipt = issue_receipt(ledger, 1, rogue_identity.certificate)
+        with pytest.raises(VerificationError):
+            receipt.verify(identity.certificate)
+        del rogue_key
+
+    def test_receipt_rejects_tampered_leaf(self, service):
+        identity, node_key, node_cert, ledger = service
+        post_messages(ledger, 3)
+        ledger.append(ledger.build_signature_entry(1, "node0", node_key))
+        receipt = issue_receipt(ledger, 2, node_cert)
+        tampered = Receipt(
+            txid=receipt.txid,
+            leaf_data=receipt.leaf_data + b"x",
+            proof=receipt.proof,
+            signature=receipt.signature,
+            node_certificate=receipt.node_certificate,
+        )
+        with pytest.raises(IntegrityError):
+            tampered.verify(identity.certificate)
+
+    def test_receipt_serialization_roundtrip(self, service):
+        identity, node_key, node_cert, ledger = service
+        post_messages(ledger, 4)
+        ledger.append(ledger.build_signature_entry(1, "node0", node_key))
+        receipt = issue_receipt(ledger, 3, node_cert)
+        restored = Receipt.from_dict(receipt.to_dict())
+        restored.verify(identity.certificate)
+
+    def test_receipt_with_claims(self, service):
+        identity, node_key, node_cert, ledger = service
+        claims = {"author": "alice", "purpose": "audit"}
+        ws = WriteSet()
+        ws.put("messages", 0, "msg")
+        ledger.append(ledger.build_entry(1, ws, claims=claims))
+        ledger.append(ledger.build_signature_entry(1, "node0", node_key))
+        receipt = issue_receipt(ledger, 1, node_cert, claims=claims)
+        receipt.verify(identity.certificate)
+
+    def test_receipt_rejects_wrong_claims(self, service):
+        identity, node_key, node_cert, ledger = service
+        ws = WriteSet()
+        ws.put("messages", 0, "msg")
+        ledger.append(ledger.build_entry(1, ws, claims={"author": "alice"}))
+        ledger.append(ledger.build_signature_entry(1, "node0", node_key))
+        receipt = issue_receipt(ledger, 1, node_cert, claims={"author": "mallory"})
+        with pytest.raises(IntegrityError):
+            receipt.verify(identity.certificate)
+
+
+class TestChunking:
+    def _entries(self, pattern):
+        """Build entries; pattern chars: 'u' user, 's' signature."""
+        ledger = Ledger(LedgerSecretStore(LedgerSecret.generate(b"ls")))
+        key = SigningKey.generate(b"n0")
+        for i, ch in enumerate(pattern):
+            if ch == "u":
+                ws = WriteSet()
+                ws.put("m", i, i)
+                ledger.append(ledger.build_entry(1, ws))
+            else:
+                ledger.append(ledger.build_signature_entry(1, "node0", key))
+        return list(ledger.entries())
+
+    def test_chunks_end_at_signatures(self):
+        entries = self._entries("uusuuusu")
+        chunks = list(chunk_entries(entries))
+        assert len(chunks) == 3
+        assert chunks[0].is_complete and chunks[0].last_seqno == 3
+        assert chunks[1].is_complete and chunks[1].last_seqno == 7
+        assert not chunks[2].is_complete  # trailing open chunk
+
+    def test_chunk_encode_decode_roundtrip(self):
+        entries = self._entries("uus")
+        chunk = next(chunk_entries(entries))
+        decoded = LedgerChunk.decode(chunk.encode())
+        assert decoded == chunk
+
+    def test_chunk_filenames(self):
+        entries = self._entries("uusu")
+        chunks = list(chunk_entries(entries))
+        assert chunks[0].filename() == "ledger_1_3.chunk"
+        assert chunks[1].filename() == "ledger_4_4.open.chunk"
+
+    def test_reassemble_roundtrip(self):
+        entries = self._entries("uusuusuu")
+        chunks = list(chunk_entries(entries))
+        assert reassemble_chunks(chunks) == entries
+        # Order independence.
+        assert reassemble_chunks(list(reversed(chunks))) == entries
+
+    def test_reassemble_detects_gap(self):
+        entries = self._entries("uusuus")
+        chunks = list(chunk_entries(entries))
+        with pytest.raises(LedgerError):
+            reassemble_chunks([chunks[1]])
+
+    def test_decode_rejects_truncation(self):
+        entries = self._entries("uus")
+        data = next(chunk_entries(entries)).encode()
+        with pytest.raises(LedgerError):
+            LedgerChunk.decode(data[: len(data) - 5])
+
+    def test_decode_rejects_bad_magic(self):
+        with pytest.raises(LedgerError):
+            LedgerChunk.decode(b"NOTMAGIC" + b"\x00" * 16)
+
+    def test_decode_rejects_header_mismatch(self):
+        entries = self._entries("uus")
+        chunk = next(chunk_entries(entries))
+        forged = LedgerChunk(first_seqno=5, last_seqno=7, entries=chunk.entries)
+        with pytest.raises(LedgerError):
+            LedgerChunk.decode(forged.encode())

@@ -1,0 +1,32 @@
+"""Shared fixtures: bootstrapped services of various shapes."""
+
+import pytest
+
+from repro.node.config import NodeConfig
+from repro.service.service import CCFService, ServiceSetup
+
+
+def make_service(
+    n_nodes=3, signature_interval=10, app_factory=None, open_service=True,
+    node_config=None, **kwargs,
+):
+    setup = ServiceSetup(
+        n_nodes=n_nodes,
+        node_config=node_config or NodeConfig(signature_interval=signature_interval),
+        app_factory=app_factory,
+        **kwargs,
+    )
+    service = CCFService(setup)
+    service.bootstrap(open_service=open_service)
+    return service
+
+
+@pytest.fixture
+def service():
+    """A three-node logging service, open for users."""
+    return make_service()
+
+
+@pytest.fixture
+def single_node_service():
+    return make_service(n_nodes=1)

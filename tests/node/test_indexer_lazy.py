@@ -1,0 +1,65 @@
+"""Tests for lazy index rebuilding and the consensus endpoint."""
+
+import pytest
+
+from repro.ledger.entry import TxID
+from repro.node.indexer import Indexer, KeyWriteIndex
+
+from tests.node.conftest import make_service
+
+
+class TestLazyIndexing:
+    def test_lazy_rebuild_matches_eager(self):
+        service = make_service(n_nodes=1)
+        user = service.any_user_client()
+        node = service.primary_node()
+        for i in range(6):
+            user.call(node.node_id, "/app/write_message", {"id": i % 2, "msg": f"m{i}"})
+        service.run(0.3)
+        # The node's own (eager) index.
+        eager = node.indexer.strategy("message_writes")
+        # A fresh, lazily built index over the same ledger.
+        lazy_indexer = Indexer()
+        lazy_indexer.install(KeyWriteIndex("message_writes", "records"))
+        processed = lazy_indexer.rebuild_lazily(node.ledger, node.consensus.commit_seqno)
+        assert processed > 0
+        lazy = lazy_indexer.strategy("message_writes")
+        for key in (0, 1):
+            assert lazy.txids_for_key(key) == eager.txids_for_key(key)
+
+    def test_lazy_rebuild_is_incremental(self):
+        service = make_service(n_nodes=1)
+        user = service.any_user_client()
+        node = service.primary_node()
+        user.call(node.node_id, "/app/write_message", {"id": 1, "msg": "a"})
+        service.run(0.3)
+        indexer = Indexer()
+        indexer.install(KeyWriteIndex("message_writes", "records"))
+        first = indexer.rebuild_lazily(node.ledger, node.consensus.commit_seqno)
+        again = indexer.rebuild_lazily(node.ledger, node.consensus.commit_seqno)
+        assert first > 0
+        assert again == 0  # nothing new to process
+
+
+class TestConsensusEndpoint:
+    def test_consensus_introspection(self):
+        service = make_service(n_nodes=3)
+        user = service.any_user_client()
+        primary = service.primary_node()
+        response = user.call(primary.node_id, "/node/consensus", {})
+        assert response.ok
+        body = response.body
+        assert body["role"] == "Primary"
+        assert body["leader"] == primary.node_id
+        assert body["commit_seqno"] <= body["last_seqno"]
+        assert len(body["configurations"]) == 1
+        assert sorted(body["configurations"][0]["nodes"]) == ["n0", "n1", "n2"]
+        assert body["view_history"][0]["view"] == 1
+
+    def test_backup_reports_backup_role(self):
+        service = make_service(n_nodes=3)
+        user = service.any_user_client()
+        backup = service.backup_nodes()[0]
+        response = user.call(backup.node_id, "/node/consensus", {})
+        assert response.body["role"] == "Backup"
+        assert response.body["leader"] == service.primary_node().node_id

