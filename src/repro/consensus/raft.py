@@ -103,6 +103,12 @@ class ConsensusNode:
             config_base_seqno, initial_nodes
         )
         self.view_history = ViewHistory()
+        # Clock-skew factor applied to this node's election timeouts: a
+        # skewed-fast clock (< 1) fires elections early, a skewed-slow one
+        # (> 1) fires them late. Chaos schedules perturb this; safety must
+        # hold for any positive value (timeouts affect liveness only).
+        self.timer_scale = 1.0
+        self.last_leader_contact = scheduler.now
         # Nodes that replicate but are not yet in any configuration
         # (joined as PENDING, awaiting governance; section 4.4 / 5).
         self.learners: set[str] = set()
@@ -181,7 +187,11 @@ class ConsensusNode:
         timeout = self.scheduler.rng.uniform(
             self.config.election_timeout_min, self.config.election_timeout_max
         )
-        self._election_timer = self.scheduler.after(timeout, self._on_election_timeout)
+        if self.timer_scale <= 0:
+            raise ConsensusError(f"timer_scale must be positive, got {self.timer_scale}")
+        self._election_timer = self.scheduler.after(
+            timeout * self.timer_scale, self._on_election_timeout
+        )
 
     def _arm_heartbeat(self) -> None:
         self._cancel_timer("_heartbeat_timer")
@@ -432,6 +442,7 @@ class ConsensusNode:
         if message.view > self.view or self.role is not Role.BACKUP:
             self._step_down(message.view)
         self.leader_id = message.leader_id
+        self.last_leader_contact = self.scheduler.now
         self._reset_election_timer()
 
         if not self.ledger.has_txid(message.prev_txid):
@@ -461,6 +472,16 @@ class ConsensusNode:
             message.entries[-1].txid.seqno if message.entries else message.prev_txid.seqno
         )
         new_commit = min(message.leader_commit, last_covered)
+        if new_commit < message.leader_commit:
+            # Commit only happens at signature transactions (section 4.1).
+            # A catching-up backup whose covered prefix ends mid-window must
+            # round the leader's commit index down to the last signature it
+            # holds — the entries in between are not yet commit-provable
+            # here. (Found by the chaos engine: a disk-loss replacement
+            # being caught up would otherwise park its commit point on a
+            # user transaction.)
+            signature = self.ledger.prev_signature_seqno(new_commit)
+            new_commit = signature if signature is not None else self.ledger.base_seqno
         if new_commit > self.commit_seqno:
             self._advance_commit(new_commit)
 

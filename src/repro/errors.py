@@ -46,6 +46,11 @@ class ConsensusError(CCFError):
     """Protocol violation or invalid state transition in consensus."""
 
 
+class NotPrimaryError(ConsensusError):
+    """A primary-only operation was attempted on a node that is not (or is
+    no longer) the primary — an environmental race, not a bug."""
+
+
 class ConfigurationError(CCFError):
     """Invalid node or service configuration."""
 

@@ -275,6 +275,16 @@ class Ledger:
             return self._sig_seqnos[index]
         return None
 
+    def prev_signature_seqno(self, at_or_before: int) -> int | None:
+        """The seqno of the last signature entry at or before
+        ``at_or_before`` (among the entries this node retains)."""
+        import bisect
+
+        index = bisect.bisect_right(self._sig_seqnos, at_or_before)
+        if index:
+            return self._sig_seqnos[index - 1]
+        return None
+
     def verify_signature_entry(self, seqno: int, key: VerifyingKey) -> SignatureRecord:
         """Check that the signature entry at ``seqno`` correctly signs the
         Merkle root over the preceding entries. Raises on mismatch."""

@@ -1,9 +1,20 @@
 """The simulated message-passing network.
 
 Endpoints register a handler by name; ``send`` schedules delivery through
-the scheduler after the link latency. Faults — crashed endpoints, pairwise
-partitions, probabilistic loss — are first-class and drive the availability
-experiments (Figure 9).
+the scheduler after the link latency. Faults are first-class and drive the
+availability experiments (Figure 9) and the chaos engine
+(:mod:`repro.sim.chaos`):
+
+- crashed endpoints and pairwise partitions;
+- probabilistic loss, globally or per directed link (asymmetric loss);
+- message duplication and delay spikes (which reorder deliveries);
+- per-node slowdown — a *gray failure*: the node is alive and correct but
+  every message it handles or emits is served at inflated latency.
+
+All randomness comes from the scheduler's seeded RNG, and the extra draws
+only happen while the corresponding fault is armed, so runs without faults
+consume the RNG exactly as before and every faulty run is replayable from
+its seed.
 """
 
 from __future__ import annotations
@@ -30,6 +41,18 @@ class LinkConfig:
         return self.base_latency + rng.uniform(0, self.jitter)
 
 
+@dataclass
+class LinkFaults:
+    """Fault state for one *directed* link (src -> dst)."""
+
+    loss_probability: float = 0.0
+    extra_delay: float = 0.0
+
+    @property
+    def is_clear(self) -> bool:
+        return self.loss_probability == 0.0 and self.extra_delay == 0.0
+
+
 class Network:
     """Registry of endpoints + fault state + delivery scheduling."""
 
@@ -40,8 +63,14 @@ class Network:
         self._down: set[str] = set()
         self._partitions: set[frozenset[str]] = set()
         self._loss_probability = 0.0
+        self._link_faults: dict[tuple[str, str], LinkFaults] = {}
+        self._slowdowns: dict[str, float] = {}
+        self._duplicate_probability = 0.0
+        self._spike_probability = 0.0
+        self._spike_magnitude = 0.0
         self.messages_sent = 0
         self.messages_delivered = 0
+        self.messages_duplicated = 0
 
     # ------------------------------------------------------------------
     # Topology
@@ -80,16 +109,87 @@ class Network:
                 self.partition(a, b)
 
     def heal(self, a: str | None = None, b: str | None = None) -> None:
-        """Heal one pair, or all partitions when called without arguments."""
+        """Heal one pair, or all partitions when called without arguments.
+
+        Passing exactly one endpoint is a caller bug (the partition set is
+        keyed by pairs, so nothing could match) and raises rather than
+        silently doing nothing.
+        """
+        if (a is None) != (b is None):
+            raise ConfigurationError(
+                "heal() takes either both endpoints of a partitioned pair "
+                "or no arguments (heal everything)"
+            )
         if a is None and b is None:
             self._partitions.clear()
         else:
             self._partitions.discard(frozenset((a, b)))
 
     def set_loss_probability(self, probability: float) -> None:
+        self._check_probability(probability)
+        self._loss_probability = probability
+
+    @staticmethod
+    def _check_probability(probability: float) -> None:
         if not 0.0 <= probability < 1.0:
             raise ConfigurationError("loss probability must be in [0, 1)")
-        self._loss_probability = probability
+
+    def set_link_loss(self, src: str, dst: str, probability: float) -> None:
+        """Asymmetric loss on the directed link src -> dst only."""
+        self._check_probability(probability)
+        faults = self._link_faults.setdefault((src, dst), LinkFaults())
+        faults.loss_probability = probability
+        if faults.is_clear:
+            del self._link_faults[(src, dst)]
+
+    def set_link_delay(self, src: str, dst: str, extra_delay: float) -> None:
+        """Add a fixed extra delay to the directed link src -> dst."""
+        if extra_delay < 0:
+            raise ConfigurationError("link delay must be >= 0")
+        faults = self._link_faults.setdefault((src, dst), LinkFaults())
+        faults.extra_delay = extra_delay
+        if faults.is_clear:
+            del self._link_faults[(src, dst)]
+
+    def set_slowdown(self, name: str, extra_delay: float) -> None:
+        """Gray failure: ``name`` stays alive and correct, but every message
+        it sends or receives takes ``extra_delay`` longer (inflated handler
+        latency). 0 clears the fault."""
+        if extra_delay < 0:
+            raise ConfigurationError("slowdown must be >= 0")
+        if extra_delay == 0:
+            self._slowdowns.pop(name, None)
+        else:
+            self._slowdowns[name] = extra_delay
+
+    def slowdown_of(self, name: str) -> float:
+        return self._slowdowns.get(name, 0.0)
+
+    def set_duplicate_probability(self, probability: float) -> None:
+        """With this probability a message is delivered twice, the copy
+        with an independently sampled latency."""
+        self._check_probability(probability)
+        self._duplicate_probability = probability
+
+    def set_delay_spike(self, probability: float, magnitude: float) -> None:
+        """With ``probability``, a message suffers an extra uniform(0,
+        magnitude) delay — later messages overtake it, i.e. reordering."""
+        self._check_probability(probability)
+        if magnitude < 0:
+            raise ConfigurationError("spike magnitude must be >= 0")
+        self._spike_probability = probability
+        self._spike_magnitude = magnitude
+
+    def clear_faults(self) -> None:
+        """Lift every network fault except crashed endpoints: partitions,
+        loss (global and per-link), delays, slowdowns, duplication, spikes."""
+        self._partitions.clear()
+        self._loss_probability = 0.0
+        self._link_faults.clear()
+        self._slowdowns.clear()
+        self._duplicate_probability = 0.0
+        self._spike_probability = 0.0
+        self._spike_magnitude = 0.0
 
     def _delivery_blocked(self, src: str, dst: str) -> bool:
         if src in self._down or dst in self._down:
@@ -98,10 +198,28 @@ class Network:
             return True
         if self._loss_probability and self.scheduler.rng.random() < self._loss_probability:
             return True
+        link = self._link_faults.get((src, dst))
+        if (
+            link is not None
+            and link.loss_probability
+            and self.scheduler.rng.random() < link.loss_probability
+        ):
+            return True
         return False
 
     # ------------------------------------------------------------------
     # Delivery
+
+    def _sample_latency(self, src: str, dst: str, extra_delay: float) -> float:
+        rng = self.scheduler.rng
+        latency = self.link.sample(rng) + extra_delay
+        latency += self._slowdowns.get(src, 0.0) + self._slowdowns.get(dst, 0.0)
+        link = self._link_faults.get((src, dst))
+        if link is not None:
+            latency += link.extra_delay
+        if self._spike_probability and rng.random() < self._spike_probability:
+            latency += rng.uniform(0, self._spike_magnitude)
+        return latency
 
     def send(self, src: str, dst: str, payload: Any, extra_delay: float = 0.0) -> None:
         """Fire-and-forget message. Loss and partitions silently drop — the
@@ -109,7 +227,16 @@ class Network:
         self.messages_sent += 1
         if src in self._down:
             return  # a crashed node sends nothing
-        latency = self.link.sample(self.scheduler.rng) + extra_delay
+        self._schedule_delivery(src, dst, payload, extra_delay)
+        if (
+            self._duplicate_probability
+            and self.scheduler.rng.random() < self._duplicate_probability
+        ):
+            self.messages_duplicated += 1
+            self._schedule_delivery(src, dst, payload, extra_delay)
+
+    def _schedule_delivery(self, src: str, dst: str, payload: Any, extra_delay: float) -> None:
+        latency = self._sample_latency(src, dst, extra_delay)
         blocked_now = frozenset((src, dst)) in self._partitions
 
         def deliver() -> None:

@@ -18,6 +18,7 @@ Request lifecycle (sections 3.1, 4.3):
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable
 
 from repro.app.application import Application
@@ -211,9 +212,19 @@ class CCFNode:
         """Begin joining an existing service through ``via_node``.
 
         ``expected_service`` is the operator-provided service identity the
-        join response must match (trust anchor for the new node).
+        join response must match (trust anchor for the new node). The
+        request is re-sent on a timer until this node is both admitted and
+        durably recorded: the request or response can be lost, and the
+        admitting primary's PENDING transaction can be rolled back by an
+        election before it commits, either of which would otherwise leave
+        the joiner stranded forever.
         """
         self._expected_service = expected_service
+        self._join_targets = [via_node]
+        self._send_join_request(via_node)
+        self._arm_join_retry()
+
+    def _send_join_request(self, via_node: str) -> None:
         quote = self.enclave.attest(self.node_key.public_key.encode())
         self.network.send(
             self.node_id,
@@ -226,11 +237,99 @@ class CCFNode:
             ),
         )
 
+    def _arm_join_retry(self) -> None:
+        def tick() -> None:
+            if self.stopped:
+                return
+            row = (
+                self.store.get(maps.NODES_INFO, self.node_id)
+                if self.consensus is not None
+                else None
+            )
+            if row is not None and row.get("status") != NodeStatus.PENDING.value:
+                return  # trusted (or retired): joining is over
+            orphaned = (
+                self.consensus is not None
+                and not self.consensus.is_primary
+                and self.scheduler.now - self.consensus.last_leader_contact
+                > self.config.join_retry_interval
+            )
+            # ``orphaned`` covers a subtle failure: the admitting primary
+            # registered us as a learner, then lost an election; the new
+            # primary knows nothing of us (the PENDING transaction rolled
+            # back), nobody replicates to us, and our own stale store still
+            # shows the rolled-back row — only the leader silence gives the
+            # orphaning away.
+            if self.consensus is None or row is None or orphaned:
+                # Not admitted yet, or our PENDING record was rolled back by
+                # an election. Rotate through every node we know about —
+                # only the current primary answers, and it may have moved.
+                if self.consensus is not None:
+                    for node_id in sorted(self.consensus.configurations.current.nodes):
+                        if node_id not in self._join_targets and node_id != self.node_id:
+                            self._join_targets.append(node_id)
+                target = self._join_targets.pop(0)
+                self._join_targets.append(target)
+                self._send_join_request(target)
+            self.scheduler.after(self.config.join_retry_interval, tick)
+
+        self.scheduler.after(self.config.join_retry_interval, tick)
+
+    def restart_from_disk(
+        self,
+        salvaged_storage: HostStorage,
+        via_node: str,
+        expected_service: Certificate,
+        expected_seqno: int | None = None,
+    ):
+        """Crash-with-disk-intact restart (section 6.2): the machine came
+        back but its enclave memory — node identity, ledger secrets — is
+        gone, so this is a *new* node that salvages the old disk.
+
+        The salvaged ledger is replayed and its signature transactions
+        verified before anything else: corruption or truncation (checked
+        against ``expected_seqno`` when the operator knows how far the node
+        had persisted) raises :class:`IntegrityError` instead of quietly
+        rejoining over bad files. On success the disk is kept — committed
+        chunks are content-identical across nodes, so the post-join persist
+        path overwrites them in place — and the node rejoins through the
+        real attested join path.
+
+        Returns the :class:`repro.ledger.audit.StorageValidation`.
+        """
+        from repro.errors import IntegrityError as _IntegrityError
+        from repro.ledger.audit import validate_storage
+
+        validation = validate_storage(salvaged_storage, expected_seqno=expected_seqno)
+        if not validation.intact:
+            raise _IntegrityError(
+                f"salvaged ledger failed validation: {validation.describe()}"
+            )
+        self.storage = salvaged_storage
+        self._persisted_seqno = 0  # re-persist over the identical prefix
+        self.request_join(via_node, expected_service)
+        return validation
+
     # -- Join: primary side -------------------------------------------
 
     def _on_join_request(self, src: str, message: JoinRequest) -> None:
         if self.consensus is None or not self.consensus.is_primary:
-            return  # only the primary admits nodes; joiner will retry
+            # Only the primary admits nodes, but the joiner may be pointed
+            # at a backup (the primary can change while it retries). Relay
+            # toward our current leader — one hop only, so two nodes with
+            # stale leader hints cannot bounce a request forever.
+            if (
+                not message.forwarded
+                and self.consensus is not None
+                and self.consensus.leader_id
+                and self.consensus.leader_id != self.node_id
+            ):
+                self.network.send(
+                    self.node_id,
+                    self.consensus.leader_id,
+                    dataclasses.replace(message, forwarded=True),
+                )
+            return
         allowed = {code_id for code_id, _v in self.store.items(maps.NODES_CODE_IDS)}
         try:
             verify_quote(
@@ -242,7 +341,8 @@ class CCFNode:
             )
         except AttestationError as exc:
             self.network.send(
-                self.node_id, src, JoinResponse(accepted=False, error=str(exc))
+                self.node_id, message.node_id,
+                JoinResponse(accepted=False, error=str(exc)),
             )
             return
         # Attestation verified: the secrets may now be shared (section 6.1).
@@ -289,23 +389,35 @@ class CCFNode:
         )
         # Record the node as PENDING (Listing 2's first transaction) with
         # its join metadata, then start replicating to it as a learner.
-        write_set = WriteSet()
-        row = {
-            "status": NodeStatus.PENDING.value,
-            "public_key": message.node_public_key.hex(),
-            "dh_public": message.dh_public.hex(),
-            "platform": message.quote.platform,
-            "code_id": message.quote.code_id,
-        }
-        write_set.put(maps.NODES_INFO, message.node_id, row)
-        self._append_local_entry(write_set)
+        # Joiners re-send until admitted, so this must be idempotent: an
+        # already-recorded node keeps its row (a re-write would demote a
+        # TRUSTED node back to PENDING), and a configuration member is not
+        # re-added as a learner.
+        if self.store.get(maps.NODES_INFO, message.node_id) is None:
+            write_set = WriteSet()
+            row = {
+                "status": NodeStatus.PENDING.value,
+                "public_key": message.node_public_key.hex(),
+                "dh_public": message.dh_public.hex(),
+                "platform": message.quote.platform,
+                "code_id": message.quote.code_id,
+            }
+            write_set.put(maps.NODES_INFO, message.node_id, row)
+            self._append_local_entry(write_set)
         next_seqno = (snapshot.get("metadata") or {}).get("base_seqno", 0) + 1
-        self.consensus.add_learner(message.node_id, next_seqno)
-        self.network.send(self.node_id, src, response)
+        if message.node_id not in self.consensus.configurations.current.nodes:
+            self.consensus.add_learner(message.node_id, next_seqno)
+        # Reply to the joiner itself — with forwarding, ``src`` may be the
+        # relaying backup rather than the joining node.
+        self.network.send(self.node_id, message.node_id, response)
 
     # -- Join: new node side --------------------------------------------
 
     def _on_join_response(self, message: JoinResponse) -> None:
+        if self.consensus is not None:
+            # Already joined: this is a reply to a retried (or duplicated)
+            # join request. Re-initializing from it would throw away state.
+            return
         if not message.accepted:
             raise AttestationError(f"join rejected: {message.error}")
         service_certificate = Certificate.from_dict(message.service_certificate)

@@ -74,6 +74,7 @@ class JoinRequest:
     quote: AttestationQuote
     node_public_key: bytes  # encoded ECDSA verifying key (in quote report data)
     dh_public: bytes
+    forwarded: bool = False  # relayed once by a backup toward its leader
 
 
 @dataclass(frozen=True)

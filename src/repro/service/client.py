@@ -120,6 +120,13 @@ class ClosedLoopClient:
     request; responses are recorded into the shared metrics objects.
     Failed/timed-out requests are retried against ``fallback_nodes`` —
     users "simply retry with other nodes" (section 4.3).
+
+    Retries use exponential backoff with jitter: ``retry_timeout`` is the
+    *base* deadline for a request; each consecutive timeout doubles it
+    (``backoff_factor``) up to ``max_retry_timeout``, and a success resets
+    it. The jitter desynchronizes the client population so a recovering
+    primary is not hit by a retry stampede. A 503 (no/changed primary)
+    also triggers primary re-discovery via the ``/node/network`` endpoint.
     """
 
     def __init__(
@@ -132,6 +139,9 @@ class ClosedLoopClient:
         latency: LatencyRecorder | None = None,
         fallback_nodes: list[str] | None = None,
         retry_timeout: float = 0.2,
+        backoff_factor: float = 2.0,
+        max_retry_timeout: float = 2.0,
+        retry_jitter: float = 0.1,
     ):
         self.client = client
         self.target_node = target_node
@@ -141,6 +151,10 @@ class ClosedLoopClient:
         self.latency = latency if latency is not None else LatencyRecorder()
         self.fallback_nodes = fallback_nodes or []
         self.retry_timeout = retry_timeout
+        self.backoff_factor = backoff_factor
+        self.max_retry_timeout = max(max_retry_timeout, retry_timeout)
+        self.retry_jitter = retry_jitter
+        self._consecutive_timeouts = 0
         self._counter = itertools.count()
         self._running = False
         self.errors = 0
@@ -152,6 +166,26 @@ class ClosedLoopClient:
 
     def stop(self) -> None:
         self._running = False
+
+    def _current_timeout(self) -> float:
+        """Base deadline grown exponentially by consecutive timeouts, with
+        multiplicative jitter on top."""
+        timeout = min(
+            self.retry_timeout * self.backoff_factor ** self._consecutive_timeouts,
+            self.max_retry_timeout,
+        )
+        if self.retry_jitter > 0:
+            timeout *= 1.0 + self.client.scheduler.rng.uniform(0, self.retry_jitter)
+        return timeout
+
+    def _rotate_target(self, failed_node: str) -> None:
+        """Move to the next fallback node — but only once per failure
+        event, not once per outstanding request (section 4.3: "users …
+        will retry with other nodes")."""
+        if self.fallback_nodes and self.target_node == failed_node:
+            self.fallback_nodes.append(self.target_node)
+            self.target_node = self.fallback_nodes.pop(0)
+            self._probe_for_primary()
 
     def _fire(self) -> None:
         if not self._running:
@@ -169,10 +203,15 @@ class ClosedLoopClient:
             timer.cancel()
             now = self.client.scheduler.now
             if response.ok:
+                self._consecutive_timeouts = 0
                 self.throughput.record(now)
                 self.latency.record(now, now - sent_at)
             else:
                 self.errors += 1
+                if response.status == 503:
+                    # "No known primary" / primary changed mid-forward: the
+                    # node is up but cannot serve writes — re-discover.
+                    self._probe_for_primary()
             self._fire()
 
         def on_timeout() -> None:
@@ -180,16 +219,11 @@ class ClosedLoopClient:
                 return
             state["done"] = True
             self.errors += 1
-            # Rotate away from the unresponsive node — but only once per
-            # failure event, not once per outstanding request (section 4.3:
-            # "users … will retry with other nodes").
-            if self.fallback_nodes and self.target_node == sent_to:
-                self.fallback_nodes.append(self.target_node)
-                self.target_node = self.fallback_nodes.pop(0)
-                self._probe_for_primary()
+            self._consecutive_timeouts += 1
+            self._rotate_target(sent_to)
             self._fire()
 
-        timer = self.client.scheduler.after(self.retry_timeout, on_timeout)
+        timer = self.client.scheduler.after(self._current_timeout(), on_timeout)
         self.client.send(
             self.target_node, path, body, credentials, on_response=on_response
         )

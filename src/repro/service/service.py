@@ -10,6 +10,7 @@ same endpoints and governance machinery a real deployment would use.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -230,23 +231,43 @@ class CCFService:
     # ------------------------------------------------------------------
     # Governance driving
 
+    def _require_primary(self) -> CCFNode:
+        primary = self.primary_node()
+        if primary is None:
+            raise CCFError("no primary available")
+        return primary
+
     def run_governance(self, actions: list[dict], timeout: float = 5.0) -> str:
         """Submit a proposal as m0 and vote with members until accepted."""
-        primary = self.primary_node()
+        primary = self._require_primary()
         proposer = self.members[0]
         response = proposer.client.call(
             primary.node_id, "/gov/propose", {"actions": actions}, signed=True,
             timeout=timeout,
         )
-        if not response.ok:
-            raise CCFError(f"proposal failed: {response.error}")
-        proposal_id = response.body["proposal_id"]
-        state = response.body["state"]
+        if response.ok:
+            proposal_id = response.body["proposal_id"]
+            state = response.body["state"]
+        else:
+            # Proposal ids are content-derived, so a retry after a lost
+            # response collides with the proposal that did land — resume
+            # voting on it instead of failing.
+            match = re.search(r"duplicate proposal ([0-9a-f]+)", response.error or "")
+            if match is None:
+                raise CCFError(f"proposal failed: {response.error}")
+            proposal_id = match.group(1)
+            status = proposer.client.call(
+                self._require_primary().node_id, "/gov/proposal",
+                {"proposal_id": proposal_id}, timeout=timeout,
+            )
+            if not status.ok:
+                raise CCFError(f"proposal failed: {response.error}")
+            state = status.body["info"]["state"]
         for member in self.members[1:]:
             if state == "Accepted":
                 break
             vote = member.client.call(
-                self.primary_node().node_id,
+                self._require_primary().node_id,
                 "/gov/vote",
                 {"proposal_id": proposal_id, "ballot": {"approve": True}},
                 signed=True,

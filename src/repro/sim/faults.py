@@ -2,13 +2,20 @@
 
 Figure 9-style experiments need faults at precise simulated times; this
 module schedules them declaratively: crash/restart nodes, partition and
-heal groups, and inject message loss windows.
+heal groups, and inject message loss windows — plus the extended taxonomy
+used by the chaos engine (:mod:`repro.sim.chaos`): per-link asymmetric
+loss, message duplication, delay spikes (reordering), gray failures, and
+clock-skewed election timers.
+
+Every ``fire`` appends a timestamped entry to :attr:`FaultPlan.log`, so a
+run's fault history is part of its replayable record.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigurationError
 from repro.net.network import Network
 from repro.sim.scheduler import Scheduler
 
@@ -23,6 +30,12 @@ class FaultPlan:
 
     def _note(self, description: str) -> None:
         self.log.append((self.scheduler.now, description))
+
+    def _check_window(self, start: float, end: float) -> None:
+        if end <= start:
+            raise ConfigurationError(
+                f"fault window must end after it begins (start={start}, end={end})"
+            )
 
     def crash_node_at(self, time: float, node) -> "FaultPlan":
         """Crash a CCFNode (enclave wiped, endpoint dark) at ``time``."""
@@ -51,6 +64,8 @@ class FaultPlan:
         return self
 
     def loss_window(self, start: float, end: float, probability: float) -> "FaultPlan":
+        self._check_window(start, end)
+
         def begin() -> None:
             self.network.set_loss_probability(probability)
             self._note(f"loss {probability:.0%} begins")
@@ -61,4 +76,89 @@ class FaultPlan:
 
         self.scheduler.at(start, begin)
         self.scheduler.at(end, finish)
+        return self
+
+    def link_loss_window(
+        self, start: float, end: float, src: str, dst: str, probability: float
+    ) -> "FaultPlan":
+        """Asymmetric loss on the directed link src -> dst only."""
+        self._check_window(start, end)
+
+        def begin() -> None:
+            self.network.set_link_loss(src, dst, probability)
+            self._note(f"link loss {src}->{dst} {probability:.0%} begins")
+
+        def finish() -> None:
+            self.network.set_link_loss(src, dst, 0.0)
+            self._note(f"link loss {src}->{dst} ends")
+
+        self.scheduler.at(start, begin)
+        self.scheduler.at(end, finish)
+        return self
+
+    def duplicate_window(self, start: float, end: float, probability: float) -> "FaultPlan":
+        """Deliver a fraction of messages twice."""
+        self._check_window(start, end)
+
+        def begin() -> None:
+            self.network.set_duplicate_probability(probability)
+            self._note(f"duplication {probability:.0%} begins")
+
+        def finish() -> None:
+            self.network.set_duplicate_probability(0.0)
+            self._note("duplication ends")
+
+        self.scheduler.at(start, begin)
+        self.scheduler.at(end, finish)
+        return self
+
+    def delay_spike_window(
+        self, start: float, end: float, probability: float, magnitude: float
+    ) -> "FaultPlan":
+        """Randomly delay (and therefore reorder) messages."""
+        self._check_window(start, end)
+
+        def begin() -> None:
+            self.network.set_delay_spike(probability, magnitude)
+            self._note(f"delay spikes {probability:.0%} up to {magnitude}s begin")
+
+        def finish() -> None:
+            self.network.set_delay_spike(0.0, 0.0)
+            self._note("delay spikes end")
+
+        self.scheduler.at(start, begin)
+        self.scheduler.at(end, finish)
+        return self
+
+    def gray_window(
+        self, start: float, end: float, node_id: str, slowdown: float
+    ) -> "FaultPlan":
+        """Gray failure: ``node_id`` stays alive but serves everything
+        ``slowdown`` seconds late."""
+        self._check_window(start, end)
+
+        def begin() -> None:
+            self.network.set_slowdown(node_id, slowdown)
+            self._note(f"gray failure {node_id} (+{slowdown}s) begins")
+
+        def finish() -> None:
+            self.network.set_slowdown(node_id, 0.0)
+            self._note(f"gray failure {node_id} ends")
+
+        self.scheduler.at(start, begin)
+        self.scheduler.at(end, finish)
+        return self
+
+    def clock_skew_at(self, time: float, node, scale: float) -> "FaultPlan":
+        """Scale a CCFNode's election timers from ``time`` on (a skewed
+        clock: < 1 fires elections early, > 1 late)."""
+        if scale <= 0:
+            raise ConfigurationError(f"clock skew scale must be positive, got {scale}")
+
+        def fire() -> None:
+            if node.consensus is not None:
+                node.consensus.timer_scale = scale
+            self._note(f"clock skew {node.node_id} x{scale}")
+
+        self.scheduler.at(time, fire)
         return self

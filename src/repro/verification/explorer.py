@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.consensus.raft import ConsensusConfig
+from repro.errors import NotPrimaryError
 from repro.verification.invariants import check_all_invariants
 
 
@@ -91,7 +92,7 @@ def explore(
                         primary.submit_write(("k", _step), rng.randrange(1000))
                         if rng.random() < 0.4:
                             primary.sign_now()
-                    except AssertionError:
+                    except NotPrimaryError:
                         pass  # lost primacy between check and call
             cluster.run(rng.uniform(0.02, 0.3))
             engines = [host.consensus for host in cluster.hosts.values()]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.consensus.raft import ConsensusConfig, ConsensusNode
 from repro.crypto.ecdsa import SigningKey
+from repro.errors import NotPrimaryError
 from repro.kv.store import KVStore
 from repro.kv.tx import WriteSet
 from repro.ledger.entry import EntryKind, LedgerEntry
@@ -83,9 +84,20 @@ class MiniHost:
         }
         return frozenset(trusted)
 
+    def _require_primary(self) -> None:
+        if self.consensus is None or not self.consensus.is_primary:
+            raise NotPrimaryError(
+                f"{self.node_id} is not the primary (an election may have "
+                "intervened between check and call)"
+            )
+
     def submit_write(self, key, value, map_name: str = "data") -> LedgerEntry:
-        """Primary-side user write: execute + append + notify consensus."""
-        assert self.consensus is not None and self.consensus.is_primary
+        """Primary-side user write: execute + append + notify consensus.
+
+        Raises :class:`NotPrimaryError` when this node is not (or is no
+        longer) the primary — an environmental race, not a bug.
+        """
+        self._require_primary()
         write_set = WriteSet()
         write_set.put(map_name, key, value)
         entry = self.ledger.build_entry(self.consensus.view, write_set)
@@ -97,7 +109,7 @@ class MiniHost:
 
     def submit_reconfiguration(self, statuses: dict[str, str]) -> LedgerEntry:
         """Primary-side reconfiguration: write node statuses to nodes.info."""
-        assert self.consensus is not None and self.consensus.is_primary
+        self._require_primary()
         write_set = WriteSet()
         merged = dict(self.store.items(NODES_INFO_MAP))
         for node_id, status in statuses.items():
@@ -118,7 +130,7 @@ class MiniHost:
 
     def sign_now(self) -> LedgerEntry:
         """Primary-side signature transaction (commit point)."""
-        assert self.consensus is not None and self.consensus.is_primary
+        self._require_primary()
         entry = self.append_signature_entry(self.consensus.view)
         self.consensus.note_local_append(entry, None)
         self.consensus.replicate_now()

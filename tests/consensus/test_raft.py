@@ -454,3 +454,68 @@ class TestSafetyInvariants:
                 else:
                     assert prefix == reference
         assert reference is not None
+
+
+class TestCatchUpCommitRounding:
+    def test_catching_up_backup_commits_only_at_signatures(self):
+        """A backup fed one entry per append_entries must round the
+        leader's commit index down to the last signature it holds — its
+        commit point may never rest on a user transaction. Regression for
+        a bug found by the chaos engine (repro.sim.chaos)."""
+        from repro.verification.invariants import check_commit_at_signature
+
+        cluster = Cluster(3, seed=11, config=ConsensusConfig(max_batch_entries=1))
+        cluster.start()
+        converge(cluster, 0.2)
+        primary = cluster.primary()
+        straggler = next(
+            h for h in cluster.hosts.values() if h.node_id != primary.node_id
+        )
+        for peer in cluster.hosts:
+            if peer != straggler.node_id:
+                cluster.network.partition(straggler.node_id, peer)
+        # Two signature windows with user transactions in between: the
+        # majority side commits well past the straggler.
+        for batch in range(2):
+            for i in range(3):
+                primary.submit_write(("k", batch, i), i)
+            primary.sign_now()
+        converge(cluster, 0.5)
+        assert primary.consensus.commit_seqno > straggler.consensus.commit_seqno
+
+        cluster.network.heal()
+        engines = [h.consensus for h in cluster.hosts.values()]
+        target = primary.consensus.commit_seqno
+        for _ in range(20_000):
+            if not cluster.scheduler.step():
+                break
+            # The invariant must hold at *every* intermediate step of the
+            # one-entry-at-a-time catch-up, not just at quiescence.
+            check_commit_at_signature(engines)
+            if straggler.consensus.commit_seqno >= target:
+                break
+        assert straggler.consensus.commit_seqno >= target
+
+
+class TestNotPrimaryError:
+    def test_backup_submissions_raise_typed_error(self):
+        from repro.errors import NotPrimaryError
+
+        cluster = Cluster(3, seed=5)
+        cluster.start()
+        converge(cluster, 0.2)
+        backup = next(
+            h for h in cluster.hosts.values() if not h.consensus.is_primary
+        )
+        with pytest.raises(NotPrimaryError):
+            backup.submit_write("k", 1)
+        with pytest.raises(NotPrimaryError):
+            backup.sign_now()
+        with pytest.raises(NotPrimaryError):
+            backup.submit_reconfiguration({"n9": "Trusted"})
+
+    def test_not_primary_error_is_consensus_error(self):
+        from repro.errors import CCFError, ConsensusError, NotPrimaryError
+
+        assert issubclass(NotPrimaryError, ConsensusError)
+        assert issubclass(NotPrimaryError, CCFError)

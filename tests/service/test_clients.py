@@ -111,3 +111,67 @@ class TestClosedLoopClient:
         count = throughput.count
         service.run(0.1)
         assert throughput.count <= count + 3  # only in-flight stragglers
+
+
+class TestBackoffAndRediscovery:
+    def _loop_client(self, service, **kwargs):
+        user = service.users[0]
+        endpoint = ServiceClient(
+            service.scheduler, service.network, name="backoff-test", identity=user
+        )
+        primary = service.primary_node()
+        return ClosedLoopClient(
+            endpoint,
+            primary.node_id,
+            lambda i: ("/app/write_message", {"id": i, "msg": "x"},
+                       endpoint.credentials_for_cert_auth()),
+            concurrency=1,
+            fallback_nodes=[n.node_id for n in service.backup_nodes()],
+            **kwargs,
+        )
+
+    def test_timeout_grows_exponentially_with_jitter_and_caps(self, service):
+        client = self._loop_client(
+            service, retry_timeout=0.1, backoff_factor=2.0,
+            max_retry_timeout=0.5, retry_jitter=0.1,
+        )
+        for consecutive, base in [(0, 0.1), (1, 0.2), (2, 0.4), (3, 0.5), (9, 0.5)]:
+            client._consecutive_timeouts = consecutive
+            for _ in range(5):
+                timeout = client._current_timeout()
+                assert base <= timeout <= base * 1.1 + 1e-9
+
+    def test_success_resets_backoff(self, service):
+        client = self._loop_client(service, retry_timeout=0.05)
+        client.start()
+        service.run(1.0)
+        client.stop()
+        assert client.throughput.count > 0
+        assert client._consecutive_timeouts == 0
+
+    def test_primary_crash_triggers_backoff_and_rediscovery(self, service):
+        client = self._loop_client(service, retry_timeout=0.05, retry_jitter=0.1)
+        client.start()
+        service.run(0.3)
+        old_primary = client.target_node
+        service.kill_node(old_primary)
+        service.run_until(
+            lambda: service.primary_node() is not None
+            and service.primary_node().node_id != old_primary,
+            timeout=10.0,
+        )
+        before = client.throughput.count
+        service.run(2.0)
+        # The client moved off the dead node and resumed making progress.
+        assert client.target_node != old_primary
+        assert client.throughput.count > before
+
+    def test_rotation_happens_once_per_failure_event(self, service):
+        client = self._loop_client(service, retry_timeout=0.05)
+        original = client.target_node
+        client._rotate_target(original)
+        rotated_once = client.target_node
+        assert rotated_once != original
+        # A stale timeout for the same (already abandoned) node is a no-op.
+        client._rotate_target(original)
+        assert client.target_node == rotated_once
