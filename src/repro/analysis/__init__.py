@@ -1,0 +1,44 @@
+"""Determinism & protocol-hygiene static analysis (plus a runtime
+replay-divergence sanitizer in :mod:`repro.analysis.sanitizer`).
+
+Everything this reproduction guarantees — byte-for-byte chaos replay from a
+seed, auditable ledgers, model-checkable consensus — rests on two coding
+disciplines the paper's trust story assumes but convention alone cannot
+enforce:
+
+1. **Determinism**: all time flows from the simulated scheduler and all
+   randomness from its seeded RNG; no ordering ever depends on memory
+   addresses or ``PYTHONHASHSEED``.
+2. **Protocol hygiene**: protocol failures are *typed* (``repro.errors``)
+   rather than asserted or swallowed, and authenticator comparisons are
+   constant-time.
+
+The linter (``python -m repro.analysis src``) machine-checks both with an
+AST rule catalog (DET001–003, SEC001–002, PROTO001–002); the sanitizer
+(``python -m repro.analysis.sanitizer``) checks the *runtime* half by
+replaying a seeded chaos schedule twice and binary-searching any trace
+divergence to the first differing event. See DESIGN.md § "Determinism
+discipline" for the catalog and suppression syntax.
+"""
+
+from repro.analysis.core import (
+    AnalysisResult,
+    Baseline,
+    FileContext,
+    Finding,
+    RULES,
+    Rule,
+    analyze_paths,
+    register,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "RULES",
+    "Rule",
+    "analyze_paths",
+    "register",
+]

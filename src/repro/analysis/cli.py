@@ -1,0 +1,109 @@
+"""Command line for the linter: ``python -m repro.analysis [paths]``.
+
+Exit codes: 0 clean, 1 findings (or parse errors), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.core import RULES, AnalysisResult, Baseline, analyze_paths
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _print_text(result: AnalysisResult, out) -> None:
+    for finding in [*result.parse_errors, *result.findings]:
+        print(f"{finding.location()}: {finding.rule} {finding.message}", file=out)
+        if finding.snippet:
+            print(f"    {finding.snippet}", file=out)
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files_analyzed} file(s)"
+        f" ({result.baselined} baselined, {result.suppressed} suppressed)"
+    )
+    if result.parse_errors:
+        summary += f", {len(result.parse_errors)} parse error(s)"
+    print(summary, file=out)
+
+
+def _print_json(result: AnalysisResult, out) -> None:
+    payload = {
+        "findings": [finding.to_dict() for finding in result.findings],
+        "parse_errors": [finding.to_dict() for finding in result.parse_errors],
+        "files_analyzed": result.files_analyzed,
+        "baselined": result.baselined,
+        "suppressed": result.suppressed,
+        "clean": result.clean,
+    }
+    json.dump(payload, out, indent=2)
+    out.write("\n")
+
+
+def _list_rules(out) -> None:
+    from repro.analysis import rules as _rules  # noqa: F401 - populate registry
+
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        print(f"{rule_id}  {rule.title}", file=out)
+        print(f"        {rule.rationale}", file=out)
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism & protocol-hygiene linter for the CCF "
+        "reproduction. Run `--list-rules` for the catalog; suppress a "
+        "reviewed exception with `# repro-lint: disable=RULE -- reason`.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--rules", help="comma-separated rule ids (default: all)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default: {DEFAULT_BASELINE} if present)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record current findings as the accepted baseline")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _list_rules(out)
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [rule.strip().upper() for rule in args.rules.split(",") if rule.strip()]
+        from repro.analysis import rules as _rules  # noqa: F401
+
+        unknown = [rule for rule in rules if rule not in RULES]
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    baseline = None
+    if not args.write_baseline and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+
+    result = analyze_paths(paths, root=Path.cwd(), rules=rules, baseline=baseline)
+
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(f"wrote {len(result.findings)} finding(s) to {baseline_path}", file=out)
+        return 0
+
+    if args.format == "json":
+        _print_json(result, out)
+    else:
+        _print_text(result, out)
+    return 0 if result.clean else 1

@@ -1,0 +1,285 @@
+"""Core machinery of the determinism & protocol-hygiene linter.
+
+The framework is deliberately small and dependency-free:
+
+- :class:`FileContext` — one parsed source file (AST, lines, import map).
+- :class:`Rule` — base class; concrete rules register themselves with
+  :func:`register` and yield :class:`Finding` objects from ``check``.
+- Suppressions — ``# repro-lint: disable=RULE1,RULE2`` on the flagged line
+  (or alone on the line above) silences specific rules; a bare
+  ``# repro-lint: disable`` silences everything on that line. Suppressions
+  are for *reviewed* exceptions and should carry a reason in the comment.
+- :class:`Baseline` — a JSON ratchet for legacy findings: existing debt is
+  recorded once and only *new* findings fail the build. This repository
+  keeps the baseline empty; the mechanism exists so downstream forks can
+  adopt the linter without a flag day.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from hashlib import sha256
+from pathlib import Path
+from typing import Iterable, Iterator
+
+# The directive may follow explanatory prose within the same comment
+# ("# salvaged disks fail arbitrarily. repro-lint: disable=PROTO002").
+_SUPPRESS_RE = re.compile(r"#.*?\brepro-lint:\s*disable(?:=([A-Za-z0-9_,\s]+))?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str  # repo-relative, posix-style
+    line: int
+    column: int
+    message: str
+    snippet: str  # the offending source line, stripped
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def content_key(self) -> str:
+        """Line-number-independent identity used by the baseline, so
+        findings survive unrelated edits that shift lines."""
+        digest = sha256(self.snippet.encode()).hexdigest()[:16]
+        return f"{self.rule}|{self.path}|{digest}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+class FileContext:
+    """A parsed source file plus the lookups rules share."""
+
+    def __init__(self, path: Path, rel_path: str, source: str):
+        self.path = path
+        self.rel_path = rel_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=rel_path)
+        self.imports = self._collect_imports()
+        self._suppressions = self._collect_suppressions()
+
+    # -- imports --------------------------------------------------------
+
+    def _collect_imports(self) -> dict[str, str]:
+        """Map local alias -> dotted origin (``t`` -> ``time``,
+        ``now`` -> ``datetime.datetime.now``) for resolving call targets."""
+        imports: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imports[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        return imports
+
+    def resolve_call_name(self, qual: str | None) -> str | None:
+        """Expand the first component of a dotted name through the import
+        map: with ``import time as t``, ``t.time`` resolves to ``time.time``."""
+        if qual is None:
+            return None
+        head, _, rest = qual.partition(".")
+        origin = self.imports.get(head)
+        if origin is None:
+            return qual
+        return f"{origin}.{rest}" if rest else origin
+
+    # -- suppressions ---------------------------------------------------
+
+    def _collect_suppressions(self) -> dict[int, set[str]]:
+        suppressions: dict[int, set[str]] = {}
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if not match:
+                continue
+            rules = (
+                {rule.strip().upper() for rule in match.group(1).split(",") if rule.strip()}
+                if match.group(1)
+                else {"*"}
+            )
+            # A comment-only line suppresses the line below; an end-of-line
+            # comment suppresses its own line.
+            target = lineno + 1 if text.lstrip().startswith("#") else lineno
+            suppressions.setdefault(target, set()).update(rules)
+        return suppressions
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rules = self._suppressions.get(line)
+        return rules is not None and ("*" in rules or rule.upper() in rules)
+
+    # -- finding construction ------------------------------------------
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0) + 1
+        snippet = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        return Finding(
+            rule=rule, path=self.rel_path, line=line, column=column,
+            message=message, snippet=snippet,
+        )
+
+
+class Rule:
+    """Base class for lint rules. Subclasses set the class attributes and
+    implement :meth:`check`; registration is explicit via :func:`register`."""
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (as a singleton) to the registry."""
+    instance = cls()
+    if not instance.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if instance.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {instance.rule_id}")
+    RULES[instance.rule_id] = instance
+    return cls
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files_analyzed: int = 0
+    parse_errors: list[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+
+class Baseline:
+    """A ratchet of accepted findings, keyed by content (not line number).
+
+    The on-disk format counts occurrences per key, so two identical lines
+    in one file baseline independently.
+    """
+
+    def __init__(self, counts: dict[str, int] | None = None):
+        self.counts: dict[str, int] = dict(counts or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        return cls(data.get("findings", {}))
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            key = finding.content_key()
+            baseline.counts[key] = baseline.counts.get(key, 0) + 1
+        return baseline
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "comment": "repro.analysis baseline: accepted legacy findings; "
+                       "keep this empty unless ratcheting down real debt",
+            "findings": dict(sorted(self.counts.items())),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def filter(self, findings: list[Finding]) -> tuple[list[Finding], int]:
+        """Split findings into (new, number_baselined)."""
+        budget = dict(self.counts)
+        fresh: list[Finding] = []
+        baselined = 0
+        for finding in findings:
+            key = finding.content_key()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined += 1
+            else:
+                fresh.append(finding)
+        return fresh, baselined
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield .py files under ``paths`` (files or directories), skipping
+    caches and hidden directories, in sorted (deterministic) order."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = candidate.relative_to(path).parts
+            if any(part.startswith(".") or part == "__pycache__" for part in parts):
+                continue
+            yield candidate
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    root: Path | None = None,
+    rules: Iterable[str] | None = None,
+    baseline: Baseline | None = None,
+) -> AnalysisResult:
+    """Run the selected rules (default: all) over every Python file under
+    ``paths``. Paths in findings are reported relative to ``root``."""
+    # Importing the rules module populates the registry exactly once.
+    from repro.analysis import rules as _rules  # noqa: F401 - registration side effect
+
+    root = root if root is not None else Path.cwd()
+    selected = [
+        RULES[rule_id]
+        for rule_id in (sorted(RULES) if rules is None else rules)
+    ]
+    result = AnalysisResult()
+    raw: list[Finding] = []
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        try:
+            rel = file_path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = file_path.as_posix()
+        source = file_path.read_text()
+        try:
+            ctx = FileContext(file_path, rel, source)
+        except SyntaxError as exc:
+            result.parse_errors.append(Finding(
+                rule="SYNTAX", path=rel, line=exc.lineno or 1,
+                column=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}", snippet="",
+            ))
+            continue
+        result.files_analyzed += 1
+        for rule in selected:
+            for finding in rule.check(ctx):
+                if ctx.is_suppressed(finding.rule, finding.line):
+                    result.suppressed += 1
+                else:
+                    raw.append(finding)
+    raw.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    if baseline is not None:
+        raw, result.baselined = baseline.filter(raw)
+    result.findings = raw
+    return result

@@ -1,0 +1,509 @@
+"""The rule catalog: determinism (DET*), secret hygiene (SEC*), and
+protocol-error discipline (PROTO*).
+
+Every rule is an AST heuristic tuned to this codebase: precise enough that
+``python -m repro.analysis src`` runs with an **empty baseline**, strict
+enough that the nondeterminism and hygiene classes it names cannot silently
+reappear. Reviewed exceptions use ``# repro-lint: disable=<RULE>`` comments
+with a reason, never the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+
+
+def qual_name(node: ast.AST) -> str | None:
+    """Dotted name of a Name/Attribute chain (``a.b.c``), else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The last component of a Name/Attribute chain."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _name_tokens(name: str) -> set[str]:
+    return {token for token in re.split(r"[_\d]+", name.lower()) if token}
+
+
+def _is_constant_name(node: ast.AST) -> bool:
+    """ALL_CAPS names follow the module-constant convention and are never
+    treated as secret material."""
+    name = terminal_name(node)
+    return name is not None and name.upper() == name and any(c.isalpha() for c in name)
+
+
+def _is_trivial_literal(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float, bool, type(None))
+    )
+
+
+# ----------------------------------------------------------------------
+# DET001 — wall-clock / unseeded entropy
+
+
+@register
+class WallClockRule(Rule):
+    rule_id = "DET001"
+    title = "wall-clock or unseeded entropy outside the entropy boundary"
+    rationale = (
+        "Replay-from-seed only holds if all time comes from the simulated "
+        "scheduler and all randomness from its seeded RNG. Wall-clock reads "
+        "and process-global entropy sources make runs unreproducible."
+    )
+
+    # Fully resolved call targets that read ambient time or entropy.
+    FORBIDDEN_CALLS = {
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+        "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+        "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+        "secrets.randbits", "secrets.randbelow", "secrets.choice",
+    }
+    # datetime constructors that capture "now" (matched on the trailing
+    # two components so both datetime.now and datetime.datetime.now hit).
+    FORBIDDEN_TAILS = {
+        "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+    }
+    # The module-global random.* API shares one process-wide, unseeded (or
+    # racily reseeded) generator; only instance RNGs threaded from the
+    # scheduler are deterministic.
+    GLOBAL_RANDOM_FNS = {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "getrandbits", "randbytes", "gauss",
+        "normalvariate", "expovariate", "betavariate", "seed",
+    }
+    # Paths (relative, posix) allowed to touch ambient entropy: the
+    # designated boundary where real entropy may enter (none today — the
+    # whole tree is seed-deterministic).
+    ENTROPY_BOUNDARY: tuple[str, ...] = ()
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.rel_path in self.ENTROPY_BOUNDARY:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve_call_name(qual_name(node.func))
+            if resolved is None:
+                continue
+            if resolved in self.FORBIDDEN_CALLS:
+                yield ctx.finding(
+                    self.rule_id, node,
+                    f"call to {resolved}() reads ambient time/entropy; use the "
+                    "scheduler's virtual clock or its seeded RNG",
+                )
+                continue
+            parts = resolved.split(".")
+            if len(parts) >= 2 and ".".join(parts[-2:]) in self.FORBIDDEN_TAILS:
+                yield ctx.finding(
+                    self.rule_id, node,
+                    f"{resolved}() captures the wall clock; derive timestamps "
+                    "from scheduler.now",
+                )
+                continue
+            if (
+                len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] in self.GLOBAL_RANDOM_FNS
+            ):
+                yield ctx.finding(
+                    self.rule_id, node,
+                    f"module-level random.{parts[1]}() uses the process-global "
+                    "RNG; thread a seeded random.Random instance instead",
+                )
+
+
+# ----------------------------------------------------------------------
+# DET002 — unsorted set iteration feeding serialization / messages
+
+
+def _is_set_expr(node: ast.AST, set_vars: set[str]) -> bool:
+    """Syntactic over-approximation of 'this expression is a set'."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return terminal_name(node.func) in {"set", "frozenset"}
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_vars) or _is_set_expr(node.right, set_vars)
+    if isinstance(node, ast.Name):
+        return node.id in set_vars
+    return False
+
+
+def _annotation_is_set(annotation: ast.AST | None) -> bool:
+    if annotation is None:
+        return False
+    for node in ast.walk(annotation):
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            if terminal_name(node) in {"set", "frozenset", "Set", "FrozenSet"}:
+                return True
+    return False
+
+
+@register
+class SetIterationRule(Rule):
+    rule_id = "DET002"
+    title = "unsorted set iteration flowing into a deterministic sink"
+    rationale = (
+        "Set iteration order depends on PYTHONHASHSEED and insertion "
+        "history. When the loop emits messages, hashes, serializes, or "
+        "writes state, the order becomes protocol-visible and replay "
+        "diverges across processes. Wrap the iterable in sorted()."
+    )
+
+    # Only protocol-visible packages: order inside pure computation is fine.
+    SCOPED_PACKAGES = ("repro/ledger/", "repro/consensus/", "repro/governance/",
+                       "repro/node/")
+    SINKS = {
+        "send", "send_consensus_message", "send_to", "broadcast", "emit",
+        "encode", "encode_value", "serialize", "sha256", "update", "write",
+        "append", "append_leaf_hash", "put", "seal", "sign", "dump", "dumps",
+    }
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not any(ctx.rel_path.startswith(p) or f"/{p}" in ctx.rel_path
+                   for p in self.SCOPED_PACKAGES):
+            return
+        for scope in ast.walk(ctx.tree):
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(ctx, scope)
+
+    def _check_scope(self, ctx: FileContext, fn: ast.AST) -> Iterator[Finding]:
+        set_vars: set[str] = set()
+        args = fn.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if _annotation_is_set(arg.annotation):
+                set_vars.add(arg.arg)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and _is_set_expr(node.value, set_vars):
+                    set_vars.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if _annotation_is_set(node.annotation):
+                    set_vars.add(node.target.id)
+
+        for node in ast.walk(fn):
+            if isinstance(node, ast.For) and _is_set_expr(node.iter, set_vars):
+                if self._body_has_sink(node.body):
+                    yield ctx.finding(
+                        self.rule_id, node.iter,
+                        "iterating a set in hash-seed order while the loop "
+                        "body feeds a deterministic sink; use "
+                        "sorted(...) for a stable order",
+                    )
+            elif isinstance(node, ast.Call) and terminal_name(node.func) in self.SINKS:
+                for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                    for comp in ast.walk(arg):
+                        if isinstance(comp, (ast.GeneratorExp, ast.ListComp)):
+                            for gen in comp.generators:
+                                if _is_set_expr(gen.iter, set_vars):
+                                    yield ctx.finding(
+                                        self.rule_id, gen.iter,
+                                        "comprehension over a set feeds "
+                                        f"{terminal_name(node.func)}(); wrap the "
+                                        "iterable in sorted(...)",
+                                    )
+
+    @staticmethod
+    def _body_has_sink(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call) and (
+                    terminal_name(node.func) in SetIterationRule.SINKS
+                ):
+                    return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# DET003 — object identity / salted hashing
+
+
+@register
+class ObjectIdentityRule(Rule):
+    rule_id = "DET003"
+    title = "id()/hash() ordering or PYTHONHASHSEED-dependent behavior"
+    rationale = (
+        "id() is an address (different every run); builtin hash() is salted "
+        "for str/bytes by PYTHONHASHSEED. Neither may influence protocol "
+        "state, ordering, or serialized bytes. Use content-derived keys "
+        "(e.g. the FNV hash in repro.kv.champ) instead."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id == "id" and len(node.args) == 1:
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        "id() yields a per-process address; derive ordering "
+                        "from stable content instead",
+                    )
+                elif node.func.id == "hash" and len(node.args) == 1:
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        "builtin hash() is salted by PYTHONHASHSEED for "
+                        "str/bytes; use a content-derived hash",
+                    )
+            elif isinstance(node, ast.keyword) and node.arg == "key":
+                if isinstance(node.value, ast.Name) and node.value.id in {"id", "hash"}:
+                    yield ctx.finding(
+                        self.rule_id, node.value,
+                        f"sorting key={node.value.id} orders by a per-process "
+                        "value; sort by stable content",
+                    )
+            elif isinstance(node, ast.Subscript):
+                if (
+                    terminal_name(node.value) == "environ"
+                    and isinstance(node.slice, ast.Constant)
+                    and node.slice.value == "PYTHONHASHSEED"
+                ):
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        "behavior keyed on PYTHONHASHSEED is nondeterministic "
+                        "across processes",
+                    )
+
+
+# ----------------------------------------------------------------------
+# SEC001 — non-constant-time authenticator comparison
+
+
+_SENSITIVE_TOKENS = {"mac", "hmac", "tag", "digest", "fingerprint"}
+_SENSITIVE_EXACT = {
+    "root", "expected_root", "computed_root", "signed_root", "report_data",
+    "share", "shares", "signature", "auth_tag",
+}
+
+
+def _is_sensitive_operand(node: ast.AST) -> bool:
+    """Does this comparison operand look like an authenticator value?"""
+    if _is_constant_name(node):
+        return False
+    name = terminal_name(node)
+    if name is not None:
+        return name in _SENSITIVE_EXACT or bool(_name_tokens(name) & _SENSITIVE_TOKENS)
+    if isinstance(node, ast.Call):
+        # bytes(x) / x.hex() / x.digest() wrappers around a sensitive value.
+        fn_name = terminal_name(node.func)
+        if fn_name in {"hexdigest", "digest"}:
+            return True
+        if isinstance(node.func, ast.Attribute):
+            if fn_name in {"hex", "encode"} and _is_sensitive_operand(node.func.value):
+                return True
+            # dict.get("claims_digest") and friends.
+            if fn_name == "get" and node.args:
+                key = node.args[0]
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    return bool(_name_tokens(key.value) & _SENSITIVE_TOKENS)
+        if fn_name == "bytes" and node.args:
+            return _is_sensitive_operand(node.args[0])
+        return False
+    if isinstance(node, ast.Subscript):
+        if (
+            isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+            and _name_tokens(node.slice.value) & _SENSITIVE_TOKENS
+        ):
+            return True
+        return _is_sensitive_operand(node.value)
+    return False
+
+
+@register
+class ConstantTimeCompareRule(Rule):
+    rule_id = "SEC001"
+    title = "non-constant-time comparison of an authenticator"
+    rationale = (
+        "== / != on MACs, digests, Merkle roots, shares, or signatures "
+        "short-circuits at the first differing byte, leaking match length "
+        "through timing. Use repro.crypto.ct_eq."
+    )
+
+    # The designated constant-time sink itself.
+    EXCLUDED_PATHS = ("repro/crypto/ct.py",)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if any(ctx.rel_path.endswith(p) for p in self.EXCLUDED_PATHS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not all(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(_is_trivial_literal(op) or _is_constant_name(op) for op in operands):
+                continue  # length checks, enum-style tags, counters
+            if any(_is_sensitive_operand(op) for op in operands):
+                yield ctx.finding(
+                    self.rule_id, node,
+                    "authenticator compared with ==/!=; use "
+                    "repro.crypto.ct_eq(a, b) to avoid a timing side channel",
+                )
+
+
+# ----------------------------------------------------------------------
+# SEC002 — secret material in logs / exception strings
+
+
+_SECRET_TOKENS = {"secret", "private", "scalar", "password", "passphrase", "wrapping"}
+_SECRET_EXACT = {
+    "key_bytes", "signing_key", "private_key", "wrapping_key", "secret_key",
+    "master_key", "seed_bytes", "share", "shares", "otk", "keystream",
+}
+_PUBLIC_EXCEPTIONS = {"public_key", "verifying_key", "secret_size"}
+
+
+def _is_secret_name(node: ast.AST) -> bool:
+    if _is_constant_name(node):
+        return False
+    name = terminal_name(node)
+    if name is None:
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            # x.hex() / x.decode() of a secret is still the secret.
+            if node.func.attr in {"hex", "decode", "encode"}:
+                return _is_secret_name(node.func.value)
+        return False
+    lowered = name.lower()
+    if lowered in _PUBLIC_EXCEPTIONS:
+        return False
+    return lowered in _SECRET_EXACT or bool(_name_tokens(name) & _SECRET_TOKENS)
+
+
+@register
+class SecretLeakRule(Rule):
+    rule_id = "SEC002"
+    title = "secret key material reaching logs or exception strings"
+    rationale = (
+        "Exception messages and logs cross the enclave boundary (reports, "
+        "fault logs, host stdout). Interpolating keys, shares, or seeds "
+        "into them leaks secrets to the untrusted host."
+    )
+
+    LOG_FNS = {"debug", "info", "warning", "error", "critical", "exception",
+               "log", "print"}
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Raise) and node.exc is not None:
+                yield from self._check_payload(ctx, node.exc, "exception message")
+            elif isinstance(node, ast.Call) and terminal_name(node.func) in self.LOG_FNS:
+                for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                    yield from self._check_payload(ctx, arg, "log output")
+
+    def _check_payload(self, ctx: FileContext, root: ast.AST, where: str):
+        for node in ast.walk(root):
+            target: ast.AST | None = None
+            if isinstance(node, ast.FormattedValue):
+                target = node.value
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                    and node.func.id in {"str", "repr"} and node.args:
+                target = node.args[0]
+            elif isinstance(node, (ast.Name, ast.Attribute)):
+                target = node
+            if target is not None and _is_secret_name(target):
+                yield ctx.finding(
+                    self.rule_id, node,
+                    f"secret value {terminal_name(target) or 'expression'!r} "
+                    f"flows into {where}; describe the failure without the material",
+                )
+                return  # one finding per raise/log call is enough
+
+
+# ----------------------------------------------------------------------
+# PROTO001 — assert as protocol control flow
+
+
+@register
+class ProtocolAssertRule(Rule):
+    rule_id = "PROTO001"
+    title = "assert used for protocol control flow"
+    rationale = (
+        "asserts vanish under python -O and raise untyped AssertionError "
+        "otherwise; protocol checks must raise typed errors from "
+        "repro.errors so callers can distinguish failure domains."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield ctx.finding(
+                    self.rule_id, node,
+                    "assert in protocol code; raise a typed repro.errors "
+                    "exception instead (it survives -O and can be handled)",
+                )
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                name = terminal_name(exc.func if isinstance(exc, ast.Call) else exc)
+                if name == "AssertionError":
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        "raising AssertionError directly; use a typed "
+                        "repro.errors exception",
+                    )
+
+
+# ----------------------------------------------------------------------
+# PROTO002 — broad exception handlers
+
+
+@register
+class BroadExceptRule(Rule):
+    rule_id = "PROTO002"
+    title = "broad except handler that can swallow real defects"
+    rationale = (
+        "except Exception (or bare except) converts programming errors "
+        "into silent protocol behavior. Catch the typed errors the guarded "
+        "code actually raises; where 'any corruption is the verdict' is "
+        "genuinely the contract, suppress with a reasoned comment."
+    )
+
+    BROAD = {"Exception", "BaseException"}
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    self.rule_id, node,
+                    "bare except catches everything including KeyboardInterrupt; "
+                    "catch typed errors",
+                )
+                continue
+            names = (
+                [terminal_name(elt) for elt in node.type.elts]
+                if isinstance(node.type, ast.Tuple)
+                else [terminal_name(node.type)]
+            )
+            broad = [name for name in names if name in self.BROAD]
+            if broad:
+                yield ctx.finding(
+                    self.rule_id, node,
+                    f"except {broad[0]} swallows unrelated defects; narrow to "
+                    "the typed errors this block can actually raise",
+                )

@@ -1,0 +1,154 @@
+"""Replay-divergence sanitizer: the runtime half of the determinism
+discipline.
+
+The static rules (:mod:`repro.analysis.rules`) keep nondeterminism *out of
+the source*; this sanitizer checks the property they protect end-to-end: a
+seeded chaos schedule, run twice, must fold to the **identical trace
+digest** — every scheduler event, in order, with every RNG draw. When the
+digests differ, the checkpoint lists are binary-searched (sound because
+the digest is a running hash) to the first event where the runs disagreed,
+which is usually enough to name the offending callback outright.
+
+CLI::
+
+    python -m repro.analysis.sanitizer --seed 7          # 2-run replay check
+    python -m repro.analysis.sanitizer --selftest        # prove localization
+
+The selftest injects one stolen RNG draw at a known event index in the
+second run and asserts the sanitizer localizes the divergence to exactly
+that event — guarding the machinery itself against bit-rot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.sim.chaos import ChaosEngine, ChaosSpec, ScheduleReport
+from repro.sim.trace import Divergence, TraceRecorder, first_divergence
+
+
+@dataclass(frozen=True)
+class ReplayCheck:
+    """Outcome of a 2-run determinism check."""
+
+    seed: int
+    events: int
+    rng_draws: int
+    digest: str  # first run's final digest
+    divergence: Divergence | None
+    fingerprints_match: bool  # ScheduleReport fingerprints (coarser signal)
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None and self.fingerprints_match
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"seed {self.seed}: deterministic over {self.events} events, "
+                f"{self.rng_draws} rng draws (digest {self.digest[:16]}…)"
+            )
+        if self.divergence is not None:
+            return f"seed {self.seed}: {self.divergence.describe()}"
+        return (
+            f"seed {self.seed}: trace digests match but schedule report "
+            f"fingerprints differ — report fields escape the traced state"
+        )
+
+
+def run_traced_schedule(
+    spec: ChaosSpec, seed: int, perturb_at: int | None = None
+) -> tuple[ScheduleReport, TraceRecorder]:
+    """Run one chaos schedule under a trace recorder."""
+    recorder = TraceRecorder(perturb_at=perturb_at)
+    report = ChaosEngine(spec).run_schedule(seed, tracer=recorder)
+    return report, recorder
+
+
+def check_replay_determinism(spec: ChaosSpec, seed: int) -> ReplayCheck:
+    """Run the same seeded schedule twice and compare traces."""
+    report_a, trace_a = run_traced_schedule(spec, seed)
+    report_b, trace_b = run_traced_schedule(spec, seed)
+    return ReplayCheck(
+        seed=seed,
+        events=trace_a.event_count,
+        rng_draws=trace_a.rng_draws,
+        digest=trace_a.digest,
+        divergence=first_divergence(trace_a, trace_b),
+        fingerprints_match=report_a.fingerprint() == report_b.fingerprint(),
+    )
+
+
+def localization_selftest(spec: ChaosSpec, seed: int) -> tuple[bool, str]:
+    """Inject nondeterminism at a known event and check the sanitizer finds
+    it. Returns (passed, description)."""
+    _, clean = run_traced_schedule(spec, seed)
+    if clean.event_count < 4:
+        return False, f"schedule too short to perturb ({clean.event_count} events)"
+    target = clean.event_count // 2
+    _, perturbed = run_traced_schedule(spec, seed, perturb_at=target)
+    divergence = first_divergence(clean, perturbed)
+    if divergence is None:
+        return False, f"stolen rng draw at event {target} went unnoticed"
+    if divergence.event_index != target:
+        return False, (
+            f"divergence injected at event {target} but localized to "
+            f"event {divergence.event_index}"
+        )
+    return True, (
+        f"injected divergence at event {target}/{clean.event_count} "
+        f"localized exactly ({divergence.comparisons} checkpoint "
+        f"comparisons): {divergence.describe()}"
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI (used by CI's analysis job, next to the chaos smoke)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.sanitizer",
+        description="Replay a seeded chaos schedule twice and verify the "
+        "trace digests match; localize the first divergence otherwise.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--schedules", type=int, default=1,
+                        help="consecutive seeds to check, starting at --seed")
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument("--steps", type=int, default=None)
+    parser.add_argument("--selftest", action="store_true",
+                        help="also inject nondeterminism and require exact "
+                        "localization")
+    args = parser.parse_args(argv)
+
+    spec = ChaosSpec()
+    overrides = {}
+    if args.nodes is not None:
+        overrides["n_nodes"] = args.nodes
+    if args.steps is not None:
+        overrides["steps"] = args.steps
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+
+    failed = False
+    for seed in range(args.seed, args.seed + args.schedules):
+        check = check_replay_determinism(spec, seed)
+        print(check.describe())
+        failed = failed or not check.ok
+
+    if args.selftest:
+        passed, description = localization_selftest(spec, args.seed)
+        print(f"selftest: {description}")
+        failed = failed or not passed
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.app.jsapp.parser import parse
-from repro.errors import JSError
+from repro.errors import JSError, JSReferenceError
 
 MAX_STEPS = 5_000_000  # runaway-script guard (per Interpreter.run call)
 
@@ -58,7 +58,7 @@ class Environment:
             if name in env.values:
                 return env.values[name]
             env = env.parent
-        raise JSError(f"{name} is not defined")
+        raise JSReferenceError(f"{name} is not defined")
 
     def assign(self, name: str, value: Any) -> None:
         env: Environment | None = self
@@ -300,7 +300,10 @@ class Interpreter:
         if kind == "typeof":
             try:
                 value = self.eval_expression(node[1], env)
-            except JSError:
+            except JSReferenceError:
+                # Real JS: typeof tolerates *unresolved names* only. Other
+                # JSErrors (budget exhaustion, type errors) must propagate,
+                # not collapse into "undefined".
                 return "undefined"
             if value is None:
                 return "undefined"

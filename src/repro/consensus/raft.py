@@ -559,7 +559,7 @@ class ConsensusNode:
 
     def _rollback(self, seqno: int) -> None:
         if seqno < self.commit_seqno:
-            raise AssertionError(
+            raise ConsensusError(
                 f"attempted rollback below commit ({seqno} < {self.commit_seqno})"
             )
         self.host.truncate_to(seqno)

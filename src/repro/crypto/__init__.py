@@ -21,6 +21,7 @@ pure-Python equivalents with the same protocol-visible interfaces:
 """
 
 from repro.crypto.hashing import Digest, sha256
+from repro.crypto.ct import ct_eq
 from repro.crypto.ecdsa import SigningKey, VerifyingKey
 from repro.crypto.aead import AEADKey
 from repro.crypto.certs import Certificate
@@ -29,6 +30,7 @@ from repro.crypto.merkle import MerkleTree, MerkleProof
 __all__ = [
     "Digest",
     "sha256",
+    "ct_eq",
     "SigningKey",
     "VerifyingKey",
     "AEADKey",

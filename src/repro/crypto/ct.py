@@ -1,0 +1,38 @@
+"""Constant-time comparison for authenticator-like values.
+
+Every comparison of a MAC, digest, signature component, recovery share, or
+other verifier-supplied authenticator must go through :func:`ct_eq` rather
+than ``==``: an early-exit byte comparison leaks, through timing, how long
+a prefix of the attacker's guess was correct, which is enough to forge a
+MAC byte-by-byte. The SEC001 lint rule (``repro.analysis``) enforces this
+at the AST level; this module is its designated sink and is therefore
+excluded from the rule.
+
+``hmac.compare_digest`` is the constant-time primitive (C-implemented for
+``bytes``); the wrapper normalizes the mixed ``bytes`` / ``Digest`` / hex
+``str`` operand types that appear at verification sites.
+"""
+
+from __future__ import annotations
+
+import hmac
+
+__all__ = ["ct_eq"]
+
+
+def ct_eq(a: bytes | bytearray | memoryview | str | None,
+          b: bytes | bytearray | memoryview | str | None) -> bool:
+    """Compare two authenticators without an early exit.
+
+    Accepts ``bytes``-like values and ``str`` (compared by UTF-8 encoding,
+    so a hex-encoded digest can be checked against ``digest.hex()``).
+    ``None`` never equals anything, including another ``None`` — a missing
+    authenticator must not verify.
+    """
+    if a is None or b is None:
+        return False
+    if isinstance(a, str):
+        a = a.encode()
+    if isinstance(b, str):
+        b = b.encode()
+    return hmac.compare_digest(bytes(a), bytes(b))

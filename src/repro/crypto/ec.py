@@ -41,9 +41,8 @@ class Point:
 
     def encode(self) -> bytes:
         """Compressed SEC1 encoding: ``02|03 || x``."""
-        if self.is_infinity:
+        if self.x is None or self.y is None:
             raise CryptoError("cannot encode the point at infinity")
-        assert self.x is not None and self.y is not None
         prefix = b"\x03" if self.y & 1 else b"\x02"
         return prefix + self.x.to_bytes(COORD_SIZE, "big")
 
@@ -63,9 +62,8 @@ _JINF: _JPoint = (0, 1, 0)
 
 
 def _to_jacobian(point: Point) -> _JPoint:
-    if point.is_infinity:
+    if point.x is None or point.y is None:
         return _JINF
-    assert point.x is not None and point.y is not None
     return (point.x, point.y, 1)
 
 
@@ -143,9 +141,8 @@ def point_add(p: Point, q: Point) -> Point:
 
 def is_on_curve(point: Point) -> bool:
     """Check the affine curve equation ``y^2 = x^3 + ax + b`` (mod p)."""
-    if point.is_infinity:
+    if point.x is None or point.y is None:
         return True
-    assert point.x is not None and point.y is not None
     x, y = point.x, point.y
     return (y * y - (x * x * x + A * x + B)) % P == 0
 

@@ -132,7 +132,8 @@ class SigningKey:
         while True:
             k = _rfc6979_nonce(self.scalar, bytes(msg_hash))
             point = ec.scalar_mult(k, ec.GENERATOR)
-            assert point.x is not None
+            if point.x is None:
+                raise CryptoError("signing nonce mapped to the point at infinity")
             r = point.x % ec.N
             if r == 0:
                 msg_hash = sha256(bytes(msg_hash))  # pragma: no cover

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.crypto.ct import ct_eq
 from repro.crypto.hashing import Digest, sha256
 from repro.errors import IntegrityError
 
@@ -41,7 +42,8 @@ def node_hash(left: bytes, right: bytes) -> Digest:
 
 def _largest_power_of_two_below(n: int) -> int:
     """The split point k of RFC 6962: the largest power of two < n."""
-    assert n > 1
+    if n <= 1:
+        raise IntegrityError(f"cannot split a subtree of size {n}")
     k = 1 << (n.bit_length() - 1)
     return k // 2 if k == n else k
 
@@ -81,7 +83,7 @@ class MerkleProof:
 
     def verify(self, leaf_data: bytes, expected_root: Digest) -> None:
         """Check that ``leaf_data`` is committed at ``leaf_index`` under ``expected_root``."""
-        if self.compute_root(leaf_hash(leaf_data)) != expected_root:
+        if not ct_eq(self.compute_root(leaf_hash(leaf_data)), expected_root):
             raise IntegrityError("Merkle proof does not reach the expected root")
 
     def to_dict(self) -> dict:

@@ -31,10 +31,11 @@ def poly1305_mac(key: bytes, message: bytes) -> bytes:
 
 
 def constant_time_equal(a: bytes, b: bytes) -> bool:
-    """Compare two byte strings without early exit."""
-    if len(a) != len(b):
-        return False
-    diff = 0
-    for x, y in zip(a, b):
-        diff |= x ^ y
-    return diff == 0
+    """Compare two byte strings without early exit.
+
+    Alias of :func:`repro.crypto.ct.ct_eq`, kept for the AEAD call sites
+    that predate the central helper.
+    """
+    from repro.crypto.ct import ct_eq
+
+    return ct_eq(a, b)

@@ -81,3 +81,12 @@ class ServiceUnavailableError(CCFError):
 
 class JSError(CCFError):
     """An error raised by (or inside) the embedded mini-JS interpreter."""
+
+
+class JSReferenceError(JSError):
+    """An unresolved identifier in the mini-JS interpreter.
+
+    Distinct from :class:`JSError` so ``typeof`` can treat *only* unresolved
+    names as ``"undefined"`` without swallowing real interpreter failures
+    (budget exhaustion, type errors) raised while evaluating its operand.
+    """

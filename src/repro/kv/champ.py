@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
+from repro.errors import KVError
+
 _BITS = 5
 _FANOUT = 1 << _BITS  # 32-way branching
 _MASK = _FANOUT - 1
@@ -24,7 +26,8 @@ _HASH_BITS = 32
 def _hash(key: Any) -> int:
     """A stable 32-bit hash. Python's ``hash`` is salted for str/bytes across
     processes, which would make trie shapes nondeterministic between runs —
-    so we hash the repr of strings/bytes with FNV-1a instead."""
+    so we hash strings/bytes with FNV-1a instead, and reject key types with
+    no content-derived hash rather than fall back to the salted builtin."""
     if isinstance(key, (str, bytes)):
         data = key.encode() if isinstance(key, str) else key
         h = 0x811C9DC5
@@ -40,7 +43,22 @@ def _hash(key: Any) -> int:
         for item in key:
             h = ((h ^ _hash(item)) * 0x01000193) & 0xFFFFFFFF
         return h
-    return hash(key) & 0xFFFFFFFF
+    if key is None:
+        return 0x9E3779B9
+    if isinstance(key, (frozenset, set)):
+        # Element hashes are salted for str members — trie shape would vary
+        # across processes even though the set compares equal.
+        raise KVError("set-like keys hash nondeterministically; use a sorted tuple")
+    hash_fn = type(key).__hash__
+    if hash_fn is not None and hash_fn is not object.__hash__:
+        # A user-defined __hash__ is content-derived by contract (the default
+        # object.__hash__ is an address and is rejected below).
+        # repro-lint: disable=DET003
+        return hash(key) & 0xFFFFFFFF
+    raise KVError(
+        f"{type(key).__name__} keys have no deterministic hash; use "
+        "str/bytes/int/bool/tuple/None keys or define a content-derived __hash__"
+    )
 
 
 class _Node:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
+from repro.crypto.ct import ct_eq
 from repro.crypto.ecdsa import SigningKey, VerifyingKey
 from repro.crypto.hashing import Digest, sha256
 from repro.crypto.merkle import MerkleProof, MerkleTree
@@ -290,7 +291,7 @@ class Ledger:
         Merkle root over the preceding entries. Raises on mismatch."""
         record = self.signature_record(seqno)
         expected_root = self._tree.root_at(seqno - 1)
-        if record.root != bytes(expected_root):
+        if not ct_eq(record.root, bytes(expected_root)):
             raise IntegrityError(
                 f"signature at {seqno} commits to a different ledger prefix"
             )

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.certs import Certificate
+from repro.crypto.ct import ct_eq
 from repro.crypto.hashing import sha256
 from repro.crypto.merkle import MerkleProof, leaf_hash
 from repro.errors import IntegrityError, VerificationError
@@ -60,7 +61,7 @@ class Receipt:
         if self.proof.tree_size != self.signature.seqno - 1:
             raise IntegrityError("receipt proof targets the wrong tree size")
         computed = self.proof.compute_root(leaf_hash(self.leaf_data))
-        if bytes(computed) != self.signature.root:
+        if not ct_eq(bytes(computed), self.signature.root):
             raise IntegrityError("receipt proof does not reach the signed root")
         # 4. If claims are attached, they must match the leaf's claims digest.
         if self.claims is not None:
@@ -68,7 +69,7 @@ class Receipt:
 
             leaf = decode_value(self.leaf_data)
             expected = bytes(sha256(encode_value(self.claims)))
-            if leaf.get("claims_digest") != expected:
+            if not ct_eq(leaf.get("claims_digest"), expected):
                 raise IntegrityError("receipt claims do not match the leaf digest")
 
     def to_dict(self) -> dict:

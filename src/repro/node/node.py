@@ -27,6 +27,7 @@ from repro.consensus.messages import decode_message, encode_message
 from repro.consensus.raft import ConsensusNode
 from repro.consensus.state import NodeStatus
 from repro.crypto.certs import Certificate, issue
+from repro.crypto.ct import ct_eq
 from repro.crypto.ecdsa import SigningKey, VerifyingKey
 from repro.crypto.hashing import sha256
 from repro.crypto.x25519 import DHPrivateKey
@@ -456,7 +457,7 @@ class CCFNode:
             receipt.verify(service_certificate)
             digest = bytes(sha256(message.snapshot, encode_value(metadata)))
             claimed = (receipt.claims or {}).get("snapshot_digest")
-            if claimed != digest.hex():
+            if not ct_eq(claimed, digest.hex()):
                 raise VerificationError("snapshot does not match its receipt claims")
             self.store = KVStore.deserialize(message.snapshot)
             self.ledger = Ledger.from_snapshot_metadata(

@@ -47,6 +47,9 @@ def replay_public_ledger(storage: HostStorage) -> PublicReplayResult:
     (best effort, as the paper specifies)."""
     try:
         entries: list[LedgerEntry] = storage.read_ledger_entries()
+    # Salvaged disks hold arbitrary bytes; any decode failure means "not
+    # recoverable from this disk", typed for the caller.
+    # repro-lint: disable=PROTO002
     except Exception as exc:
         raise RecoveryError(f"ledger files unreadable: {exc}") from exc
 
@@ -58,6 +61,8 @@ def replay_public_ledger(storage: HostStorage) -> PublicReplayResult:
         try:
             ledger.append(entry)
             store.apply_write_set(entry.public_writes, entry.txid.seqno)
+        # A tampered suffix can break replay in arbitrary ways; per the
+        # paper we keep the verified prefix. repro-lint: disable=PROTO002
         except Exception:
             break  # structurally broken suffix: stop here
         last_view = entry.txid.view

@@ -16,7 +16,7 @@ from repro.app.context import RequestContext
 from repro.crypto import ecies, shamir
 from repro.crypto.aead import nonce_from_counter
 from repro.crypto.fastaead import FastAEADKey
-from repro.errors import GovernanceError, RecoveryError
+from repro.errors import CCFError, GovernanceError, RecoveryError
 from repro.ledger.secrets import LedgerSecret
 from repro.node import maps
 
@@ -119,7 +119,7 @@ def handle_share_submission(ctx: RequestContext):
         for key, row in ctx.items(maps.LEDGER_SECRET):
             if isinstance(key, str) and key.startswith("generation_"):
                 recovered_secrets.append(unwrap_ledger_secret(wrapping_key, row))
-    except Exception as exc:
+    except (CCFError, ValueError, KeyError, TypeError) as exc:
         raise RecoveryError(f"share reconstruction failed: {exc}") from exc
     node.complete_private_recovery(recovered_secrets)
     ctx.put(maps.SERVICE_INFO, "service", dict(info, status=maps.SERVICE_RECOVERING))

@@ -48,7 +48,7 @@ from repro.node import maps
 from repro.node.config import NodeConfig
 from repro.storage.host_storage import HostStorage
 from repro.verification import liveness
-from repro.verification.invariants import check_all_invariants
+from repro.verification.invariants import InvariantViolation, check_all_invariants
 
 
 @dataclass(frozen=True)
@@ -184,7 +184,7 @@ class ServiceCluster:
     """Full-stack harness for one schedule: a bootstrapped CCFService,
     closed-loop client load, and crash/restart bookkeeping."""
 
-    def __init__(self, spec: ChaosSpec, seed: int):
+    def __init__(self, spec: ChaosSpec, seed: int, tracer=None):
         from repro.service.service import CCFService, ServiceSetup
 
         self.spec = spec
@@ -194,6 +194,10 @@ class ServiceCluster:
             link=LinkConfig(base_latency=spec.base_latency, jitter=spec.base_latency / 5),
             seed=seed,
         ))
+        if tracer is not None:
+            # Attach before bootstrap so the bootstrap events (and every RNG
+            # draw from here on) land in the trace.
+            self.service.scheduler.attach_tracer(tracer)
         self.service.bootstrap()
         self.scheduler = self.service.scheduler
         self.network = self.service.network
@@ -388,7 +392,9 @@ class ChaosEngine:
 
     ``extra_invariants`` are additional callables ``f(engines) -> None``
     checked alongside the safety invariants — tests use a deliberately
-    broken one to prove violations replay byte-identically.
+    broken one to prove violations replay byte-identically. They must
+    signal violations by raising :class:`InvariantViolation`; any other
+    exception is a bug in the invariant itself and propagates.
     """
 
     def __init__(self, spec: ChaosSpec | None = None, extra_invariants=()):
@@ -403,7 +409,7 @@ class ChaosEngine:
             check_all_invariants(engines)
             for invariant in self.extra_invariants:
                 invariant(engines)
-        except Exception as violation:  # noqa: BLE001 - recorded, not raised
+        except InvariantViolation as violation:  # recorded, not raised
             return str(violation)
         return None
 
@@ -558,11 +564,13 @@ class ChaosEngine:
 
     # ------------------------------------------------------------------
 
-    def run_schedule(self, seed: int) -> ScheduleReport:
+    def run_schedule(self, seed: int, tracer=None) -> ScheduleReport:
         """One fully seeded schedule: fault window -> heal -> recovery
-        checks. Deterministic: equal (seed, spec) gives equal reports."""
+        checks. Deterministic: equal (seed, spec) gives equal reports.
+        Pass a :class:`repro.sim.trace.TraceRecorder` as ``tracer`` to fold
+        the run into a replay digest (the sanitizer's entry point)."""
         report = ScheduleReport(seed=seed, spec=self.spec.to_dict())
-        cluster = ServiceCluster(self.spec, seed)
+        cluster = ServiceCluster(self.spec, seed, tracer=tracer)
         state = {"partitioned": False, "lossy_links": [], "gray": []}
 
         for step in range(self.spec.steps):

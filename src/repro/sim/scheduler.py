@@ -33,9 +33,23 @@ class Scheduler:
     def __init__(self, seed: int = 0):
         self.now = 0.0
         self.rng = random.Random(seed)
+        self.tracer = None
         self._queue: list[tuple[float, int, EventHandle, Callable[[], None]]] = []
         self._sequence = 0
         self._events_processed = 0
+
+    def attach_tracer(self, tracer) -> None:
+        """Route every dispatched event and RNG draw through ``tracer`` (a
+        :class:`repro.sim.trace.TraceRecorder`). The scheduler's RNG is
+        swapped for a traced one carrying over the exact generator state,
+        so attaching never changes the run it observes."""
+        from repro.sim.trace import TracedRandom
+
+        traced = TracedRandom(tracer)
+        traced.setstate(self.rng.getstate())
+        self.rng = traced
+        self.tracer = tracer
+        tracer.bind_rng(traced)
 
     def at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute virtual ``time``."""
@@ -55,12 +69,19 @@ class Scheduler:
     def step(self) -> bool:
         """Run the next event. Returns False when the queue is empty."""
         while self._queue:
-            time, _seq, handle, callback = heapq.heappop(self._queue)
+            time, seq, handle, callback = heapq.heappop(self._queue)
             if handle.cancelled:
                 continue
             self.now = time
             self._events_processed += 1
-            callback()
+            if self.tracer is None:
+                callback()
+            else:
+                self.tracer.begin_event(time, seq, callback)
+                try:
+                    callback()
+                finally:
+                    self.tracer.end_event()
             return True
         return False
 

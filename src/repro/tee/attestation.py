@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.crypto.ct import ct_eq
 from repro.crypto.ecdsa import SigningKey, VerifyingKey
 from repro.errors import AttestationError, VerificationError
 from repro.kv.serialization import decode_value, encode_value
@@ -119,5 +120,5 @@ def verify_quote(
         raise AttestationError(
             f"code id {quote.code_id[:16]}… is not in the allowed set"
         )
-    if quote.report_data != expected_report_data:
+    if not ct_eq(quote.report_data, expected_report_data):
         raise AttestationError("quote does not bind the presented node key")

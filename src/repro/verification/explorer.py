@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.consensus.raft import ConsensusConfig
 from repro.errors import NotPrimaryError
-from repro.verification.invariants import check_all_invariants
+from repro.verification.invariants import InvariantViolation, check_all_invariants
 
 
 @dataclass
@@ -98,7 +98,7 @@ def explore(
             engines = [host.consensus for host in cluster.hosts.values()]
             try:
                 check_all_invariants(engines)
-            except Exception as violation:  # noqa: BLE001 - recorded, not raised
+            except InvariantViolation as violation:  # recorded, not raised
                 result.violations.append(
                     f"schedule {schedule_index} step {_step}: {violation}"
                 )
