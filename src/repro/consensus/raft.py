@@ -220,6 +220,9 @@ class ConsensusNode:
         self.voted_for = self.node_id
         self._votes = {self.node_id}
         self.elections_started += 1
+        obs = self.scheduler.obs
+        if obs is not None:
+            obs.consensus_election(self.node_id, self.view)
         last_signature = self.ledger.last_signature_txid()
         message = RequestVote(
             view=self.view,
@@ -240,6 +243,9 @@ class ConsensusNode:
         self.role = Role.PRIMARY
         self.leader_id = self.node_id
         self.times_primary += 1
+        obs = self.scheduler.obs
+        if obs is not None:
+            obs.consensus_become_primary(self.node_id, self.view)
         self._cancel_timer("_election_timer")
         # Discard any transactions after the last signature transaction —
         # they were never commit-eligible in our view of history.
@@ -271,6 +277,9 @@ class ConsensusNode:
         self._cancel_timer("_heartbeat_timer")
         self._reset_election_timer()
         if was_primary:
+            obs = self.scheduler.obs
+            if obs is not None:
+                obs.consensus_step_down(self.node_id, self.view)
             self.host.on_lose_primacy()
 
     def on_request_vote(self, message: RequestVote) -> None:
@@ -408,6 +417,9 @@ class ConsensusNode:
             self.ledger.last_seqno, next_seqno + self.config.max_batch_entries - 1
         )
         entries = tuple(self.ledger.entries(next_seqno, last)) if last >= next_seqno else ()
+        obs = self.scheduler.obs
+        if obs is not None:
+            obs.append_entries_sent(self.node_id, peer, len(entries))
         self.host.send_consensus_message(
             peer,
             AppendEntries(
@@ -551,6 +563,9 @@ class ConsensusNode:
 
     def _advance_commit(self, seqno: int) -> None:
         self.commit_seqno = seqno
+        obs = self.scheduler.obs
+        if obs is not None:
+            obs.commit_advanced(self.node_id, self.view, seqno)
         self.configurations.on_commit(seqno)
         self.host.on_commit(seqno)
 

@@ -28,6 +28,9 @@ class KVStore:
         # version -> map-table snapshot (shallow dict of persistent maps).
         self._history: dict[int, dict[str, ChampMap]] = {0: {}}
         self._history_order: list[int] = [0]
+        # Optional observability wiring (set by the owning node).
+        self.obs = None
+        self.obs_owner = ""
 
     # ------------------------------------------------------------------
     # Transactions
@@ -77,6 +80,8 @@ class KVStore:
         self.version = seqno
         self._history[seqno] = dict(self._maps)
         self._history_order.append(seqno)
+        if self.obs is not None:
+            self.obs.store_applied(self.obs_owner, seqno, len(self._maps))
 
     # ------------------------------------------------------------------
     # Direct reads (used by read-only endpoints and internal lookups)
@@ -112,6 +117,8 @@ class KVStore:
         for stale in [v for v in self._history_order if v > version]:
             del self._history[stale]
         self._history_order = [v for v in self._history_order if v <= version]
+        if self.obs is not None:
+            self.obs.store_rollback(self.obs_owner, version)
 
     def compact(self, version: int) -> None:
         """Drop rollback history strictly below ``version`` (commit point);
@@ -127,6 +134,8 @@ class KVStore:
             if stale != self._history_order[keep_from]:
                 del self._history[stale]
         self._history_order = self._history_order[keep_from:]
+        if self.obs is not None:
+            self.obs.store_compact(self.obs_owner, version)
 
     # ------------------------------------------------------------------
     # Snapshot serialization (section 4.4: nodes may join from a snapshot)

@@ -87,6 +87,9 @@ class Ledger:
         self._base_last_sig = TxID(0, 0)
         self._tree = MerkleTree()
         self.secrets = secrets if secrets is not None else LedgerSecretStore()
+        # Optional observability wiring (set by the owning node).
+        self.obs = None
+        self.obs_owner = ""
 
     @classmethod
     def from_snapshot_metadata(
@@ -189,6 +192,8 @@ class Ledger:
         if entry.is_signature:
             self._sig_seqnos.append(entry.txid.seqno)
         self._tree.append(entry.leaf_data())
+        if self.obs is not None:
+            self.obs.ledger_append(self.obs_owner, entry, len(entry.private_blob))
 
     def build_entry(
         self,
@@ -309,6 +314,8 @@ class Ledger:
         del self._txids[seqno:]
         self._sig_seqnos = [s for s in self._sig_seqnos if s <= seqno]
         self._tree.retract_to(seqno)
+        if self.obs is not None:
+            self.obs.ledger_truncate(self.obs_owner, seqno)
 
     # ------------------------------------------------------------------
     # Proofs (consumed by receipts, section 3.5)

@@ -110,6 +110,8 @@ def issue_receipt(
             f"no signature transaction after seqno {seqno}; receipt unavailable"
         )
     record = ledger.signature_record(signature_seqno)
+    if ledger.obs is not None:
+        ledger.obs.receipt_issued(ledger.obs_owner, seqno, signature_seqno)
     return Receipt(
         txid=entry.txid,
         leaf_data=entry.leaf_data(),

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import ConfigurationError
+from repro.obs.collector import estimate_wire_size
 from repro.sim.scheduler import Scheduler
 
 Handler = Callable[[str, Any], None]  # (source endpoint, payload)
@@ -225,6 +226,9 @@ class Network:
         """Fire-and-forget message. Loss and partitions silently drop — the
         sender learns nothing, exactly like UDP/broken TCP in the field."""
         self.messages_sent += 1
+        obs = self.scheduler.obs
+        if obs is not None:
+            obs.message_sent(src, dst, estimate_wire_size(payload))
         if src in self._down:
             return  # a crashed node sends nothing
         self._schedule_delivery(src, dst, payload, extra_delay)
@@ -243,12 +247,17 @@ class Network:
             # Re-check receiver-side faults at delivery time: a node that
             # crashed in flight loses the message; a healed partition does
             # not resurrect messages sent while it was in force.
+            obs = self.scheduler.obs
             if blocked_now or self._delivery_blocked(src, dst):
+                if obs is not None:
+                    obs.message_dropped(src, dst)
                 return
             handler = self._handlers.get(dst)
             if handler is None:
                 return  # destination no longer exists
             self.messages_delivered += 1
+            if obs is not None:
+                obs.message_delivered(src, dst)
             handler(src, payload)
 
         self.scheduler.at(self.scheduler.now + latency, deliver)

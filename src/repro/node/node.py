@@ -137,6 +137,18 @@ class CCFNode:
         self.writes_executed = 0
         self.reads_executed = 0
         self.forwards = 0
+        self.wire_obs(scheduler.obs)
+
+    def wire_obs(self, obs) -> None:
+        """Point this node's scheduler-less components (enclave, ledger,
+        store) at ``obs`` (an :class:`repro.obs.ObsCollector`, or None to
+        unhook). Called at creation time and whenever a collector attaches
+        or detaches mid-run; components created later re-wire themselves
+        through the service-bootstrap paths."""
+        for component in (self.enclave, self.ledger, self.store):
+            if component is not None:
+                component.obs = obs
+                component.obs_owner = self.node_id if obs is not None else ""
 
     # ==================================================================
     # Service bootstrap (first node) and join (subsequent nodes)
@@ -166,6 +178,7 @@ class CCFNode:
         self.enclave.memory.put("ledger_secrets", secrets)
         self.ledger = Ledger(secrets)
         self.store = KVStore()
+        self.wire_obs(self.scheduler.obs)
         self.consensus = ConsensusNode(
             node_id=self.node_id,
             ledger=self.ledger,
@@ -473,6 +486,7 @@ class CCFNode:
         else:
             self.store = KVStore()
             self.ledger = Ledger(secrets)
+        self.wire_obs(self.scheduler.obs)
 
         config_base = message.config_base_seqno if message.snapshot else 0
         self.consensus = ConsensusNode(
@@ -527,6 +541,7 @@ class CCFNode:
         replay.ledger.secrets = secrets
         self.ledger = replay.ledger
         self.store = replay.store
+        self.wire_obs(self.scheduler.obs)
         self._commit_scan = replay.verified_seqno
         self.indexer.last_indexed = replay.verified_seqno
         self._persisted_seqno = replay.verified_seqno
@@ -648,6 +663,11 @@ class CCFNode:
         self.ledger.append(entry)
         self.store.apply_write_set(entry.public_writes, entry.txid.seqno)
         self._txs_since_signature = 0
+        obs = self.scheduler.obs
+        if obs is not None:
+            obs.signature_tx(
+                self.node_id, view, entry.txid.seqno, self.cost.signature_cost
+            )
         return entry
 
     def on_commit(self, seqno: int) -> None:
@@ -1028,6 +1048,17 @@ class CCFNode:
         start = max(self.scheduler.now, self._workers[worker])
         completion = start + service_time
         self._workers[worker] = completion
+        obs = self.scheduler.obs
+        if obs is not None:
+            busy = sum(1 for free_at in self._workers if free_at > self.scheduler.now)
+            obs.begin_execute(
+                self.node_id,
+                request,
+                read_only,
+                start - self.scheduler.now,
+                service_time,
+                busy,
+            )
         self.scheduler.at(
             completion, lambda: self._process_request(request, worker)
         )
@@ -1058,6 +1089,17 @@ class CCFNode:
     def _process_request(self, request: Request, worker: int) -> None:
         if self.stopped:
             return
+        obs = self.scheduler.obs
+        if obs is None:
+            self._process_request_inner(request, worker)
+            return
+        obs.enter_execute(self.node_id, request.request_id)
+        try:
+            self._process_request_inner(request, worker)
+        finally:
+            obs.finish_execute(self.node_id, request.request_id)
+
+    def _process_request_inner(self, request: Request, worker: int) -> None:
         self.requests_processed += 1
         endpoint = self._lookup_endpoint(request.path)
         if endpoint is None:
@@ -1102,6 +1144,11 @@ class CCFNode:
             )
             return
         self.forwards += 1
+        obs = self.scheduler.obs
+        if obs is not None:
+            obs.request_forwarded(
+                self.node_id, request.request_id, self.cost.forwarding_cost
+            )
         if request.session_id:
             self._sessions_forwarded.add(request.session_id)
         self._pending_forwards[request.request_id] = (request.client_id, request)
@@ -1119,7 +1166,22 @@ class CCFNode:
             response = Response(request.request_id, status=503, error="not primary")
         else:
             worker = min(range(len(self._workers)), key=lambda i: self._workers[i])
-            response = self._execute_write(request, endpoint, worker, defer_ok=False)
+            obs = self.scheduler.obs
+            if obs is None:
+                response = self._execute_write(request, endpoint, worker, defer_ok=False)
+            else:
+                # Forwarded execution runs immediately on arrival (the
+                # origin node already charged the service time).
+                obs.begin_execute(
+                    self.node_id, request, False, 0.0, 0.0, 0, forwarded=True
+                )
+                obs.enter_execute(self.node_id, request.request_id)
+                try:
+                    response = self._execute_write(
+                        request, endpoint, worker, defer_ok=False
+                    )
+                finally:
+                    obs.finish_execute(self.node_id, request.request_id)
         self.network.send(
             self.node_id,
             payload.origin_node,

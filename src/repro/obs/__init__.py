@@ -1,0 +1,52 @@
+"""Observability for the simulated service: causal span tracing, a metrics
+registry, span-attributed cost profiling, and trace conformance checking.
+
+Everything here obeys the determinism rules (DESIGN.md): simulated time
+only, span ids from a dedicated seeded RNG, and no-op hooks when no
+collector is attached — tracing a run never changes it.
+"""
+
+from repro.obs.collector import ObsCollector
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    nearest_rank,
+)
+from repro.obs.profile import ProfileReport, TraceProfile, profile_spans
+from repro.obs.spans import Span, build_tree, export_jsonl, load_jsonl
+
+# The trace checker imports repro.verification (and through it the
+# consensus package); importing it eagerly here would close an import
+# cycle, since repro.sim.metrics -> repro.obs is itself imported while
+# repro.consensus is still initializing. PEP 562 lazy exports break it.
+_CHECKER_EXPORTS = ("CheckResult", "TraceChecker", "check_trace", "check_trace_text")
+
+
+def __getattr__(name: str):
+    if name in _CHECKER_EXPORTS:
+        from repro.obs import checker
+
+        return getattr(checker, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "CheckResult",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsCollector",
+    "ProfileReport",
+    "Span",
+    "TraceChecker",
+    "TraceProfile",
+    "build_tree",
+    "check_trace",
+    "check_trace_text",
+    "export_jsonl",
+    "load_jsonl",
+    "nearest_rank",
+    "profile_spans",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.obs``: run the traced benchmark (see bench.py)."""
+
+from repro.obs.bench import main
+
+raise SystemExit(main())

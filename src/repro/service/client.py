@@ -42,6 +42,9 @@ class ServiceClient:
     def _on_message(self, src: str, payload: object) -> None:
         if isinstance(payload, ClientResponse):
             response = payload.response
+            obs = self.scheduler.obs
+            if obs is not None:
+                obs.client_response(response.request_id, response.status)
             self.responses[response.request_id] = response
             callback = self._callbacks.pop(response.request_id, None)
             if callback is not None:
@@ -72,6 +75,9 @@ class ServiceClient:
         )
         if on_response is not None:
             self._callbacks[request.request_id] = on_response
+        obs = self.scheduler.obs
+        if obs is not None:
+            obs.client_submit(request, self.client_id, node_id)
         self.network.send(self.client_id, node_id, ClientRequest(request))
         return request.request_id
 

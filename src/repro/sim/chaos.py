@@ -184,7 +184,7 @@ class ServiceCluster:
     """Full-stack harness for one schedule: a bootstrapped CCFService,
     closed-loop client load, and crash/restart bookkeeping."""
 
-    def __init__(self, spec: ChaosSpec, seed: int, tracer=None):
+    def __init__(self, spec: ChaosSpec, seed: int, tracer=None, obs=None):
         from repro.service.service import CCFService, ServiceSetup
 
         self.spec = spec
@@ -198,6 +198,11 @@ class ServiceCluster:
             # Attach before bootstrap so the bootstrap events (and every RNG
             # draw from here on) land in the trace.
             self.service.scheduler.attach_tracer(tracer)
+        if obs is not None:
+            # Same discipline for the observability collector: nodes created
+            # during bootstrap self-wire off scheduler.obs, so the whole
+            # lifecycle (genesis onward) lands in the span trace.
+            obs.attach_to_service(self.service)
         self.service.bootstrap()
         self.scheduler = self.service.scheduler
         self.network = self.service.network
@@ -564,13 +569,15 @@ class ChaosEngine:
 
     # ------------------------------------------------------------------
 
-    def run_schedule(self, seed: int, tracer=None) -> ScheduleReport:
+    def run_schedule(self, seed: int, tracer=None, obs=None) -> ScheduleReport:
         """One fully seeded schedule: fault window -> heal -> recovery
         checks. Deterministic: equal (seed, spec) gives equal reports.
         Pass a :class:`repro.sim.trace.TraceRecorder` as ``tracer`` to fold
-        the run into a replay digest (the sanitizer's entry point)."""
+        the run into a replay digest (the sanitizer's entry point), and/or
+        an :class:`repro.obs.ObsCollector` as ``obs`` to record a causal
+        span trace of the whole schedule."""
         report = ScheduleReport(seed=seed, spec=self.spec.to_dict())
-        cluster = ServiceCluster(self.spec, seed, tracer=tracer)
+        cluster = ServiceCluster(self.spec, seed, tracer=tracer, obs=obs)
         state = {"partitioned": False, "lossy_links": [], "gray": []}
 
         for step in range(self.spec.steps):

@@ -4,11 +4,19 @@ Benchmarks record completion events and latencies in simulated time; these
 helpers turn them into the series the paper plots — throughput over time
 (Figure 9), throughput points (Figure 7, Table 5), and response-time
 distributions (Figure 8).
+
+Both recorders are now thin views over :mod:`repro.obs.metrics` histograms:
+percentiles use the explicit nearest-rank method (the old ``round()``-based
+rank made p50 of two samples depend on banker's rounding), and the bucketed
+throughput series is built in a single pass over the events instead of
+rescanning the whole event list once per bucket.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.obs.metrics import Histogram, nearest_rank
 
 
 @dataclass
@@ -32,23 +40,52 @@ class ThroughputRecorder:
         return n / (end - start)
 
     def series(self, start: float, end: float, bucket: float) -> list[tuple[float, float]]:
-        """(bucket start time, events/sec) pairs covering [start, end)."""
-        buckets: list[tuple[float, float]] = []
+        """(bucket start time, events/sec) pairs covering [start, end).
+
+        Single pass: events are binned by index, then each bucket's rate is
+        read off — O(events + buckets), not O(events × buckets).
+        """
+        if end <= start or bucket <= 0:
+            return []
+        n_buckets = 0
         t = start
         while t < end:
-            buckets.append((t, self.throughput(t, min(t + bucket, end))))
+            n_buckets += 1
             t += bucket
-        return buckets
+        counts = [0] * n_buckets
+        for event_time in self.events:
+            if start <= event_time < end:
+                index = int((event_time - start) / bucket)
+                if index >= n_buckets:  # float-edge guard
+                    index = n_buckets - 1
+                counts[index] += 1
+        series: list[tuple[float, float]] = []
+        for i, count in enumerate(counts):
+            bucket_start = start + i * bucket
+            width = min(bucket, end - bucket_start)
+            series.append((bucket_start, count / width))
+        return series
 
 
 @dataclass
 class LatencyRecorder:
-    """Records per-request latencies (with completion timestamps)."""
+    """Records per-request latencies (with completion timestamps).
+
+    Latency statistics are delegated to an :class:`repro.obs.metrics.Histogram`
+    so percentiles, distributions, and summaries agree byte-for-byte with the
+    metrics registry used by the tracer.
+    """
 
     samples: list[tuple[float, float]] = field(default_factory=list)  # (time, latency)
+    _hist: Histogram = field(default_factory=lambda: Histogram(name="latency"))
+
+    def __post_init__(self) -> None:
+        for _time, latency in self.samples:  # pre-seeded samples
+            self._hist.observe(latency)
 
     def record(self, completion_time: float, latency: float) -> None:
         self.samples.append((completion_time, latency))
+        self._hist.observe(latency)
 
     @property
     def count(self) -> int:
@@ -58,25 +95,21 @@ class LatencyRecorder:
         return [latency for _time, latency in self.samples]
 
     def mean(self) -> float:
-        values = self.latencies()
-        return sum(values) / len(values) if values else 0.0
+        return self._hist.mean()
 
     def percentile(self, p: float) -> float:
-        """The p-th percentile latency (p in [0, 100])."""
-        values = sorted(self.latencies())
-        if not values:
-            return 0.0
-        rank = min(len(values) - 1, max(0, round(p / 100 * (len(values) - 1))))
-        return values[rank]
+        """The p-th percentile latency (p in [0, 100]), nearest-rank."""
+        return self._hist.percentile(p)
 
     def max(self) -> float:
-        values = self.latencies()
-        return max(values) if values else 0.0
+        return self._hist.max()
 
     def histogram(self, bucket: float) -> dict[float, int]:
         """latency-bucket -> count, for response-time distributions."""
-        counts: dict[float, int] = {}
-        for _time, latency in self.samples:
-            key = round(latency // bucket * bucket, 9)
-            counts[key] = counts.get(key, 0) + 1
-        return dict(sorted(counts.items()))
+        return self._hist.buckets(bucket)
+
+    def summary(self) -> dict:
+        return self._hist.summary()
+
+
+__all__ = ["ThroughputRecorder", "LatencyRecorder", "nearest_rank"]

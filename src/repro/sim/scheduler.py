@@ -34,6 +34,7 @@ class Scheduler:
         self.now = 0.0
         self.rng = random.Random(seed)
         self.tracer = None
+        self.obs = None  # optional repro.obs.ObsCollector
         self._queue: list[tuple[float, int, EventHandle, Callable[[], None]]] = []
         self._sequence = 0
         self._events_processed = 0
@@ -74,6 +75,8 @@ class Scheduler:
                 continue
             self.now = time
             self._events_processed += 1
+            if self.obs is not None:
+                self.obs.scheduler_event(len(self._queue))
             if self.tracer is None:
                 callback()
             else:

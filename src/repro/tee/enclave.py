@@ -68,12 +68,17 @@ class Enclave:
         self.memory = EnclaveMemory()
         self.host_interface = HostInterface()
         self._destroyed = False
+        # Optional observability wiring (set by the owning node).
+        self.obs = None
+        self.obs_owner = ""
 
     def attest(self, report_data: bytes) -> AttestationQuote:
         """Produce this enclave's quote binding ``report_data`` (the node's
         public identity key) to its code identity."""
         if self._destroyed:
             raise AttestationError("enclave has been destroyed")
+        if self.obs is not None:
+            self.obs.enclave_transition(self.obs_owner, "attest")
         return self._hardware.quote(self.platform.name, self.code_id, report_data)
 
     def host_read(self, name: str) -> Any:
@@ -87,6 +92,8 @@ class Enclave:
         """Tear the enclave down, wiping all secrets."""
         self.memory.wipe()
         self._destroyed = True
+        if self.obs is not None:
+            self.obs.enclave_transition(self.obs_owner, "destroy")
 
     @property
     def is_destroyed(self) -> bool:

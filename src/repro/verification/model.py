@@ -235,6 +235,21 @@ def _check_edge(parent: State, child: State) -> str | None:
     return None
 
 
+def check_state(state: State) -> str | None:
+    """Public single-state invariant check (election safety + commit
+    agreement). Returns a violation description or None. Used by the trace
+    conformance checker (:mod:`repro.obs.checker`) to validate abstract
+    states folded from a real run's trace — the "Smart Casual Verification"
+    style of replaying execution traces against the spec."""
+    return _check_state(state)
+
+
+def check_edge(parent: State, child: State) -> str | None:
+    """Public transition invariant check (commit monotonicity + committed-
+    prefix stability). Returns a violation description or None."""
+    return _check_edge(parent, child)
+
+
 def check(
     n_nodes: int = 3,
     max_view: int = 3,

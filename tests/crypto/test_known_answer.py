@@ -1,0 +1,180 @@
+"""Known-answer tests for the from-scratch crypto against the RFC vectors.
+
+The property tests elsewhere in this directory check internal consistency
+(seal/open round-trips, sign/verify agreement); these pin the primitives to
+the published test vectors, so an implementation that round-trips against
+itself but diverges from the real algorithms cannot pass:
+
+- ChaCha20 block function and ChaCha20-Poly1305 AEAD: RFC 8439 §2.3.2,
+  §2.4.2, §2.8.2;
+- X25519: RFC 7748 §5.2 (scalar multiplication) and §6.1 (Diffie-Hellman);
+- ECDSA P-256 with deterministic nonces: RFC 6979 A.2.5 (SHA-256).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.aead import AEADKey
+from repro.crypto.chacha20 import chacha20_block, chacha20_xor
+from repro.crypto.ecdsa import SigningKey, VerifyingKey
+from repro.crypto.x25519 import DHPrivateKey, x25519
+from repro.errors import VerificationError
+
+# ----------------------------------------------------------------------
+# RFC 8439 — ChaCha20 and ChaCha20-Poly1305
+
+RFC8439_KEY = bytes.fromhex(
+    "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f"
+)
+SUNSCREEN = (
+    b"Ladies and Gentlemen of the class of '99: If I could offer you "
+    b"only one tip for the future, sunscreen would be it."
+)
+
+
+CHACHA_KEY = bytes.fromhex(
+    "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+)
+
+
+def test_chacha20_block_rfc8439_2_3_2():
+    nonce = bytes.fromhex("000000090000004a00000000")
+    expected = bytes.fromhex(
+        "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+        "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+    )
+    assert chacha20_block(CHACHA_KEY, 1, nonce) == expected
+
+
+def test_chacha20_encrypt_rfc8439_2_4_2():
+    nonce = bytes.fromhex("000000000000004a00000000")
+    expected = bytes.fromhex(
+        "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+        "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+        "5af90bbf74a35be6b40b8eedf2785e42874d"
+    )
+    assert chacha20_xor(CHACHA_KEY, nonce, SUNSCREEN, initial_counter=1) == expected
+
+
+def test_aead_rfc8439_2_8_2():
+    nonce = bytes.fromhex("070000004041424344454647")
+    aad = bytes.fromhex("50515253c0c1c2c3c4c5c6c7")
+    ciphertext = bytes.fromhex(
+        "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6"
+        "3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36"
+        "92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc"
+        "3ff4def08e4b7a9de576d26586cec64b6116"
+    )
+    tag = bytes.fromhex("1ae10b594f09e26a7e902ecbd0600691")
+
+    key = AEADKey(RFC8439_KEY)
+    assert key.seal(nonce, SUNSCREEN, aad) == ciphertext + tag
+    assert key.open(nonce, ciphertext + tag, aad) == SUNSCREEN
+    # Flipping any tag bit must break authentication.
+    corrupted = ciphertext + bytes([tag[0] ^ 1]) + tag[1:]
+    with pytest.raises(VerificationError):
+        key.open(nonce, corrupted, aad)
+
+
+# ----------------------------------------------------------------------
+# RFC 7748 — X25519
+
+def test_x25519_rfc7748_5_2_vector1():
+    scalar = bytes.fromhex(
+        "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4"
+    )
+    u = bytes.fromhex(
+        "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c"
+    )
+    expected = bytes.fromhex(
+        "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+    )
+    assert x25519(scalar, u) == expected
+
+
+def test_x25519_rfc7748_5_2_vector2():
+    scalar = bytes.fromhex(
+        "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d"
+    )
+    u = bytes.fromhex(
+        "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493"
+    )
+    expected = bytes.fromhex(
+        "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+    )
+    assert x25519(scalar, u) == expected
+
+
+def test_x25519_rfc7748_6_1_diffie_hellman():
+    alice_priv = bytes.fromhex(
+        "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a"
+    )
+    bob_priv = bytes.fromhex(
+        "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb"
+    )
+    alice_pub = bytes.fromhex(
+        "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+    )
+    bob_pub = bytes.fromhex(
+        "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+    )
+    shared = bytes.fromhex(
+        "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+    )
+    alice = DHPrivateKey(alice_priv)
+    bob = DHPrivateKey(bob_priv)
+    assert alice.public == alice_pub
+    assert bob.public == bob_pub
+    assert alice.exchange(bob_pub) == shared
+    assert bob.exchange(alice_pub) == shared
+
+
+# ----------------------------------------------------------------------
+# RFC 6979 A.2.5 — deterministic ECDSA, P-256 + SHA-256
+
+P256_PRIVATE = int(
+    "C9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721", 16
+)
+P256_PUB_X = int(
+    "60FED4BA255A9D31C961EB74C6356D68C049B8923B61FA6CE669622E60F29FB6", 16
+)
+P256_PUB_Y = int(
+    "7903FE1008B8BC99A41AE9E95628BC64F2F1B20C2D7E9F5177A3C294D4462299", 16
+)
+RFC6979_VECTORS = [
+    (
+        b"sample",
+        "EFD48B2AACB6A8FD1140DD9CD45E81D69D2C877B56AAF991C34D0EA84EAF3716",
+        "F7CB1C942D657C41D436C7A1B6E29F65F3E900DBB9AFF4064DC4AB2F843ACDA8",
+    ),
+    (
+        b"test",
+        "F1ABB023518351CD71D881567B1EA663ED3EFCF6C5132B354F28D3B0B7D38367",
+        "019F4113742A2B14BD25926B49C649155F267E60D3814B4C0CC84250E46F0083",
+    ),
+]
+
+
+def test_ecdsa_public_key_matches_rfc6979_a_2_5():
+    key = SigningKey(P256_PRIVATE)
+    point = key.public_key.point
+    assert point.x == P256_PUB_X
+    assert point.y == P256_PUB_Y
+
+
+@pytest.mark.parametrize("message, r_hex, s_hex", RFC6979_VECTORS)
+def test_ecdsa_rfc6979_a_2_5_signatures(message: bytes, r_hex: str, s_hex: str):
+    key = SigningKey(P256_PRIVATE)
+    signature = key.sign(message)
+    assert signature[:32].hex().upper() == r_hex
+    assert signature[32:].hex().upper() == s_hex
+    key.public_key.verify(signature, message)
+
+
+def test_ecdsa_rfc6979_signature_rejects_other_message():
+    key = SigningKey(P256_PRIVATE)
+    signature = key.sign(b"sample")
+    with pytest.raises(VerificationError):
+        VerifyingKey(key.public_key.point).verify(signature, b"Sample")

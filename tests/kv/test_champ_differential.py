@@ -1,0 +1,110 @@
+"""Randomized differential testing of the CHAMP map against a plain dict.
+
+Thousands of seeded mixed operations (set / overwrite / remove / missing-key
+remove / lookups) run in lockstep against a ``dict`` reference; every
+divergence in content, size, or lookup results is a bug. Snapshots taken
+mid-stream pin persistence: because every update is a new map, a snapshot
+must still equal the reference dict captured at the same step after
+thousands of further mutations, and the structural-sharing fast paths
+(no-op set / no-op remove return ``self``) must hold throughout.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.kv.champ import ChampMap
+
+
+def _key(rng: random.Random) -> str:
+    # A small key space forces overwrites/removals; occasional tuple-hash
+    # collisions come from the FNV path being exercised with short strings.
+    return f"k{rng.randrange(200)}"
+
+
+@pytest.mark.parametrize("seed", [1, 7, 1234])
+def test_champ_matches_dict_under_mixed_ops(seed: int):
+    rng = random.Random(f"champ-diff|{seed}")
+    champ = ChampMap.empty()
+    reference: dict = {}
+    snapshots: list[tuple[ChampMap, dict]] = []
+
+    for step in range(4000):
+        op = rng.random()
+        key = _key(rng)
+        if op < 0.55:
+            value = rng.randrange(10**6)
+            champ = champ.set(key, value)
+            reference[key] = value
+        elif op < 0.8:
+            champ = champ.remove(key)
+            reference.pop(key, None)
+        elif op < 0.9:
+            # No-op overwrite with the identical value: structural sharing
+            # means the very same map object comes back.
+            if key in reference:
+                same = champ.set(key, reference[key])
+                assert same is champ
+            else:
+                assert champ.remove(key) is champ  # no-op remove
+        else:
+            assert champ.get(key, None) == reference.get(key, None)
+
+        if step % 500 == 499:
+            snapshots.append((champ, dict(reference)))
+
+        # Cheap invariants every step.
+        assert len(champ) == len(reference)
+
+    # Full content equivalence at the end...
+    assert champ.to_dict() == reference
+    assert sorted(champ.keys()) == sorted(reference.keys())
+    assert sorted(map(str, champ.values())) == sorted(map(str, reference.values()))
+    for key in reference:
+        assert key in champ
+        assert champ[key] == reference[key]
+
+    # ...and every snapshot is still exactly what it was when taken:
+    # later mutations never leaked into older versions.
+    assert len(snapshots) == 8
+    for snap, ref_at_snap in snapshots:
+        assert snap.to_dict() == ref_at_snap
+        assert len(snap) == len(ref_at_snap)
+
+
+def test_champ_structural_sharing_after_update():
+    base = ChampMap.from_dict({f"key-{i}": i for i in range(512)})
+    updated = base.set("key-0", -1)
+
+    # The update created a new root but must share almost the entire tree.
+    def nodes(root) -> set[int]:
+        out: set[int] = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            out.add(id(node))
+            for child in getattr(node, "content", ()):
+                if type(child).__name__ in ("_Node", "_Collision"):
+                    stack.append(child)
+        return out
+
+    base_nodes = nodes(base._root)
+    updated_nodes = nodes(updated._root)
+    shared = base_nodes & updated_nodes
+    # Only the path from root to the touched leaf may differ (<= depth of 7
+    # for 30-bit hashes at 5 bits per level).
+    assert len(updated_nodes - shared) <= 7
+    assert len(shared) >= len(base_nodes) - 7
+    # And the old version is untouched.
+    assert base["key-0"] == 0
+    assert updated["key-0"] == -1
+
+
+def test_champ_missing_key_behaviour():
+    champ = ChampMap.from_dict({"a": 1})
+    with pytest.raises(KeyError):
+        champ["missing"]
+    assert champ.get("missing", 42) == 42
+    assert champ.remove("missing") is champ

@@ -1,0 +1,107 @@
+"""Tests for the fixed simulation metrics recorders (repro.sim.metrics).
+
+Pins the two satellite fixes: ``LatencyRecorder.percentile`` now uses the
+nearest-rank method (the old ``round()``-based rank suffered banker's
+rounding — p50 of two samples returned the second), and
+``ThroughputRecorder.series`` is single-pass but must keep the original
+semantics (per-bucket rates over [start, end), last bucket clipped).
+"""
+
+from __future__ import annotations
+
+from repro.sim.metrics import LatencyRecorder, ThroughputRecorder
+
+
+class TestLatencyRecorder:
+    def test_p50_of_two_samples_is_the_first(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0, 0.010)
+        recorder.record(2.0, 0.020)
+        # round(0.5) == 0 (banker's rounding) used to push this to 0.020.
+        assert recorder.percentile(50) == 0.010
+
+    def test_percentiles_match_nearest_rank(self):
+        recorder = LatencyRecorder()
+        for i, latency in enumerate([0.05, 0.01, 0.04, 0.02, 0.03]):
+            recorder.record(float(i), latency)
+        assert recorder.percentile(0) == 0.01
+        assert recorder.percentile(20) == 0.01
+        assert recorder.percentile(40) == 0.02
+        assert recorder.percentile(60) == 0.03
+        assert recorder.percentile(100) == 0.05
+        assert recorder.max() == 0.05
+        assert abs(recorder.mean() - 0.03) < 1e-12
+
+    def test_preseeded_samples_are_counted(self):
+        recorder = LatencyRecorder(samples=[(1.0, 0.5), (2.0, 0.7)])
+        assert recorder.count == 2
+        assert recorder.percentile(100) == 0.7
+        recorder.record(3.0, 0.1)
+        assert recorder.percentile(0) == 0.1
+
+    def test_histogram_and_summary(self):
+        recorder = LatencyRecorder()
+        for latency in (0.01, 0.012, 0.03):
+            recorder.record(0.0, latency)
+        assert recorder.histogram(0.01) == {0.01: 2, 0.03: 1}
+        summary = recorder.summary()
+        assert summary["count"] == 3
+        assert summary["p50"] == 0.012
+
+    def test_empty_recorder(self):
+        recorder = LatencyRecorder()
+        assert recorder.percentile(50) == 0.0
+        assert recorder.mean() == 0.0
+        assert recorder.max() == 0.0
+
+
+class TestThroughputRecorder:
+    def test_series_single_pass_matches_reference(self):
+        recorder = ThroughputRecorder()
+        events = [0.05, 0.1, 0.15, 0.2, 0.55, 0.9, 0.95, 1.4]
+        for t in events:
+            recorder.record(t)
+
+        start, end, bucket = 0.0, 1.5, 0.5
+        series = recorder.series(start, end, bucket)
+
+        # Reference semantics: one scan per bucket (the old implementation).
+        expected = []
+        t = start
+        while t < end:
+            width = min(bucket, end - t)
+            n = sum(1 for e in events if t <= e < t + bucket and e < end)
+            expected.append((t, n / width))
+            t += bucket
+        assert series == expected
+        assert [n for _, n in series] == [8.0, 6.0, 2.0]
+
+    def test_series_clips_final_partial_bucket(self):
+        recorder = ThroughputRecorder()
+        recorder.record(1.1)
+        series = recorder.series(0.0, 1.25, 0.5)
+        assert len(series) == 3
+        last_start, last_rate = series[-1]
+        assert last_start == 1.0
+        assert abs(last_rate - 1 / 0.25) < 1e-9
+
+    def test_series_ignores_out_of_window_events(self):
+        recorder = ThroughputRecorder()
+        for t in (-0.1, 0.2, 0.9, 1.0, 5.0):
+            recorder.record(t)
+        series = recorder.series(0.0, 1.0, 0.5)
+        assert [rate for _, rate in series] == [1 / 0.5, 1 / 0.5]
+
+    def test_degenerate_windows(self):
+        recorder = ThroughputRecorder()
+        recorder.record(0.5)
+        assert recorder.series(1.0, 1.0, 0.5) == []
+        assert recorder.series(0.0, 1.0, 0.0) == []
+        assert recorder.throughput(1.0, 1.0) == 0.0
+
+    def test_throughput_window(self):
+        recorder = ThroughputRecorder()
+        for t in (0.1, 0.2, 0.3, 0.7):
+            recorder.record(t)
+        assert recorder.throughput(0.0, 0.5) == 3 / 0.5
+        assert recorder.count == 4
