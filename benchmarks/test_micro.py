@@ -10,12 +10,14 @@ import random
 
 from repro.app.jsapp.interp import Interpreter
 from repro.app.jsapp.parser import parse
+from repro.crypto import ec, fastec
 from repro.crypto.aead import AEADKey, nonce_from_counter
-from repro.crypto.ecdsa import SigningKey
+from repro.crypto.ecdsa import SigningKey, clear_verify_memo, set_verify_memo
 from repro.crypto.fastaead import FastAEADKey
 from repro.crypto.merkle import MerkleTree
 from repro.kv.champ import ChampMap
 from repro.kv.tx import WriteSet
+from repro.perf.costmodel import CostModel
 
 
 class TestMerkle:
@@ -90,6 +92,83 @@ class TestCrypto:
         signature = key.sign(b"merkle root")
         public = key.public_key
         benchmark(lambda: public.verify(signature, b"merkle root"))
+
+
+class TestFastPath:
+    """Reference ladder vs the fastec fast paths (comb, wNAF, verify memo).
+
+    These report *host* wall-clock only; the simulated-time charge for the
+    same operations is fixed by the CostModel and deliberately unaffected
+    (see ``test_wall_clock_vs_simulated_time``).
+    """
+
+    SCALAR = 0xC9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721
+
+    def test_reference_scalar_mult(self, benchmark):
+        benchmark(lambda: ec.scalar_mult(self.SCALAR, ec.GENERATOR))
+
+    def test_comb_generator_mult(self, benchmark):
+        benchmark(lambda: fastec.generator_mult(self.SCALAR))
+
+    def test_wnaf_point_mult(self, benchmark):
+        point = ec.scalar_mult(7777, ec.GENERATOR)
+        fastec.wnaf_mult(2, point)  # warm the per-point tables
+        benchmark(lambda: fastec.wnaf_mult(self.SCALAR, point))
+
+    def test_double_scalar_mult(self, benchmark):
+        point = ec.scalar_mult(7777, ec.GENERATOR)
+        fastec.double_scalar_mult(2, 3, point)  # warm the per-point tables
+        benchmark(lambda: fastec.double_scalar_mult(self.SCALAR, 12345, point))
+
+    def test_ecdsa_verify_cold(self, benchmark):
+        """Verify with the memo disabled: the real double-scalar cost."""
+        key = SigningKey.generate(b"bench-cold")
+        signature = key.sign(b"merkle root")
+        public = key.public_key
+        previous = set_verify_memo(False)
+        try:
+            benchmark(lambda: public.verify(signature, b"merkle root"))
+        finally:
+            set_verify_memo(previous)
+
+    def test_ecdsa_verify_memo_hit(self, benchmark):
+        """Repeated verification of one (key, digest, signature) triple."""
+        key = SigningKey.generate(b"bench-memo")
+        signature = key.sign(b"merkle root")
+        public = key.public_key
+        clear_verify_memo()
+        public.verify(signature, b"merkle root")  # populate
+        benchmark(lambda: public.verify(signature, b"merkle root"))
+
+    def test_wall_clock_vs_simulated_time(self, benchmark, capsys):
+        """Host wall-clock next to the simulated-time charge for the same op.
+
+        The CostModel charge is the number the simulation schedules with; it
+        must not move when the host gets faster, or seeded traces would
+        diverge across machines. This test reports both so a reader can see
+        the two clocks side by side — and asserts the simulated charge is
+        still the seed value the fast paths are forbidden to touch.
+        """
+        model = CostModel()
+        assert model.signature_cost == 1.0e-3
+        assert model.verify_cost == 1.2e-3
+
+        key = SigningKey.generate(b"bench-two-clocks")
+        signature = key.sign(b"merkle root")
+        public = key.public_key
+        previous = set_verify_memo(False)
+        try:
+            stats = benchmark(lambda: public.verify(signature, b"merkle root"))
+        finally:
+            set_verify_memo(previous)
+        del stats
+        host_s = benchmark.stats.stats.mean
+        with capsys.disabled():
+            print(
+                f"\n[two-clocks] ecdsa_verify: host wall-clock "
+                f"{host_s * 1e3:.3f} ms/op, simulated charge "
+                f"{model.verify_cost * 1e3:.3f} ms/op (fixed by CostModel)"
+            )
 
 
 class TestSerialization:

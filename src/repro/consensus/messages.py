@@ -78,8 +78,30 @@ from repro.errors import ConsensusError  # noqa: E402
 from repro.kv.serialization import decode_value, encode_value  # noqa: E402
 
 
+# AppendEntries framing is memoized per message instance: the primary
+# shares one message object across every follower at the same next_index
+# (see ConsensusNode._send_append_entries), so an entry batch is encoded
+# once instead of once per destination. Channel sealing stays per-peer —
+# only the plaintext framing is shared. Counters are exported via
+# repro.obs.metrics as ``fastpath.ae_encode.*``.
+ENCODE_STATS = {"ae_encode.encodes": 0, "ae_encode.reuses": 0}
+
+
 def encode_message(message: object) -> bytes:
     """Serialize a consensus message to canonical bytes."""
+    if isinstance(message, AppendEntries):
+        cached = message.__dict__.get("_encoded")
+        if cached is not None:
+            ENCODE_STATS["ae_encode.reuses"] += 1
+            return cached
+    data = _encode_message_uncached(message)
+    if isinstance(message, AppendEntries):
+        ENCODE_STATS["ae_encode.encodes"] += 1
+        object.__setattr__(message, "_encoded", data)
+    return data
+
+
+def _encode_message_uncached(message: object) -> bytes:
     if isinstance(message, AppendEntries):
         payload = {
             "t": "ae",

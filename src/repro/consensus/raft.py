@@ -388,8 +388,9 @@ class ConsensusNode:
         self._check_step_down()
         if self.role is not Role.PRIMARY:
             return
+        shared: dict[int, AppendEntries] = {}
         for peer in self._replication_targets():
-            self._send_append_entries(peer)
+            self._send_append_entries(peer, shared)
         self._arm_heartbeat()
 
     def _check_step_down(self) -> None:
@@ -403,7 +404,9 @@ class ConsensusNode:
         if not self.configurations.quorum_in_each(reachable):
             self._step_down()
 
-    def _send_append_entries(self, peer: str) -> None:
+    def _send_append_entries(
+        self, peer: str, shared: dict[int, AppendEntries] | None = None
+    ) -> None:
         next_seqno = self._next_index.get(peer, self.ledger.last_seqno + 1)
         # A snapshot-based ledger does not hold entries at or below its
         # base; a peer lagging below it cannot be caught up by replication
@@ -412,33 +415,44 @@ class ConsensusNode:
         if next_seqno <= self.ledger.base_seqno:
             next_seqno = self.ledger.base_seqno + 1
             self._next_index[peer] = next_seqno
-        prev_txid = self.ledger.txid_at(min(next_seqno - 1, self.ledger.last_seqno))
-        last = min(
-            self.ledger.last_seqno, next_seqno + self.config.max_batch_entries - 1
-        )
-        entries = tuple(self.ledger.entries(next_seqno, last)) if last >= next_seqno else ()
-        obs = self.scheduler.obs
-        if obs is not None:
-            obs.append_entries_sent(self.node_id, peer, len(entries))
-        self.host.send_consensus_message(
-            peer,
-            AppendEntries(
+        # Serialize-once fast path: within one broadcast (heartbeat or
+        # replicate_now), peers at the same next_index receive the *same*
+        # message object, so the batch framing is encoded once for all of
+        # them (encode_message memoizes per instance). The message content
+        # and per-peer send order are exactly what per-peer construction
+        # produced; only redundant host-side work is dropped.
+        message = shared.get(next_seqno) if shared is not None else None
+        if message is None:
+            prev_txid = self.ledger.txid_at(min(next_seqno - 1, self.ledger.last_seqno))
+            last = min(
+                self.ledger.last_seqno, next_seqno + self.config.max_batch_entries - 1
+            )
+            entries = (
+                tuple(self.ledger.entries(next_seqno, last)) if last >= next_seqno else ()
+            )
+            message = AppendEntries(
                 view=self.view,
                 leader_id=self.node_id,
                 prev_txid=prev_txid,
                 entries=entries,
                 leader_commit=self.commit_seqno,
-            ),
-        )
+            )
+            if shared is not None:
+                shared[next_seqno] = message
+        obs = self.scheduler.obs
+        if obs is not None:
+            obs.append_entries_sent(self.node_id, peer, len(message.entries))
+        self.host.send_consensus_message(peer, message)
 
     def replicate_now(self) -> None:
         """Push new entries to peers immediately (called after the host
         appends user transactions, so writes don't wait for the heartbeat)."""
         if self.role is not Role.PRIMARY:
             return
+        shared: dict[int, AppendEntries] = {}
         for peer in self._replication_targets():
             if self._next_index.get(peer, 1) <= self.ledger.last_seqno:
-                self._send_append_entries(peer)
+                self._send_append_entries(peer, shared)
 
     def on_append_entries(self, message: AppendEntries) -> None:
         if self._stopped:

@@ -19,6 +19,16 @@ def _encode_field(data: bytes) -> bytes:
     return len(data).to_bytes(2, "big") + data
 
 
+# Bounded memo for certificate reconstruction: the users/members maps store
+# certificates as dicts and every authenticated request rebuilds one.
+# Certificates are immutable, so reuse also means the VerifyingKey instance
+# (and its fastec per-point tables) is shared across requests. Counters are
+# exported via repro.obs.metrics as ``fastpath.cert_cache.*``.
+_CERT_CACHE: dict[tuple[str, str, str, str], "Certificate"] = {}
+_CERT_CACHE_MAX = 4096
+CERT_STATS = {"cert_cache.hits": 0, "cert_cache.misses": 0}
+
+
 @dataclass(frozen=True)
 class Certificate:
     """A signed binding of a subject name to a public key.
@@ -75,12 +85,27 @@ class Certificate:
 
     @classmethod
     def from_dict(cls, data: dict) -> "Certificate":
-        return cls(
+        key = (data["subject"], data["public_key"], data["issuer"], data["signature"])
+        try:
+            cached = _CERT_CACHE.get(key)
+        except TypeError:
+            key = None  # unhashable field types: fall through to construction
+            cached = None
+        if cached is not None:
+            CERT_STATS["cert_cache.hits"] += 1
+            return cached
+        certificate = cls(
             subject=data["subject"],
             public_key=VerifyingKey.decode(bytes.fromhex(data["public_key"])),
             issuer=data["issuer"],
             signature=bytes.fromhex(data["signature"]),
         )
+        if key is not None:
+            CERT_STATS["cert_cache.misses"] += 1
+            if len(_CERT_CACHE) >= _CERT_CACHE_MAX:
+                _CERT_CACHE.clear()
+            _CERT_CACHE[key] = certificate
+        return certificate
 
 
 def issue(subject: str, public_key: VerifyingKey, issuer: str, issuer_key: SigningKey) -> Certificate:

@@ -40,11 +40,20 @@ class Point:
         return self.x is None
 
     def encode(self) -> bytes:
-        """Compressed SEC1 encoding: ``02|03 || x``."""
+        """Compressed SEC1 encoding: ``02|03 || x``.
+
+        Memoized per instance: points are immutable and the same node/user
+        keys are re-encoded on every certificate and envelope they appear
+        in."""
+        cached = self.__dict__.get("_encoded")
+        if cached is not None:
+            return cached
         if self.x is None or self.y is None:
             raise CryptoError("cannot encode the point at infinity")
         prefix = b"\x03" if self.y & 1 else b"\x02"
-        return prefix + self.x.to_bytes(COORD_SIZE, "big")
+        encoded = prefix + self.x.to_bytes(COORD_SIZE, "big")
+        object.__setattr__(self, "_encoded", encoded)
+        return encoded
 
 
 INFINITY = Point(None, None)
@@ -120,7 +129,13 @@ def _jadd(jp: _JPoint, jq: _JPoint) -> _JPoint:
 
 
 def scalar_mult(k: int, point: Point) -> Point:
-    """Compute ``k * point`` using double-and-add on Jacobian coordinates."""
+    """Compute ``k * point`` using double-and-add on Jacobian coordinates.
+
+    This is the *reference* ladder: :mod:`repro.crypto.fastec` provides the
+    fast paths (comb tables, interleaved wNAF) that production code uses,
+    and the differential tests hold them bit-identical to this function.
+    Keep it plain — it is the oracle.
+    """
     k %= N
     if k == 0 or point.is_infinity:
         return INFINITY
@@ -147,8 +162,31 @@ def is_on_curve(point: Point) -> bool:
     return (y * y - (x * x * x + A * x + B)) % P == 0
 
 
+# Bounded decode memo: decompressing a point costs a modular square root,
+# and the same handful of peer keys arrives on every channel message and
+# certificate. Only successful decodes are cached (malformed input must
+# fail identically every time). Counters are exported via repro.obs.metrics
+# as ``fastpath.decode_point.*``.
+_DECODE_MEMO: dict[bytes, Point] = {}
+_DECODE_MEMO_MAX = 4096
+DECODE_STATS = {"decode_point.hits": 0, "decode_point.misses": 0}
+
+
 def decode_point(data: bytes) -> Point:
     """Decode a compressed SEC1 point, validating it is on the curve."""
+    cached = _DECODE_MEMO.get(data)
+    if cached is not None:
+        DECODE_STATS["decode_point.hits"] += 1
+        return cached
+    point = _decode_point_uncached(data)
+    DECODE_STATS["decode_point.misses"] += 1
+    if len(_DECODE_MEMO) >= _DECODE_MEMO_MAX:
+        _DECODE_MEMO.clear()
+    _DECODE_MEMO[bytes(data)] = point
+    return point
+
+
+def _decode_point_uncached(data: bytes) -> Point:
     if len(data) != COMPRESSED_SIZE or data[0] not in (2, 3):
         raise CryptoError("malformed compressed point")
     x = int.from_bytes(data[1:], "big")

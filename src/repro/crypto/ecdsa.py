@@ -13,15 +13,57 @@ from __future__ import annotations
 
 import hmac
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.crypto import ec
+from repro.crypto import ec, fastec
 from repro.crypto.hashing import sha256
 from repro.errors import CryptoError, VerificationError
 
 SIGNATURE_SIZE = 64  # r || s, 32 bytes each
 
 _DECODE_CACHE: dict[bytes, "VerifyingKey"] = {}
+
+# ----------------------------------------------------------------------
+# Verification memo: an LRU over successful verifications, keyed by the
+# full (public key, message digest, signature) triple. The common protocol
+# shape is N followers and auditors re-verifying the *same* signature
+# transaction or receipt; verification is a pure function of the triple, so
+# collapsing repeats cannot change any outcome. Only successes are stored —
+# a forged signature re-runs the full check every time and can never be
+# laundered through the cache. Disable with ``set_verify_memo(False)``
+# (chaos differential tests run both ways and require identical traces).
+_VERIFY_MEMO: OrderedDict[tuple[bytes, bytes, bytes], None] = OrderedDict()
+_VERIFY_MEMO_MAX = 8192
+_VERIFY_MEMO_ENABLED = True
+
+MEMO_STATS = {
+    "verify_memo.hits": 0,
+    "verify_memo.misses": 0,
+    "verify_memo.evictions": 0,
+    "pubkey_decode.hits": 0,
+    "pubkey_decode.misses": 0,
+}
+
+
+def set_verify_memo(enabled: bool) -> bool:
+    """Enable/disable the verification memo; returns the previous setting."""
+    global _VERIFY_MEMO_ENABLED
+    previous = _VERIFY_MEMO_ENABLED
+    _VERIFY_MEMO_ENABLED = enabled
+    return previous
+
+
+def clear_verify_memo() -> None:
+    """Drop all memoized verifications (test and benchmark isolation)."""
+    _VERIFY_MEMO.clear()
+
+
+def _verify_memo_store(key: tuple[bytes, bytes, bytes]) -> None:
+    while len(_VERIFY_MEMO) >= _VERIFY_MEMO_MAX:
+        _VERIFY_MEMO.popitem(last=False)
+        MEMO_STATS["verify_memo.evictions"] += 1
+    _VERIFY_MEMO[key] = None
 
 
 def _rfc6979_nonce(private_scalar: int, msg_hash: bytes) -> int:
@@ -58,13 +100,18 @@ class VerifyingKey:
     def decode(cls, data: bytes) -> "VerifyingKey":
         """Decode a compressed public key. Memoized: decompression costs a
         modular square root and the same handful of keys (users, nodes,
-        members) is decoded on every request."""
+        members) is decoded on every request. Returning the *same instance*
+        also lets the per-point tables in :mod:`repro.crypto.fastec` reuse
+        their precomputation across call sites."""
         cached = _DECODE_CACHE.get(data)
         if cached is None:
+            MEMO_STATS["pubkey_decode.misses"] += 1
             cached = cls(ec.decode_point(data))
             if len(_DECODE_CACHE) >= 4096:
                 _DECODE_CACHE.clear()
             _DECODE_CACHE[data] = cached
+        else:
+            MEMO_STATS["pubkey_decode.hits"] += 1
         return cached
 
     def verify(self, signature: bytes, message: bytes) -> None:
@@ -80,15 +127,22 @@ class VerifyingKey:
         s = int.from_bytes(signature[32:], "big")
         if not (1 <= r < ec.N and 1 <= s < ec.N):
             raise VerificationError("signature scalar out of range")
-        e = int.from_bytes(sha256(message), "big") % ec.N
+        digest = bytes(sha256(message))
+        memo_key = (self.encode(), digest, signature)
+        if _VERIFY_MEMO_ENABLED and memo_key in _VERIFY_MEMO:
+            MEMO_STATS["verify_memo.hits"] += 1
+            _VERIFY_MEMO.move_to_end(memo_key)
+            return
+        MEMO_STATS["verify_memo.misses"] += 1
+        e = int.from_bytes(digest, "big") % ec.N
         s_inv = pow(s, -1, ec.N)
         u1 = (e * s_inv) % ec.N
         u2 = (r * s_inv) % ec.N
-        point = ec.point_add(
-            ec.scalar_mult(u1, ec.GENERATOR), ec.scalar_mult(u2, self.point)
-        )
+        point = fastec.double_scalar_mult(u1, u2, self.point)
         if point.is_infinity or (point.x % ec.N) != r:
             raise VerificationError("ECDSA signature verification failed")
+        if _VERIFY_MEMO_ENABLED:
+            _verify_memo_store(memo_key)
 
     def is_valid(self, signature: bytes, message: bytes) -> bool:
         """Boolean convenience wrapper around :meth:`verify`."""
@@ -123,7 +177,13 @@ class SigningKey:
 
     @property
     def public_key(self) -> VerifyingKey:
-        return VerifyingKey(ec.scalar_mult(self.scalar, ec.GENERATOR))
+        """The matching verifying key. Cached per instance: the point is a
+        pure function of the scalar, and call sites re-derive it freely."""
+        cached = self.__dict__.get("_public_key")
+        if cached is None:
+            cached = VerifyingKey(fastec.generator_mult(self.scalar))
+            object.__setattr__(self, "_public_key", cached)
+        return cached
 
     def sign(self, message: bytes) -> bytes:
         """Produce a 64-byte ``r || s`` signature over SHA-256(message)."""
@@ -131,7 +191,7 @@ class SigningKey:
         e = int.from_bytes(msg_hash, "big") % ec.N
         while True:
             k = _rfc6979_nonce(self.scalar, bytes(msg_hash))
-            point = ec.scalar_mult(k, ec.GENERATOR)
+            point = fastec.generator_mult(k)
             if point.x is None:
                 raise CryptoError("signing nonce mapped to the point at infinity")
             r = point.x % ec.N

@@ -20,6 +20,12 @@ from repro.kv.serialization import decode_value, encode_value
 
 _CHANNEL_DOMAIN = 0x43  # 'C'
 
+# ChannelHello is idempotent and re-sent on reconnects and join gossip;
+# re-deriving an unchanged key costs an X25519 exchange plus an HKDF for
+# nothing. Counters are exported via repro.obs.metrics as
+# ``fastpath.channel_establish.*``.
+CHANNEL_STATS = {"channel_establish.derived": 0, "channel_establish.reused": 0}
+
 
 @dataclass(frozen=True)
 class SealedMessage:
@@ -59,8 +65,18 @@ class NodeChannels:
         """Derive the shared channel key with ``peer_id``.
 
         Both sides derive the same key because the HKDF info string orders
-        the two node IDs canonically.
+        the two node IDs canonically. Re-establishing with an unchanged peer
+        public key is a no-op (same inputs derive the same key, so skipping
+        the exchange cannot change behaviour); a *changed* key — the peer
+        restarted with a fresh DH pair — re-derives as before.
         """
+        if (
+            self._peer_publics.get(peer_id) == peer_public
+            and peer_id in self._keys
+        ):
+            CHANNEL_STATS["channel_establish.reused"] += 1
+            return
+        CHANNEL_STATS["channel_establish.derived"] += 1
         shared = self._dh.exchange(peer_public)
         low, high = sorted([self.node_id, peer_id])
         key_bytes = hkdf(shared, b"repro-channel|" + low.encode() + b"|" + high.encode(), 32)

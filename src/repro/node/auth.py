@@ -54,16 +54,22 @@ def _cert_from_credentials(request: Request) -> Certificate:
 # keyed by (to-be-signed bytes, signature). Real CCF verifies the client
 # certificate once per TLS handshake, not per request; this cache plays the
 # same role for the simulated sessions. Verification is pure, so caching
-# cannot change outcomes.
+# cannot change outcomes. (Certificate.from_dict and VerifyingKey.decode
+# are themselves memoized, so the decoded key objects — and their fastec
+# precomputation tables — are reused across requests too.) Counters are
+# exported via repro.obs.metrics as ``fastpath.cert_verify_cache.*``.
 _VERIFIED_CERTS: set[tuple[bytes, bytes]] = set()
 _VERIFIED_CERTS_MAX = 10_000
+AUTH_STATS = {"cert_verify_cache.hits": 0, "cert_verify_cache.misses": 0}
 
 
 def _verify_self_signed_cached(certificate: Certificate) -> None:
     key = (certificate.to_be_signed(), certificate.signature)
     if key in _VERIFIED_CERTS:
+        AUTH_STATS["cert_verify_cache.hits"] += 1
         return
     certificate.verify_self_signed()
+    AUTH_STATS["cert_verify_cache.misses"] += 1
     if len(_VERIFIED_CERTS) >= _VERIFIED_CERTS_MAX:
         _VERIFIED_CERTS.clear()
     _VERIFIED_CERTS.add(key)

@@ -91,6 +91,8 @@ def run_traced_benchmark(
 ) -> dict:
     """One traced operating point; returns the machine-readable report."""
     collector = ObsCollector(seed=seed)
+    # Fast-path cache counters are process-global; report this run's deltas.
+    fastpath_start = dict(collector.export_fastpath_stats())
     setup = ServiceSetup(
         n_nodes=n_nodes,
         node_config=NodeConfig(
@@ -139,6 +141,11 @@ def run_traced_benchmark(
     report = profile_spans(collector.spans)
     causal = verify_causal_trees(collector.spans)
     conformance = check_trace(collector.spans)
+    fastpath_end = collector.export_fastpath_stats()
+    fastpath = {
+        name: value - fastpath_start.get(name, 0)
+        for name, value in sorted(fastpath_end.items())
+    }
     snapshot = collector.registry.snapshot()
 
     return {
@@ -164,6 +171,7 @@ def run_traced_benchmark(
         },
         "spans": len(collector.spans),
         "errors": client.errors,
+        "fastpath": fastpath,
         "metrics_sample": {
             name: value
             for name, value in snapshot.items()
@@ -181,6 +189,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--concurrency", type=int, default=50)
     parser.add_argument("--window", type=float, default=0.4)
     parser.add_argument("--out", default="", help="write JSON report here")
+    parser.add_argument(
+        "--require-cache-hits",
+        action="store_true",
+        help="fail unless the crypto/serialization fast paths were engaged "
+        "(cache-hit counters > 0) during the workload",
+    )
     args = parser.parse_args(argv)
 
     result = run_traced_benchmark(
@@ -201,6 +215,30 @@ def main(argv: list[str] | None = None) -> int:
         and causal["committed_writes"] > 0
         and causal["complete_trees"] == causal["committed_writes"]
     )
+    if args.require_cache_hits:
+        fastpath = result["fastpath"]
+        # The traced workload must actually engage each fast-path layer:
+        # comb-based signing, wNAF double-scalar verification, serialize-once
+        # AppendEntries batches, and at least one verification-adjacent cache.
+        required = {
+            "fastec.generator_mults": "comb signing",
+            "fastec.double_mults": "wNAF verification",
+            "ae_encode.reuses": "serialize-once AppendEntries",
+        }
+        engaged = True
+        for name, what in required.items():
+            if fastpath.get(name, 0) <= 0:
+                print(f"perf-smoke: fast path not engaged: {what} ({name} == 0)")
+                engaged = False
+        hit_counters = [
+            value
+            for name, value in fastpath.items()
+            if name.endswith(".hits") or name.endswith(".reuses")
+        ]
+        if sum(hit_counters) <= 0:
+            print("perf-smoke: no cache produced a single hit")
+            engaged = False
+        ok = ok and engaged
     return 0 if ok else 1
 
 

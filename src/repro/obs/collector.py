@@ -172,6 +172,36 @@ class ObsCollector:
         """All spans, creation order, one JSON object per line."""
         return export_jsonl(self.spans)
 
+    def export_fastpath_stats(self) -> dict[str, int]:
+        """Snapshot the crypto/serialization fast-path cache counters into
+        the registry as ``fastpath.*`` counters, and return them.
+
+        The counters live as process-global module state (the caches are
+        shared across all simulated nodes — they memoize pure functions, so
+        sharing cannot change outcomes) and are *host-side* quantities:
+        exporting them records how hard the fast paths worked, not anything
+        about simulated time.
+        """
+        from repro.consensus import messages
+        from repro.crypto import certs, ec, ecdsa, fastec
+        from repro.net import channels
+        from repro.node import auth
+
+        merged: dict[str, int] = {}
+        for stats in (
+            fastec.STATS,
+            ec.DECODE_STATS,
+            ecdsa.MEMO_STATS,
+            certs.CERT_STATS,
+            messages.ENCODE_STATS,
+            channels.CHANNEL_STATS,
+            auth.AUTH_STATS,
+        ):
+            merged.update(stats)
+        for name in sorted(merged):
+            self.registry.counter(f"fastpath.{name}").value = float(merged[name])
+        return merged
+
     def roots(self) -> list[Span]:
         return [span for span in self.spans if span.is_root]
 

@@ -1,0 +1,56 @@
+"""``python -m repro.obs.perfguard``: wall-clock regression guard for CI.
+
+Compares a measured tier-1 suite duration against the stored budget in
+``perf-budget.json``. The budget carries generous slack (~3x the measured
+baseline) so it only trips on genuine regressions — an accidentally disabled
+fast path, a quadratic loop — not on CI host noise.
+
+Update the budget deliberately (edit ``perf-budget.json`` with a fresh
+baseline and the same slack factor) when the suite legitimately grows.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def check_budget(measured_seconds: float, budget: dict) -> list[str]:
+    """Return violations (empty list means within budget)."""
+    limit = float(budget["tier1_seconds_max"])
+    if measured_seconds > limit:
+        return [
+            f"tier-1 suite took {measured_seconds:.1f}s, budget is {limit:.1f}s "
+            f"(baseline {budget.get('tier1_seconds_baseline', '?')}s; see {budget.get('note', '')})"
+        ]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="wall-clock regression guard")
+    parser.add_argument(
+        "--tier1-seconds",
+        type=float,
+        required=True,
+        help="measured wall-clock duration of the tier-1 pytest run",
+    )
+    parser.add_argument("--budget", default="perf-budget.json")
+    args = parser.parse_args(argv)
+
+    with open(args.budget, encoding="utf-8") as handle:
+        budget = json.load(handle)
+
+    problems = check_budget(args.tier1_seconds, budget)
+    for problem in problems:
+        print(f"perfguard: BUDGET EXCEEDED: {problem}")
+    if not problems:
+        print(
+            f"perfguard: tier-1 {args.tier1_seconds:.1f}s within "
+            f"{float(budget['tier1_seconds_max']):.1f}s budget"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
