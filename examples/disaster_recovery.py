@@ -11,11 +11,17 @@ ledger files from one host's disk and starts a recovery node:
    Shamir) and the private state decrypted;
 5. members vote to open the service, binding old and new identities.
 
+The protocol steps come from :mod:`repro.sim.disaster` — the same helpers
+the seeded disaster schedules and ``tests/service/test_disaster_recovery``
+drive, so this walkthrough exercises exactly the code the chaos runs do.
+
 Run:  python examples/disaster_recovery.py
 """
 
 from repro.node.config import NodeConfig
+from repro.service.client import ContinuityTracker
 from repro.service.service import CCFService, ServiceSetup
+from repro.sim.disaster import submit_recovery_shares, vote_to_open
 
 
 def main() -> None:
@@ -29,10 +35,14 @@ def main() -> None:
     service.bootstrap()
     user = service.any_user_client()
     primary = service.primary_node()
+    tracker = ContinuityTracker(user)
+    tracker.pin_identity(primary.node_id)
 
     for i in range(10):
-        user.call(primary.node_id, "/app/write_message",
-                  {"id": i, "msg": f"confidential record {i}"})
+        response = user.call(primary.node_id, "/app/write_message",
+                             {"id": i, "msg": f"confidential record {i}"})
+        if response.ok and response.txid:
+            tracker.record_ack(response.txid)
     service.run(0.5)
     old_identity = primary.service_certificate
     print(f"service running; {primary.ledger.last_seqno} transactions on the ledger")
@@ -54,37 +64,19 @@ def main() -> None:
           f"(differs from old: {old_identity.public_key.encode() != new_identity.public_key.encode()})")
 
     # --- members submit recovery shares -------------------------------
-    for member in service.members[:2]:
-        fetched = member.client.call(
-            recovery_node.node_id, "/gov/encrypted_recovery_share", {},
-            credentials={"certificate": member.identity.certificate.to_dict()})
-        share = member.encryption.decrypt(bytes.fromhex(fetched.body["encrypted_share"]))
-        result = member.client.call(
-            recovery_node.node_id, "/gov/submit_recovery_share",
-            {"share": share.hex()}, signed=True)
-        print(f"  {member.subject} submitted their share -> "
-              f"{result.body['submitted']}/{result.body['required']}"
-              + (" (private state recovered)" if result.body["recovered"] else ""))
+    recovered = submit_recovery_shares(service, recovery_node)
+    print(f"recovery shares submitted (private state recovered: {recovered})")
 
     # --- members vote to open the recovered service --------------------
-    proposal = service.members[0].client.call(
-        recovery_node.node_id, "/gov/propose",
-        {"actions": [{"name": "transition_service_to_open", "args": {
-            "previous_service_identity": summary["previous_service_identity"]["public_key"],
-            "next_service_identity": summary["new_service_identity"]["public_key"],
-        }}]},
-        signed=True)
-    proposal_id = proposal.body["proposal_id"]
-    state = proposal.body["state"]
-    for member in service.members:
-        if state == "Accepted":
-            break
-        vote = member.client.call(
-            recovery_node.node_id, "/gov/vote",
-            {"proposal_id": proposal_id, "ballot": {"approve": True}}, signed=True)
-        state = vote.body["state"]
+    state = vote_to_open(service, recovery_node, summary)
     print(f"opening proposal: {state}")
     service.run(0.3)
+
+    # --- the recovery is *detectable*: the client's audit reports the
+    # --- identity change as a typed finding ----------------------------
+    for finding in tracker.audit(recovery_node.node_id):
+        print(f"  client finding: {type(finding).__name__}: {finding}")
+    tracker.accept_identity(recovery_node.node_id)
 
     # --- the private data is back --------------------------------------
     for i in (0, 5, 9):

@@ -75,6 +75,25 @@ class RecoveryError(CCFError):
     """Disaster recovery could not proceed (bad shares, wrong state)."""
 
 
+class ServiceIdentityChangedError(CCFError):
+    """The service presents a different identity than the one the client
+    pinned. Expected after a disaster recovery (section 5.2): the fresh
+    identity is precisely what makes a best-effort recovery — and any
+    rollback it implies — *detectable* rather than silent."""
+
+
+class LostWriteError(CCFError):
+    """A transaction this client saw acknowledged (or holds a receipt for)
+    is no longer committed on the service it reconnected to — a detected
+    rollback of the client's own write. ``txid`` identifies the lost
+    transaction so auditors can compare reported losses against ground
+    truth without parsing the message."""
+
+    def __init__(self, message: str, txid: str | None = None):
+        super().__init__(message)
+        self.txid = txid
+
+
 class ServiceUnavailableError(CCFError):
     """The service cannot currently process the request (e.g. no primary)."""
 

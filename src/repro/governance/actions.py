@@ -130,14 +130,26 @@ def _apply_set_constitution(ctx: RequestContext, args: dict, proposal_id: str) -
 def _apply_transition_service_to_open(ctx: RequestContext, args: dict, proposal_id: str) -> None:
     info = ctx.get(maps.SERVICE_INFO, "service")
     _check(isinstance(info, dict), "service info missing")
-    if info.get("status") == maps.SERVICE_RECOVERING or args.get("previous_service_identity"):
+    was_recovering = info.get("status") == maps.SERVICE_RECOVERING
+    if was_recovering or args.get("previous_service_identity"):
         # Recovery binding (section 5.2): the proposal names the previous
         # and next identities so it applies to exactly one recovery.
         _check(
             args.get("next_service_identity") == info["certificate"]["public_key"],
             "next_service_identity does not match this service",
         )
+        recorded_previous = info.get("previous_identity") or {}
+        if isinstance(recorded_previous, dict) and recorded_previous.get("public_key"):
+            _check(
+                args.get("previous_service_identity")
+                == recorded_previous["public_key"],
+                "previous_service_identity does not match the recovered ledger",
+            )
     ctx.put(maps.SERVICE_INFO, "service", dict(info, status=maps.SERVICE_OPEN))
+    if was_recovering and ctx.node is not None:
+        obs = ctx.node.scheduler.obs
+        if obs is not None:
+            obs.recovery_event(ctx.node.node_id, "open")
 
 
 def _apply_set_recovery_threshold(ctx: RequestContext, args: dict, proposal_id: str) -> None:

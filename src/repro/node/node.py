@@ -517,6 +517,13 @@ class CCFNode:
         from repro.recovery.recovery import replay_public_ledger
 
         replay = replay_public_ledger(salvaged_storage)
+        obs = self.scheduler.obs
+        if obs is not None:
+            obs.recovery_event(
+                self.node_id, "replay",
+                verified_seqno=replay.verified_seqno,
+                salvage_warnings=len(replay.warnings),
+            )
         seed = secret_seed if secret_seed is not None else (
             self.node_id.encode() + self.scheduler.rng.getrandbits(128).to_bytes(16, "big")
         )
@@ -578,10 +585,13 @@ class CCFNode:
         ))
         self._append_local_entry(write_set)
         self._append_signature_now()
+        if obs is not None:
+            obs.recovery_event(self.node_id, "awaiting_shares")
         return {
             "verified_seqno": replay.verified_seqno,
             "previous_service_identity": replay.previous_service_identity,
             "new_service_identity": self.service_certificate.to_dict(),
+            "salvage_warnings": [w.describe() for w in replay.warnings],
         }
 
     def complete_private_recovery(
@@ -629,6 +639,11 @@ class CCFNode:
             recovered += 1
         self.store._history[self.store.version] = dict(self.store._maps)
         self.enclave.memory.put("recovered_private_entries", recovered)
+        obs = self.scheduler.obs
+        if obs is not None:
+            obs.recovery_event(
+                self.node_id, "private_recovery", recovered_entries=recovered
+            )
 
     # ==================================================================
     # ConsensusHost interface

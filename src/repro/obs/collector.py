@@ -418,3 +418,15 @@ class ObsCollector:
 
     def enclave_transition(self, owner: str, kind: str) -> None:
         self.registry.counter("tee.transitions", node=owner, kind=kind).inc()
+
+    # ------------------------------------------------------------------
+    # Disaster-recovery hooks (section 5.2)
+
+    def recovery_event(self, node_id: str, phase: str, **attrs) -> None:
+        """One disaster-recovery phase boundary: ``replay``,
+        ``awaiting_shares``, ``share_submitted``, ``share_rejected``,
+        ``reconstructed``, ``private_recovery``, ``open``. Each becomes a
+        ``recovery.<phase>`` span plus a ``recovery.phases`` counter, so a
+        trace of a recovered run shows the §5.2 protocol end to end."""
+        self._event(f"recovery.{phase}", node=node_id, **attrs)
+        self.registry.counter("recovery.phases", node=node_id, phase=phase).inc()

@@ -17,16 +17,98 @@ from the persistent ledger files of as little as one host:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crypto.ecdsa import VerifyingKey
 from repro.errors import IntegrityError, RecoveryError, VerificationError
 from repro.kv.store import KVStore
+from repro.ledger.chunking import LedgerChunk
 from repro.ledger.entry import LedgerEntry
 from repro.ledger.ledger import Ledger
 from repro.ledger.secrets import LedgerSecretStore
 from repro.node import maps
 from repro.storage.host_storage import HostStorage
+
+
+@dataclass(frozen=True)
+class SalvageWarning:
+    """One chunk file the salvage had to drop, and why — typed so callers
+    (and the recovery summary users vote on) can tell a torn tail from a
+    structural gap without parsing strings."""
+
+    kind: str  # "torn-chunk" | "empty-chunk" | "overlapping-chunk" | "gap"
+    filename: str
+    detail: str
+
+    def describe(self) -> str:
+        return f"{self.kind} {self.filename}: {self.detail}"
+
+
+def salvage_ledger_entries(
+    storage: HostStorage,
+) -> tuple[list[LedgerEntry], list[SalvageWarning]]:
+    """Best-effort reassembly of a crashed disk's chunk files.
+
+    Unlike :func:`repro.ledger.chunking.reassemble_chunks` (which is strict
+    — the auditor *wants* a torn file to be a finding), salvage keeps going:
+    a chunk that fails to decode (torn mid-blob by a power loss, corrupted
+    by the host) is dropped with a typed warning, stale open chunks that
+    overlap a complete successor are dropped, and anything beyond the first
+    gap is dropped — the result is the longest decodable prefix from seqno
+    1. Verification (signature transactions) still happens in the caller;
+    this function only rescues structure."""
+    warnings: list[SalvageWarning] = []
+    decoded: list[tuple[str, LedgerChunk]] = []
+    for name in storage.list_files("ledger_"):
+        try:
+            chunk = LedgerChunk.decode(storage.read(name))
+        # A torn or corrupted file can fail decoding in arbitrary ways;
+        # every failure becomes a typed warning, never an abort.
+        # repro-lint: disable=PROTO002
+        except Exception as exc:
+            warnings.append(SalvageWarning("torn-chunk", name, str(exc)))
+            continue
+        if not chunk.entries:
+            warnings.append(SalvageWarning("empty-chunk", name, "no entries"))
+            continue
+        decoded.append((name, chunk))
+    # Complete chunks win over open chunks covering the same range (a crash
+    # between writing the complete chunk and deleting its open predecessor
+    # legitimately leaves both on disk).
+    decoded.sort(key=lambda pair: (pair[1].first_seqno, not pair[1].is_complete))
+    entries: list[LedgerEntry] = []
+    expected = 1
+    gap_at: int | None = None
+    for name, chunk in decoded:
+        if gap_at is not None:
+            warnings.append(SalvageWarning(
+                "gap", name,
+                f"unreachable past the gap at seqno {gap_at}",
+            ))
+            continue
+        if chunk.last_seqno < expected:
+            warnings.append(SalvageWarning(
+                "overlapping-chunk", name,
+                f"covered by a complete chunk through seqno {expected - 1}",
+            ))
+            continue
+        if chunk.first_seqno > expected:
+            gap_at = expected
+            warnings.append(SalvageWarning(
+                "gap", name,
+                f"expected seqno {expected}, chunk starts at {chunk.first_seqno}",
+            ))
+            continue
+        fresh = [e for e in chunk.entries if e.txid.seqno >= expected]
+        if any(e.txid.seqno != s for e, s in zip(fresh, range(expected, expected + len(fresh)))):
+            warnings.append(SalvageWarning(
+                "torn-chunk", name, "entries are not densely numbered"
+            ))
+            gap_at = expected
+            continue
+        entries.extend(fresh)
+        expected += len(fresh)
+    return entries, warnings
 
 
 @dataclass
@@ -38,20 +120,27 @@ class PublicReplayResult:
     verified_seqno: int  # last seqno covered by a verified signature
     last_view: int
     previous_service_identity: dict | None
+    warnings: list[SalvageWarning] = field(default_factory=list)
 
 
 def replay_public_ledger(storage: HostStorage) -> PublicReplayResult:
     """Rebuild ledger + public store from untrusted chunk files, verifying
     every signature transaction against node identities found in the public
-    state itself. Entries after the last verifiable signature are dropped
-    (best effort, as the paper specifies)."""
+    state itself. Entries after the last verifiable signature are dropped,
+    and so are chunk files a crash tore or a host corrupted — each with a
+    typed :class:`SalvageWarning` (best effort, as the paper specifies)."""
     try:
-        entries: list[LedgerEntry] = storage.read_ledger_entries()
-    # Salvaged disks hold arbitrary bytes; any decode failure means "not
-    # recoverable from this disk", typed for the caller.
+        entries, salvage_warnings = salvage_ledger_entries(storage)
+    # Salvaged disks hold arbitrary bytes; any failure to even enumerate
+    # them means "not recoverable from this disk", typed for the caller.
     # repro-lint: disable=PROTO002
     except Exception as exc:
         raise RecoveryError(f"ledger files unreadable: {exc}") from exc
+    if not entries:
+        raise RecoveryError(
+            "no ledger entries salvageable from this disk"
+            + (f" ({salvage_warnings[0].describe()})" if salvage_warnings else "")
+        )
 
     ledger = Ledger(LedgerSecretStore())
     store = KVStore()
@@ -94,6 +183,7 @@ def replay_public_ledger(storage: HostStorage) -> PublicReplayResult:
         verified_seqno=verified_seqno,
         last_view=last_view,
         previous_service_identity=previous_identity,
+        warnings=salvage_warnings,
     )
 
 

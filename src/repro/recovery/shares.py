@@ -10,10 +10,11 @@ secret unwrapped, and the old private state decrypted.
 
 from __future__ import annotations
 
+import hashlib
 import random
 
 from repro.app.context import RequestContext
-from repro.crypto import ecies, shamir
+from repro.crypto import ct_eq, ecies, shamir
 from repro.crypto.aead import nonce_from_counter
 from repro.crypto.fastaead import FastAEADKey
 from repro.errors import CCFError, GovernanceError, RecoveryError
@@ -73,10 +74,19 @@ def provision_recovery_shares(
         )
     shares = shamir.split(wrapping_key, threshold, len(members), rng)
     for (subject, enc_public), share in zip(sorted(members.items()), shares):
+        plaintext = share.encode()
         box = ecies.encrypt(
-            enc_public, share.encode(), entropy=wrapping_key + subject.encode()
+            enc_public, plaintext, entropy=wrapping_key + subject.encode()
         )
-        ctx.put(maps.RECOVERY_SHARES, subject, {"share": box.hex()})
+        # The digest is a public commitment to the member's share: at
+        # submission time it lets the node reject a wrong share *before* it
+        # enters (and poisons) the Shamir reconstruction. It reveals nothing
+        # about the share (preimage resistance over 32 random bytes).
+        ctx.put(
+            maps.RECOVERY_SHARES,
+            subject,
+            {"share": box.hex(), "share_digest": hashlib.sha256(plaintext).hexdigest()},
+        )
     # Former members' shares are useless (new wrapping key) and misleading:
     # drop them.
     for subject, _row in list(ctx.items(maps.RECOVERY_SHARES)):
@@ -101,11 +111,47 @@ def handle_share_submission(ctx: RequestContext):
     share_hex = ctx.request.body.get("share")
     if not isinstance(share_hex, str):
         raise GovernanceError("submission must carry the decrypted share hex")
-    share = shamir.Share.decode(bytes.fromhex(share_hex))
+    obs = node.scheduler.obs
+    try:
+        share_bytes = bytes.fromhex(share_hex)
+        share = shamir.Share.decode(share_bytes)
+    except (ValueError, CCFError) as exc:
+        if obs is not None:
+            obs.recovery_event(node.node_id, "share_rejected", reason="malformed")
+        raise GovernanceError(f"malformed recovery share: {exc}") from exc
+    # Check the share against its provisioned commitment *before* letting it
+    # anywhere near the reconstruction: a wrong share is a typed rejection,
+    # not a poisoned combine() that fails for everyone.
+    row = ctx.get(maps.RECOVERY_SHARES, ctx.caller.identifier)
+    expected_digest = row.get("share_digest") if isinstance(row, dict) else None
+    if expected_digest is not None:
+        if not ct_eq(hashlib.sha256(share_bytes).hexdigest(), expected_digest):
+            if obs is not None:
+                obs.recovery_event(
+                    node.node_id, "share_rejected", reason="commitment-mismatch"
+                )
+            raise GovernanceError(
+                "recovery share does not match this member's provisioned "
+                "share commitment"
+            )
     submitted = node.enclave.memory.get("recovery_submissions") or {}
+    threshold = info.get("recovery_threshold", 1)
+    previous = submitted.get(ctx.caller.identifier)
+    if previous is not None and ct_eq(previous.encode(), share.encode()):
+        # Duplicate resubmission (a retry over a flaky network): no-op.
+        return {
+            "submitted": len(submitted),
+            "required": threshold,
+            "recovered": False,
+            "duplicate": True,
+        }
     submitted[ctx.caller.identifier] = share
     node.enclave.memory.put("recovery_submissions", submitted)
-    threshold = info.get("recovery_threshold", 1)
+    if obs is not None:
+        obs.recovery_event(
+            node.node_id, "share_submitted",
+            submitted=len(submitted), required=threshold,
+        )
     if len(submitted) < threshold:
         return {"submitted": len(submitted), "required": threshold, "recovered": False}
     # Threshold reached: reconstruct in-enclave and unwrap.
@@ -121,6 +167,10 @@ def handle_share_submission(ctx: RequestContext):
                 recovered_secrets.append(unwrap_ledger_secret(wrapping_key, row))
     except (CCFError, ValueError, KeyError, TypeError) as exc:
         raise RecoveryError(f"share reconstruction failed: {exc}") from exc
+    if obs is not None:
+        obs.recovery_event(
+            node.node_id, "reconstructed", generations=len(recovered_secrets)
+        )
     node.complete_private_recovery(recovered_secrets)
     ctx.put(maps.SERVICE_INFO, "service", dict(info, status=maps.SERVICE_RECOVERING))
     return {"submitted": len(submitted), "required": threshold, "recovered": True}

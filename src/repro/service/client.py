@@ -8,11 +8,13 @@ their node fails (section 4.3); sessions give session consistency.
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.app.context import Request, Response
 from repro.crypto.certs import Identity
 from repro.crypto.cose import sign_request
+from repro.errors import CCFError, LostWriteError, ServiceIdentityChangedError
 from repro.net.network import Network
 from repro.node.wire import ClientRequest, ClientResponse
 from repro.sim.metrics import LatencyRecorder, ThroughputRecorder
@@ -116,6 +118,122 @@ class ServiceClient:
         if response is None:
             return Response(request_id, status=504, error="client-side timeout")
         return response
+
+
+@dataclass
+class AckedWrite:
+    """One write this client saw acknowledged, with its receipt if the
+    client fetched one before the disaster."""
+
+    txid: str
+    path: str
+    body: dict
+    receipt: dict | None = None
+
+
+class ContinuityTracker:
+    """Client-side rollback detection (section 5.2).
+
+    The paper's disaster recovery is *best effort*: a suffix of the ledger
+    can be lost, and the defence is detectability, not prevention. This
+    tracker is the client half of that contract: it pins the service
+    identity on first contact and remembers every acknowledged write (plus
+    any receipts fetched for them). After reconnecting — possibly to a
+    recovered service — :meth:`audit` re-checks both and returns *typed*
+    findings: a :class:`ServiceIdentityChangedError` whenever the identity
+    moved (recovery always mints a new one), and a :class:`LostWriteError`
+    for each acknowledged transaction the service no longer commits.
+    Nothing is ever silently dropped."""
+
+    def __init__(self, client: ServiceClient):
+        self.client = client
+        self.pinned_identity: str | None = None
+        self.acked: dict[str, AckedWrite] = {}
+
+    # ------------------------------------------------------------------
+
+    def _service_public_key(self, node_id: str) -> str | None:
+        response = self.client.call(node_id, "/node/service_info", {})
+        if not response.ok:
+            return None
+        certificate = (response.body or {}).get("certificate") or {}
+        return certificate.get("public_key")
+
+    def pin_identity(self, node_id: str) -> str:
+        """First contact: remember the service identity we are talking to
+        (a real client gets it out-of-band or on TLS establishment)."""
+        key = self._service_public_key(node_id)
+        if key is None:
+            raise CCFError(f"cannot read service identity from {node_id}")
+        self.pinned_identity = key
+        return key
+
+    def accept_identity(self, node_id: str) -> str:
+        """Explicitly re-pin after a *known* recovery — the user-level act
+        of trusting the new service identity."""
+        return self.pin_identity(node_id)
+
+    def record_ack(self, txid: str, path: str = "", body: dict | None = None) -> None:
+        self.acked[txid] = AckedWrite(txid=txid, path=path, body=dict(body or {}))
+
+    def fetch_receipt(self, node_id: str, txid: str) -> dict | None:
+        """Ask for an offline-verifiable receipt and attach it to the
+        acked write (requires the txid to be committed and signed over)."""
+        response = self.client.call(node_id, "/node/receipt", {"txid": txid})
+        if not response.ok:
+            return None
+        receipt = (response.body or {}).get("receipt")
+        if txid in self.acked:
+            self.acked[txid].receipt = receipt
+        return receipt
+
+    @property
+    def receipted_txids(self) -> list[str]:
+        return sorted(t for t, w in self.acked.items() if w.receipt is not None)
+
+    # ------------------------------------------------------------------
+
+    def audit(self, node_id: str) -> list[CCFError]:
+        """Reconnect and re-check everything this client was promised.
+
+        Returns typed findings (empty means full continuity): one
+        :class:`ServiceIdentityChangedError` if the pinned identity no
+        longer matches, and one :class:`LostWriteError` per acknowledged
+        transaction whose status is no longer ``Committed`` — including a
+        seqno that was re-used by the recovered service in a different view
+        (reported as ``Invalid``)."""
+        findings: list[CCFError] = []
+        current = self._service_public_key(node_id)
+        if current is None:
+            findings.append(CCFError(f"service unreachable via {node_id}"))
+            return findings
+        if self.pinned_identity is not None and current != self.pinned_identity:
+            findings.append(
+                ServiceIdentityChangedError(
+                    f"service identity changed from {self.pinned_identity[:16]}… "
+                    f"to {current[:16]}… — a recovery (and possible rollback) happened"
+                )
+            )
+        for txid in sorted(self.acked):
+            response = self.client.call(node_id, "/node/tx", {"txid": txid})
+            status = (response.body or {}).get("status") if response.ok else None
+            if status != "Committed":
+                write = self.acked[txid]
+                findings.append(
+                    LostWriteError(
+                        f"acknowledged transaction {txid} is now "
+                        f"{status or 'unreachable'}"
+                        + (" (client holds a receipt)" if write.receipt else ""),
+                        txid=txid,
+                    )
+                )
+        return findings
+
+    def require_continuity(self, node_id: str) -> None:
+        """Raise the first typed finding, if any."""
+        findings = self.audit(node_id)
+        if findings:
+            raise findings[0]
 
 
 class ClosedLoopClient:

@@ -11,12 +11,14 @@ collect ballots (D), and retire the old node once reconfiguration completes
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from repro.errors import CCFError
 from repro.node import maps
 from repro.node.node import CCFNode
 from repro.service.service import CCFService
+from repro.storage.host_storage import HostStorage
 
 
 @dataclass
@@ -35,11 +37,42 @@ class ReplacementTimeline:
         setattr(self, name, time)
 
 
+@dataclass
+class SalvagedDisk:
+    """One dead host's disk as the operator pulled it: the power loss has
+    resolved every un-synced write, so this is untrusted, possibly torn
+    bytes — exactly what §5.2 recovery starts from."""
+
+    node_id: str
+    storage: HostStorage
+    synced_ledger_seqno: int
+    power_loss_events: list[str] = field(default_factory=list)
+    corrupted: bool = False  # set by whoever tampers with it afterwards
+
+
 class Operator:
     """Automates node replacement against a running service."""
 
     def __init__(self, service: CCFService):
         self.service = service
+
+    def salvage_disk(self, node_id: str, rng: random.Random) -> SalvagedDisk:
+        """Pull the disk out of a dead (or dying) host. If the host never
+        went through a power loss — the operator yanks the disk from a
+        machine that is down but was never power-cycled through
+        :meth:`HostStorage.power_loss` — the un-synced buffer is resolved
+        now, with the same seeded fates. Operators hold no keys: what they
+        get is bytes, not state."""
+        node = self.service.nodes[node_id]
+        storage = node.storage
+        if not storage.crashed:
+            storage.power_loss(rng)
+        return SalvagedDisk(
+            node_id=node_id,
+            storage=storage,
+            synced_ledger_seqno=storage.synced_ledger_seqno,
+            power_loss_events=list(storage.crash_log),
+        )
 
     def replace_node(self, failed_node_id: str) -> tuple[CCFNode, ReplacementTimeline]:
         """Replace ``failed_node_id`` with a fresh node, following the

@@ -1,0 +1,140 @@
+"""End-to-end disaster-recovery invariants (section 5.2).
+
+The chaos-era invariants (:mod:`repro.verification.invariants`,
+:mod:`repro.verification.liveness`) judge a running consensus group. A
+*disaster* schedule ends in a different place: the original service is
+gone, a recovered one stands in its place, and the questions are about the
+contract between the two — what survived, what was lost, and whether every
+loss was *visible*. The orchestrator (:mod:`repro.sim.disaster`) collects
+its observations into :class:`DisasterEvidence` and the three checkers
+below turn them into violations:
+
+1. **Committed-receipt durability** — when at least one salvaged disk was
+   untouched by the adversary, no transaction a client holds a receipt for
+   may be lost: fsynced complete chunks survive any power loss, and a
+   receipt is only ever issued for a transaction under a committed
+   signature, which the primary persists (and fsyncs) before serving it.
+2. **Rollback detectability** — the recovered service must present a new
+   identity (reported to the client as a typed
+   :class:`~repro.errors.ServiceIdentityChangedError`), and the set of
+   acknowledged writes the client reports lost (typed
+   :class:`~repro.errors.LostWriteError`) must *exactly* equal the set the
+   recovered ledger actually dropped. No silent rollback — and no false
+   alarms, which would train users to ignore the real thing.
+3. **Recovery liveness** — once the member shares reach the threshold, the
+   service must open within the schedule's bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DisasterEvidence:
+    """What one disaster schedule observed, as plain data."""
+
+    # Client-side record (before the disaster).
+    acked_txids: list[str] = field(default_factory=list)
+    receipted_txids: list[str] = field(default_factory=list)
+
+    # Salvage facts.
+    intact_salvaged: bool = False  # >= 1 salvaged disk the adversary skipped
+    durable_floor: int = 0  # max synced_ledger_seqno over intact salvaged disks
+
+    # Recovered-service ground truth (read from the recovery node's ledger,
+    # not through the client path the detectability check exercises).
+    recovered: bool = False
+    verified_seqno: int = 0
+    committed_txids: set[str] = field(default_factory=set)
+    receipted_reads_ok: bool = True  # receipted payloads read back intact
+
+    # Client-side audit after reconnecting (typed findings).
+    identity_change_reported: bool = False
+    reported_lost_txids: set[str] = field(default_factory=set)
+
+    # Liveness facts.
+    shares_reached_threshold: bool = False
+    service_opened: bool = False
+    open_within_bound: bool = True
+
+
+def check_committed_receipt_durability(evidence: DisasterEvidence) -> list[str]:
+    """No receipted transaction is lost when an intact disk was salvaged."""
+    if not evidence.intact_salvaged:
+        return []  # every salvaged disk was tampered with: best effort only
+    violations = []
+    if not evidence.recovered:
+        violations.append(
+            "receipt-durability: an intact disk was salvaged but recovery "
+            "did not reach a running service"
+        )
+        return violations
+    lost = [t for t in evidence.receipted_txids if t not in evidence.committed_txids]
+    if lost:
+        violations.append(
+            f"receipt-durability: receipted transactions lost despite an "
+            f"intact salvaged disk: {sorted(lost)}"
+        )
+    if not evidence.receipted_reads_ok:
+        violations.append(
+            "receipt-durability: a receipted payload did not read back "
+            "intact after recovery"
+        )
+    return violations
+
+
+def check_rollback_detectability(evidence: DisasterEvidence) -> list[str]:
+    """Every dropped acknowledged write is reported typed; the identity
+    change is reported typed; and nothing is reported that did not happen."""
+    if not evidence.recovered:
+        return []  # no recovered service to silently roll anything back
+    violations = []
+    if not evidence.identity_change_reported:
+        violations.append(
+            "rollback-detectability: the recovered service's new identity "
+            "was not reported to the reconnecting client"
+        )
+    actually_lost = {
+        t for t in evidence.acked_txids if t not in evidence.committed_txids
+    }
+    silent = actually_lost - evidence.reported_lost_txids
+    if silent:
+        violations.append(
+            f"rollback-detectability: acknowledged writes silently lost "
+            f"(no typed LostWriteError): {sorted(silent)}"
+        )
+    phantom = evidence.reported_lost_txids - actually_lost
+    if phantom:
+        violations.append(
+            f"rollback-detectability: writes reported lost that the "
+            f"recovered ledger still commits: {sorted(phantom)}"
+        )
+    return violations
+
+
+def check_recovery_liveness(evidence: DisasterEvidence) -> list[str]:
+    """The service opens within the bound once shares reach the threshold."""
+    if not evidence.shares_reached_threshold:
+        return []  # never enough shares: nothing to be live about
+    violations = []
+    if not evidence.service_opened:
+        violations.append(
+            "recovery-liveness: shares reached the threshold but the "
+            "service never opened"
+        )
+    elif not evidence.open_within_bound:
+        violations.append(
+            "recovery-liveness: the service opened, but not within the "
+            "schedule's bound"
+        )
+    return violations
+
+
+def check_disaster_invariants(evidence: DisasterEvidence) -> list[str]:
+    """All three §5.2 invariants; empty list means the schedule passed."""
+    return (
+        check_committed_receipt_durability(evidence)
+        + check_rollback_detectability(evidence)
+        + check_recovery_liveness(evidence)
+    )

@@ -96,10 +96,11 @@ class TestRecoveryProtocol:
         info = node.store.get(maps.SERVICE_INFO, "service")
         assert info["status"] == maps.SERVICE_WAITING_FOR_SHARES
 
-    def test_wrong_share_detected(self):
-        """A corrupted share makes the wrapping key wrong; unwrapping the
-        ledger secret fails its AEAD check instead of silently yielding
-        garbage keys."""
+    def test_wrong_share_detected_without_poisoning(self):
+        """A wrong share is rejected against the member's provisioned share
+        commitment — typed, and *before* it enters the Shamir
+        reconstruction, so the same member's later correct share still
+        recovers the service."""
         service, salvaged = build_failed_service(recovery_threshold=2)
         node = service._make_node(service.new_node_id())
         node.start_recovered_service(salvaged, "recovered")
@@ -114,15 +115,66 @@ class TestRecoveryProtocol:
         member.client.call(
             node.node_id, "/gov/submit_recovery_share", {"share": share.hex()}, signed=True
         )
-        # Second member submits a corrupted share.
+        # Second member submits a corrupted share: typed rejection.
         from repro.crypto import shamir
 
         bogus = shamir.Share(index=2, value=123456789).encode()
         result = service.members[1].client.call(
             node.node_id, "/gov/submit_recovery_share", {"share": bogus.hex()}, signed=True
         )
-        assert result.status == 500
-        assert "reconstruction failed" in result.error
+        assert result.status == 400
+        assert "share commitment" in result.error
+        # The bogus share did not poison anything: the second member's real
+        # share still completes the reconstruction.
+        member2 = service.members[1]
+        response = member2.client.call(
+            node.node_id, "/gov/encrypted_recovery_share", {},
+            credentials={"certificate": member2.identity.certificate.to_dict()},
+        )
+        share2 = member2.encryption.decrypt(
+            bytes.fromhex(response.body["encrypted_share"])
+        )
+        result = member2.client.call(
+            node.node_id, "/gov/submit_recovery_share", {"share": share2.hex()}, signed=True
+        )
+        assert result.ok, result.error
+        assert result.body["recovered"] is True
+
+    def test_duplicate_share_submission_is_noop(self):
+        """Resubmitting the same share (a client retry over a flaky
+        network) is a no-op, not an error and not a double count."""
+        service, salvaged = build_failed_service(recovery_threshold=2)
+        node = service._make_node(service.new_node_id())
+        node.start_recovered_service(salvaged, "recovered")
+        service.run(0.2)
+        member = service.members[0]
+        response = member.client.call(
+            node.node_id, "/gov/encrypted_recovery_share", {},
+            credentials={"certificate": member.identity.certificate.to_dict()},
+        )
+        share = member.encryption.decrypt(bytes.fromhex(response.body["encrypted_share"]))
+        first = member.client.call(
+            node.node_id, "/gov/submit_recovery_share", {"share": share.hex()}, signed=True
+        )
+        assert first.ok and first.body["submitted"] == 1
+        again = member.client.call(
+            node.node_id, "/gov/submit_recovery_share", {"share": share.hex()}, signed=True
+        )
+        assert again.ok
+        assert again.body["duplicate"] is True
+        assert again.body["submitted"] == 1
+        assert again.body["recovered"] is False
+
+    def test_malformed_share_rejected_typed(self):
+        service, salvaged = build_failed_service(recovery_threshold=2)
+        node = service._make_node(service.new_node_id())
+        node.start_recovered_service(salvaged, "recovered")
+        service.run(0.2)
+        result = service.members[0].client.call(
+            node.node_id, "/gov/submit_recovery_share", {"share": "abcd"}, signed=True
+        )
+        assert result.status == 400
+        assert "malformed recovery share" in result.error
 
     def test_recovered_service_accepts_new_writes(self):
         service, salvaged = build_failed_service()
@@ -204,3 +256,71 @@ class TestReplayIntegrity:
 
         with pytest.raises(RecoveryError):
             replay_public_ledger(HostStorage())
+
+
+class TestTornChunkSalvage:
+    def test_truncation_at_every_byte_boundary_of_final_chunk(self):
+        """A trailing chunk torn at *any* byte boundary is dropped with a
+        typed warning; replay still recovers the intact prefix (or fails
+        typed when nothing is salvageable) — never an untyped abort."""
+        service, salvaged = build_failed_service(writes=6)
+        clean = replay_public_ledger(salvaged.clone())
+        names = sorted(
+            salvaged.list_files("ledger_"), key=lambda n: int(n.split("_")[1])
+        )
+        final = names[-1]
+        size = len(salvaged.read(final))
+        for keep in range(size):
+            torn = salvaged.clone()
+            torn.tamper_truncate_file(final, keep)
+            try:
+                result = replay_public_ledger(torn)
+            except RecoveryError:
+                continue  # typed total failure is acceptable
+            assert 0 < result.verified_seqno <= clean.verified_seqno
+            # Every truncation is reported typed: usually "torn-chunk",
+            # or "empty-chunk" when the cut lands right after the header.
+            assert any(
+                w.filename == final for w in result.warnings
+            ), f"truncation at byte {keep} was not reported"
+
+    def test_torn_final_chunk_keeps_prefix_and_warns(self):
+        service, salvaged = build_failed_service(writes=8)
+        clean = replay_public_ledger(salvaged.clone())
+        names = sorted(
+            salvaged.list_files("ledger_"), key=lambda n: int(n.split("_")[1])
+        )
+        final = names[-1]
+        salvaged.tamper_truncate_file(final, len(salvaged.read(final)) // 2)
+        result = replay_public_ledger(salvaged)
+        assert 0 < result.verified_seqno <= clean.verified_seqno
+        assert [w.kind for w in result.warnings] == ["torn-chunk"]
+
+    def test_stale_open_chunk_next_to_complete_chunk_is_tolerated(self):
+        """A crash can leave both ledger_a_b.open.chunk and the complete
+        chunk covering the same range; salvage prefers the complete one."""
+        service, salvaged = build_failed_service(writes=8)
+        clean = replay_public_ledger(salvaged.clone())
+        complete = [
+            n for n in salvaged.list_files("ledger_")
+            if not n.endswith(".open.chunk")
+        ]
+        first = sorted(complete, key=lambda n: int(n.split("_")[1]))[0]
+        stale_name = first.replace(".chunk", ".open.chunk")
+        salvaged.write(stale_name, salvaged.read(first))
+        result = replay_public_ledger(salvaged)
+        assert result.verified_seqno == clean.verified_seqno
+        assert any(w.kind == "overlapping-chunk" for w in result.warnings)
+
+    def test_gap_in_chunks_drops_unreachable_suffix(self):
+        service, salvaged = build_failed_service(writes=10)
+        clean = replay_public_ledger(salvaged.clone())
+        names = sorted(
+            salvaged.list_files("ledger_"), key=lambda n: int(n.split("_")[1])
+        )
+        assert len(names) >= 3
+        middle = names[len(names) // 2]
+        salvaged.delete(middle)
+        result = replay_public_ledger(salvaged)
+        assert 0 < result.verified_seqno < clean.verified_seqno
+        assert any(w.kind == "gap" for w in result.warnings)
