@@ -13,12 +13,24 @@ enforce:
    rather than asserted or swallowed, and authenticator comparisons are
    constant-time.
 
-The linter (``python -m repro.analysis src``) machine-checks both with an
-AST rule catalog (DET001–003, SEC001–002, PROTO001–002); the sanitizer
+The linter (``python -m repro.analysis lint src``, or just
+``python -m repro.analysis src``) machine-checks both with an AST rule
+catalog (DET001–003, SEC001–002, PROTO001–002); the sanitizer
 (``python -m repro.analysis.sanitizer``) checks the *runtime* half by
 replaying a seeded chaos schedule twice and binary-searching any trace
 divergence to the first differing event. See DESIGN.md § "Determinism
 discipline" for the catalog and suppression syntax.
+
+A third discipline is the paper's central one — **confidentiality**:
+secrets (ledger secrets, signing keys, recovery shares, derived keys)
+must never reach the untrusted host unsealed. The interprocedural
+secret-flow analyzer (``python -m repro.analysis taint src``,
+:mod:`repro.analysis.taint`) proves this statically with per-function
+dataflow summaries, reporting each violation as a full
+source→call-chain→sink path; ``--boundary-map`` emits the audited trust
+boundary (sources, sinks, declassifiers, ``# repro-taint:
+declassify=REASON`` annotations) as JSON. See DESIGN.md § "Trust
+boundary map".
 """
 
 from repro.analysis.core import (
@@ -40,5 +52,15 @@ __all__ = [
     "RULES",
     "Rule",
     "analyze_paths",
+    "analyze_taint",
+    "boundary_map",
     "register",
 ]
+
+
+def __getattr__(name):  # PEP 562: avoid importing the engine until needed
+    if name in ("analyze_taint", "boundary_map", "TaintResult"):
+        from repro.analysis import taint as _taint
+
+        return getattr(_taint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,4 +1,13 @@
-"""Command line for the linter: ``python -m repro.analysis [paths]``.
+"""Command line for the analyzers.
+
+Two subcommands share the flag surface and output formats:
+
+- ``python -m repro.analysis lint [paths]``  — the syntactic rule catalog
+  (DET/SEC/PROTO rules). Invoking without a subcommand is equivalent, so
+  the historical ``python -m repro.analysis src`` form keeps working.
+- ``python -m repro.analysis taint [paths]`` — the interprocedural
+  secret-flow analyzer (TAINT rules). ``--boundary-map`` prints the
+  machine-readable trust-boundary map instead of findings.
 
 Exit codes: 0 clean, 1 findings (or parse errors), 2 usage errors.
 """
@@ -10,12 +19,14 @@ import json
 import sys
 from pathlib import Path
 
-from repro.analysis.core import RULES, AnalysisResult, Baseline, analyze_paths
+from repro.analysis.core import RULES, Baseline, analyze_paths
+from repro.analysis.sarif import to_sarif
 
 DEFAULT_BASELINE = "analysis-baseline.json"
+DEFAULT_TAINT_BASELINE = "taint-baseline.json"
 
 
-def _print_text(result: AnalysisResult, out) -> None:
+def _print_text(result, out) -> None:
     for finding in [*result.parse_errors, *result.findings]:
         print(f"{finding.location()}: {finding.rule} {finding.message}", file=out)
         if finding.snippet:
@@ -29,7 +40,7 @@ def _print_text(result: AnalysisResult, out) -> None:
     print(summary, file=out)
 
 
-def _print_json(result: AnalysisResult, out) -> None:
+def _print_json(result, out) -> None:
     payload = {
         "findings": [finding.to_dict() for finding in result.findings],
         "parse_errors": [finding.to_dict() for finding in result.parse_errors],
@@ -42,8 +53,13 @@ def _print_json(result: AnalysisResult, out) -> None:
     out.write("\n")
 
 
+def _print_sarif(result, out, tool_name: str) -> None:
+    out.write(to_sarif(result.findings, result.parse_errors, tool_name))
+
+
 def _list_rules(out) -> None:
     from repro.analysis import rules as _rules  # noqa: F401 - populate registry
+    from repro.analysis import taint as _taint  # noqa: F401 - populate registry
 
     for rule_id in sorted(RULES):
         rule = RULES[rule_id]
@@ -51,32 +67,75 @@ def _list_rules(out) -> None:
         print(f"        {rule.rationale}", file=out)
 
 
-def main(argv: list[str] | None = None, out=None) -> int:
-    out = out if out is not None else sys.stdout
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis",
-        description="Determinism & protocol-hygiene linter for the CCF "
-        "reproduction. Run `--list-rules` for the catalog; suppress a "
-        "reviewed exception with `# repro-lint: disable=RULE -- reason`.",
-    )
+def _build_parser(mode: str) -> argparse.ArgumentParser:
+    if mode == "taint":
+        parser = argparse.ArgumentParser(
+            prog="python -m repro.analysis taint",
+            description="Interprocedural secret-flow analyzer: proves no "
+            "declared secret reaches an untrusted-host sink except through "
+            "an approved declassifier or an audited "
+            "`# repro-taint: declassify=REASON` annotation.",
+        )
+        parser.add_argument("--boundary-map", action="store_true",
+                            help="print the machine-readable trust-boundary "
+                            "map (sources, sinks, declassifiers, audited "
+                            "annotations) instead of findings")
+        default_baseline = DEFAULT_TAINT_BASELINE
+    else:
+        parser = argparse.ArgumentParser(
+            prog="python -m repro.analysis",
+            description="Determinism & protocol-hygiene linter for the CCF "
+            "reproduction. Run `--list-rules` for the catalog; suppress a "
+            "reviewed exception with `# repro-lint: disable=RULE -- reason`.",
+        )
+        parser.add_argument("--rules",
+                            help="comma-separated rule ids (default: all)")
+        default_baseline = DEFAULT_BASELINE
     parser.add_argument("paths", nargs="*", default=["src"],
-                        help="files or directories to lint (default: src)")
-    parser.add_argument("--rules", help="comma-separated rule ids (default: all)")
-    parser.add_argument("--format", choices=("text", "json"), default="text")
+                        help="files or directories to analyze (default: src)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text")
     parser.add_argument("--baseline", default=None,
-                        help=f"baseline file (default: {DEFAULT_BASELINE} if present)")
+                        help=f"baseline file (default: {default_baseline} "
+                        "if present)")
     parser.add_argument("--write-baseline", action="store_true",
                         help="record current findings as the accepted baseline")
     parser.add_argument("--list-rules", action="store_true")
+    parser.set_defaults(default_baseline=default_baseline)
+    return parser
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    argv = list(sys.argv[1:] if argv is None else argv)
+    mode = "lint"
+    if argv and argv[0] in ("lint", "taint"):
+        mode = argv.pop(0)
+    parser = _build_parser(mode)
     args = parser.parse_args(argv)
 
     if args.list_rules:
         _list_rules(out)
         return 0
 
+    if mode == "taint" and args.boundary_map:
+        from repro.analysis.taint import analyze_taint, boundary_map
+
+        paths = [Path(p) for p in args.paths]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            print(f"no such path: {', '.join(map(str, missing))}",
+                  file=sys.stderr)
+            return 2
+        result = analyze_taint(paths, root=Path.cwd())
+        json.dump(boundary_map(result), out, indent=2, sort_keys=True)
+        out.write("\n")
+        return 0
+
     rules = None
-    if args.rules:
-        rules = [rule.strip().upper() for rule in args.rules.split(",") if rule.strip()]
+    if mode == "lint" and args.rules:
+        rules = [rule.strip().upper() for rule in args.rules.split(",")
+                 if rule.strip()]
         from repro.analysis import rules as _rules  # noqa: F401
 
         unknown = [rule for rule in rules if rule not in RULES]
@@ -84,7 +143,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
             print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
             return 2
 
-    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    baseline_path = Path(args.baseline or args.default_baseline)
     baseline = None
     if not args.write_baseline and baseline_path.exists():
         baseline = Baseline.load(baseline_path)
@@ -95,15 +154,26 @@ def main(argv: list[str] | None = None, out=None) -> int:
         print(f"no such path: {', '.join(map(str, missing))}", file=sys.stderr)
         return 2
 
-    result = analyze_paths(paths, root=Path.cwd(), rules=rules, baseline=baseline)
+    if mode == "taint":
+        from repro.analysis.taint import analyze_taint
+
+        result = analyze_taint(paths, root=Path.cwd(), baseline=baseline)
+        tool_name = "repro.analysis.taint"
+    else:
+        result = analyze_paths(paths, root=Path.cwd(), rules=rules,
+                               baseline=baseline)
+        tool_name = "repro.analysis"
 
     if args.write_baseline:
         Baseline.from_findings(result.findings).save(baseline_path)
-        print(f"wrote {len(result.findings)} finding(s) to {baseline_path}", file=out)
+        print(f"wrote {len(result.findings)} finding(s) to {baseline_path}",
+              file=out)
         return 0
 
     if args.format == "json":
         _print_json(result, out)
+    elif args.format == "sarif":
+        _print_sarif(result, out, tool_name)
     else:
         _print_text(result, out)
     return 0 if result.clean else 1

@@ -40,15 +40,25 @@ class Finding:
     column: int
     message: str
     snippet: str  # the offending source line, stripped
+    symbol: str = ""  # enclosing def/class qualname ("<module>" at top level)
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.column}"
 
     def content_key(self) -> str:
-        """Line-number-independent identity used by the baseline, so
-        findings survive unrelated edits that shift lines."""
-        digest = sha256(self.snippet.encode()).hexdigest()[:16]
-        return f"{self.rule}|{self.path}|{digest}"
+        """Identity used by the baseline: (rule, relpath, symbol). Free of
+        line numbers (findings survive edits that shift lines) and of the
+        source text itself (they survive reformatting inside the symbol).
+        Findings recorded before symbols existed fall back to a snippet
+        digest, so old baselines stay meaningful."""
+        anchor = self.symbol or sha256(self.snippet.encode()).hexdigest()[:16]
+        return f"{self.rule}|{self.path}|{anchor}"
+
+    def move_key(self) -> str:
+        """Path-independent identity: a file rename/move must not resurrect
+        a baselined finding (the symbol travels with the code)."""
+        anchor = self.symbol or sha256(self.snippet.encode()).hexdigest()[:16]
+        return f"{self.rule}|*|{anchor}"
 
     def to_dict(self) -> dict:
         return {
@@ -58,6 +68,7 @@ class Finding:
             "column": self.column,
             "message": self.message,
             "snippet": self.snippet,
+            "symbol": self.symbol,
         }
 
 
@@ -122,6 +133,38 @@ class FileContext:
         rules = self._suppressions.get(line)
         return rules is not None and ("*" in rules or rule.upper() in rules)
 
+    # -- symbols --------------------------------------------------------
+
+    def symbol_at(self, line: int) -> str:
+        """Qualname of the innermost def/class enclosing ``line``
+        (``"<module>"`` for top-level code)."""
+        if not hasattr(self, "_symbol_spans"):
+            self._symbol_spans = self._collect_symbol_spans()
+        best = "<module>"
+        best_size = None
+        for start, end, qualname in self._symbol_spans:
+            if start <= line <= end and (best_size is None or end - start <= best_size):
+                best, best_size = qualname, end - start
+        return best
+
+    def _collect_symbol_spans(self) -> list[tuple[int, int, str]]:
+        spans: list[tuple[int, int, str]] = []
+
+        def visit(node: ast.AST, prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    qualname = f"{prefix}{child.name}"
+                    end = getattr(child, "end_lineno", child.lineno) or child.lineno
+                    spans.append((child.lineno, end, qualname))
+                    visit(child, f"{qualname}.")
+                else:
+                    visit(child, prefix)
+
+        visit(self.tree, "")
+        return spans
+
     # -- finding construction ------------------------------------------
 
     def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
@@ -130,7 +173,7 @@ class FileContext:
         snippet = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
         return Finding(
             rule=rule, path=self.rel_path, line=line, column=column,
-            message=message, snippet=snippet,
+            message=message, snippet=snippet, symbol=self.symbol_at(line),
         )
 
 
@@ -209,14 +252,32 @@ class Baseline:
         path.write_text(json.dumps(payload, indent=2) + "\n")
 
     def filter(self, findings: list[Finding]) -> tuple[list[Finding], int]:
-        """Split findings into (new, number_baselined)."""
+        """Split findings into (new, number_baselined).
+
+        Matching is two-pass: first on the exact (rule, relpath, symbol)
+        key, then — for findings whose file was renamed or moved since the
+        baseline was recorded — on (rule, symbol) alone. Both passes draw
+        from the same per-key budget, so a moved file cannot double-spend
+        its accepted occurrences."""
         budget = dict(self.counts)
+        by_move_key: dict[str, list[str]] = {}
+        for key in sorted(budget):
+            rule, _path, anchor = key.split("|", 2)
+            by_move_key.setdefault(f"{rule}|*|{anchor}", []).append(key)
         fresh: list[Finding] = []
         baselined = 0
         for finding in findings:
             key = finding.content_key()
             if budget.get(key, 0) > 0:
                 budget[key] -= 1
+                baselined += 1
+                continue
+            donor = next(
+                (k for k in by_move_key.get(finding.move_key(), []) if budget.get(k, 0) > 0),
+                None,
+            )
+            if donor is not None:
+                budget[donor] -= 1
                 baselined += 1
             else:
                 fresh.append(finding)

@@ -1,0 +1,77 @@
+"""Minimal, deterministic SARIF 2.1.0 output for lint and taint findings.
+
+Just enough of the standard for CI annotation UIs: one run, one tool
+driver, rule metadata from the registry, one result per finding with a
+single physical location. Output is byte-stable: keys are emitted sorted
+and every collection is ordered by the (already deterministic) finding
+order.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import Finding, RULES
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+           "Schemata/sarif-schema-2.1.0.json")
+
+
+def _rule_metadata(rule_ids: list[str]) -> list[dict]:
+    rules = []
+    for rule_id in rule_ids:
+        rule = RULES.get(rule_id)
+        entry: dict = {"id": rule_id}
+        if rule is not None:
+            entry["shortDescription"] = {"text": rule.title}
+            entry["help"] = {"text": rule.rationale}
+        rules.append(entry)
+    return rules
+
+
+def _result(finding: Finding) -> dict:
+    message = finding.message
+    if finding.symbol:
+        message = f"[{finding.symbol}] {message}"
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.column, 1),
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(findings: list[Finding], parse_errors: list[Finding],
+             tool_name: str) -> str:
+    """Render findings as a SARIF JSON document (trailing newline included)."""
+    everything = [*parse_errors, *findings]
+    rule_ids = sorted({f.rule for f in everything})
+    document = {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri":
+                            "https://github.com/microsoft/CCF",
+                        "rules": _rule_metadata(rule_ids),
+                    }
+                },
+                "results": [_result(f) for f in everything],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

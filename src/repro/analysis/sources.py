@@ -1,0 +1,159 @@
+"""Secret sources: where confidential values enter the dataflow analysis.
+
+Everything here is a declaration, not code: the taint engine
+(:mod:`repro.analysis.taint`) seeds taint whenever a call, attribute read,
+or enclave-memory fetch matches one of these catalogs. The catalog is the
+first half of the trust-boundary map (``analysis taint --boundary-map``);
+the sink/declassifier half lives in :mod:`repro.analysis.sinks`.
+
+The guiding rule (paper §3/§5.2, Table 1): ledger secrets, the service and
+node private keys, channel/session keys, ECIES/HKDF-derived keys, recovery
+shares, and the private-map half of the KV store exist only inside the TEE.
+Any value derived from them is secret until an approved declassifier
+(AEAD seal, signature, ECIES box, ...) launders it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Source:
+    """One way a secret enters the program."""
+
+    source_id: str
+    description: str
+
+
+# -- calls whose *result* is secret, by resolved dotted name -------------
+
+SOURCE_CALLS: dict[str, Source] = {
+    # Ledger secrets (Table 1): the symmetric keys for private map updates.
+    "repro.ledger.secrets.LedgerSecret": Source(
+        "ledger-secret", "a ledger secret generation (raw AEAD key)"),
+    "repro.ledger.secrets.LedgerSecret.generate": Source(
+        "ledger-secret", "a freshly derived ledger secret"),
+    "repro.ledger.secrets.LedgerSecretStore.current": Source(
+        "ledger-secret", "the current ledger secret generation"),
+    "repro.ledger.secrets.LedgerSecretStore.for_generation": Source(
+        "ledger-secret", "a historical ledger secret generation"),
+    # Node / service identity keys.
+    "repro.crypto.ecdsa.SigningKey": Source(
+        "signing-key", "an ECDSA private signing key"),
+    "repro.crypto.ecdsa.SigningKey.generate": Source(
+        "signing-key", "a freshly generated ECDSA private key"),
+    # Channel key agreement.
+    "repro.crypto.x25519.DHPrivateKey": Source(
+        "dh-secret", "an X25519 private key"),
+    "repro.crypto.x25519.DHPrivateKey.generate": Source(
+        "dh-secret", "a freshly generated X25519 private key"),
+    "repro.crypto.x25519.DHPrivateKey.exchange": Source(
+        "dh-secret", "an X25519 shared secret"),
+    # Derived keys.
+    "repro.crypto.hkdf.hkdf": Source(
+        "hkdf-derived-key", "an HKDF-derived key"),
+    "repro.crypto.hkdf.hkdf_extract": Source(
+        "hkdf-derived-key", "an HKDF PRK"),
+    "repro.crypto.hkdf.hkdf_expand": Source(
+        "hkdf-derived-key", "HKDF output keying material"),
+    # AEAD key handles (hold raw key bytes).
+    "repro.crypto.aead.AEADKey": Source("aead-key", "an AEAD key"),
+    "repro.crypto.aead.AEADKey.generate": Source("aead-key", "an AEAD key"),
+    "repro.crypto.fastaead.FastAEADKey": Source("aead-key", "an AEAD key"),
+    "repro.crypto.fastaead.make_key": Source("aead-key", "an AEAD key"),
+    # Recovery shares and the wrapping key they reconstruct (§5.2).
+    "repro.crypto.shamir.split": Source(
+        "recovery-share", "Shamir shares of the wrapping key"),
+    "repro.crypto.shamir.combine": Source(
+        "recovery-wrapping-key", "the reconstructed wrapping key"),
+    "repro.crypto.shamir.Share": Source("recovery-share", "a recovery share"),
+    "repro.crypto.shamir.Share.decode": Source(
+        "recovery-share", "a decoded recovery share"),
+    # Member encryption keys / decrypted ECIES plaintext.
+    "repro.crypto.ecies.EncryptionKeyPair": Source(
+        "encryption-key", "an ECIES decryption key pair"),
+    "repro.crypto.ecies.EncryptionKeyPair.generate": Source(
+        "encryption-key", "an ECIES decryption key pair"),
+    "repro.crypto.ecies.EncryptionKeyPair.decrypt": Source(
+        "ecies-plaintext", "plaintext recovered from an ECIES box"),
+    # The serialized KV store contains private-map plaintext: treating it
+    # as secret is what lets the analyzer prove snapshots never leave the
+    # enclave unsealed.
+    "repro.kv.store.KVStore.serialize_at": Source(
+        "kv-private-state", "serialized store state incl. private maps"),
+    "repro.kv.store.KVStore.serialize": Source(
+        "kv-private-state", "serialized store state incl. private maps"),
+}
+
+# -- method-name fallbacks, for receivers the index cannot type ----------
+# (method name, receiver terminal name) -> Source
+
+SOURCE_METHOD_HINTS: dict[tuple[str, str], Source] = {
+    ("current", "secrets"): SOURCE_CALLS["repro.ledger.secrets.LedgerSecretStore.current"],
+    ("for_generation", "secrets"): SOURCE_CALLS[
+        "repro.ledger.secrets.LedgerSecretStore.for_generation"],
+    ("serialize_at", "store"): SOURCE_CALLS["repro.kv.store.KVStore.serialize_at"],
+    ("serialize", "store"): SOURCE_CALLS["repro.kv.store.KVStore.serialize"],
+}
+
+# -- attribute names whose *read* yields a secret ------------------------
+# These are the raw-material fields of the key objects above; reading one
+# re-taints even when the engine lost track of the holding object.
+
+SOURCE_ATTRS: dict[str, Source] = {
+    "key_bytes": Source("ledger-secret", "raw ledger secret key bytes"),
+    "scalar": Source("signing-key", "the ECDSA private scalar"),
+    "node_key": Source("signing-key", "the node identity signing key"),
+    "dh_key": Source("dh-secret", "the node channel DH private key"),
+    "signing_key": Source("signing-key", "a private signing key"),
+    "wrapping_key": Source("recovery-wrapping-key", "the share wrapping key"),
+    "_dh": Source("dh-secret", "the channel DH private key"),
+    "_keys": Source("channel-session-key", "established channel session keys"),
+    "secrets": Source("ledger-secret", "the enclave's ledger secret store"),
+}
+
+# -- enclave memory: `*.memory.get("<name>")` for these names ------------
+
+SECRET_ENCLAVE_KEYS: dict[str, Source] = {
+    "service_key": Source("signing-key", "the service identity private key"),
+    "node_key": Source("signing-key", "the node identity private key"),
+    "ledger_secrets": Source("ledger-secret", "all ledger secret generations"),
+    "recovery_submissions": Source(
+        "recovery-share", "recovery shares accumulated in enclave memory"),
+}
+
+# -- projections that are public by construction -------------------------
+# Reading one of these attributes off a secret-tainted object yields a
+# public value (public halves of key pairs, version counters, suite ids).
+
+PUBLIC_PROJECTIONS: frozenset[str] = frozenset(
+    {"public", "public_key", "verifying_key", "generation", "suite", "index",
+     "node_id"}
+)
+
+
+def catalog() -> list[dict]:
+    """The sources half of the boundary map, deterministic order."""
+    rows: dict[tuple[str, str, str], dict] = {}
+    for qualname, source in sorted(SOURCE_CALLS.items()):
+        rows[("call", qualname, source.source_id)] = {
+            "kind": "call", "match": qualname,
+            "source_id": source.source_id, "description": source.description,
+        }
+    for (method, hint), source in sorted(SOURCE_METHOD_HINTS.items()):
+        rows[("method-hint", f"{hint}.{method}", source.source_id)] = {
+            "kind": "method-hint", "match": f"<{hint}>.{method}()",
+            "source_id": source.source_id, "description": source.description,
+        }
+    for attr, source in sorted(SOURCE_ATTRS.items()):
+        rows[("attr", attr, source.source_id)] = {
+            "kind": "attribute", "match": f".{attr}",
+            "source_id": source.source_id, "description": source.description,
+        }
+    for name, source in sorted(SECRET_ENCLAVE_KEYS.items()):
+        rows[("enclave", name, source.source_id)] = {
+            "kind": "enclave-memory", "match": f'memory.get("{name}")',
+            "source_id": source.source_id, "description": source.description,
+        }
+    return [rows[key] for key in sorted(rows)]

@@ -1,0 +1,1073 @@
+"""Interprocedural secret-flow analysis over the ``repro`` tree.
+
+The engine statically proves the TEE confidentiality boundary (paper §2,
+§3, §5.2): no value derived from a declared secret source
+(:mod:`repro.analysis.sources`) may reach an untrusted-host sink
+(:mod:`repro.analysis.sinks`) unless it passes through an approved
+declassifier or carries an audited ``# repro-taint: declassify=REASON``
+annotation.
+
+Architecture — dependency-free, two layers:
+
+1. **Program index**: every module under the analyzed paths is parsed once;
+   imports, module-level string constants, classes (with method tables and
+   dataclass-ness), and functions (including nested ones) are indexed by
+   dotted qualname.
+2. **Summary fixpoint**: each function gets a dataflow summary —
+   ``param_to_return`` (which parameters flow into the return value),
+   ``source_to_return`` (secrets originating inside, possibly via callees),
+   and ``param_to_sink`` (parameters that reach a sink inside the function
+   or its callees). Functions are re-analyzed until no summary grows.
+   Summaries are sets of abstract taints, so the fixpoint terminates;
+   witness call-chains are recorded on first discovery and reported as the
+   full source → call-chain → sink path of each violation.
+
+Precision notes (documented in DESIGN.md § Trust boundary map):
+
+- Secret-bearing *value carriers* (dataclasses without an explicit
+  ``__init__``) propagate constructor-argument taint; *behaviour objects*
+  (classes with an explicit ``__init__``) are clean handles whose secret
+  extraction points are cataloged (``LedgerSecretStore.current``, the
+  ``secrets``/``key_bytes`` attributes, ...).
+- ``self.attr`` assignments of secret-tainted values are tracked per
+  class, so a secret parked in instance state and leaked from another
+  method is still caught (this is how the unsealed-snapshot flow through
+  ``_pending_snapshot`` was found).
+- Public projections (``.public_key``, ``.generation``, ...) yield clean
+  values; hashing is *not* a declassifier and needs an annotation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis import sinks as sink_catalog
+from repro.analysis import sources as source_catalog
+from repro.analysis.core import (
+    Baseline,
+    Finding,
+    RULES,
+    Rule,
+    iter_python_files,
+    register,
+)
+from repro.analysis.sinks import ALL_ARGS, DECLASSIFIERS, SINKS, declassifier_for
+from repro.analysis.sources import (
+    PUBLIC_PROJECTIONS,
+    SECRET_ENCLAVE_KEYS,
+    SOURCE_ATTRS,
+    SOURCE_CALLS,
+    SOURCE_METHOD_HINTS,
+)
+
+# The lookbehind skips quoted/backticked grammar *examples* in docstrings.
+_ANNOTATION_RE = re.compile(
+    r"(?<![`'\"])#.*?\brepro-taint:\s*declassify=([A-Za-z0-9_.:\-\/]+)")
+
+_MAX_PASSES = 20
+_MAX_CHAIN = 12
+
+# Method names too generic for the unique-name call-resolution fallback
+# (they collide with builtin collection/string methods).
+_GENERIC_METHODS = frozenset({
+    "append", "extend", "add", "get", "put", "pop", "items", "keys", "values",
+    "update", "send", "write", "read", "open", "close", "encode", "decode",
+    "copy", "clear", "remove", "split", "join", "sort", "index", "count",
+    "replace", "format", "start", "run", "stop", "next", "setdefault",
+})
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    """The last identifier of a Name/Attribute chain (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` as a string, or None for non-trivial expressions."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Program index
+
+
+@dataclass
+class FunctionInfo:
+    qualname: str  # module.Class.method or module.func
+    symbol: str  # Class.method / func / outer.<locals>-free nesting path
+    module: "ModuleInfo"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None  # owning class qualname, if a method
+    params: list[str] = field(default_factory=list)
+    vararg: str | None = None
+    kwarg: str | None = None
+    summary: "Summary" = field(default_factory=lambda: None)  # set in __post_init__
+
+    def __post_init__(self):
+        args = self.node.args
+        names = [a.arg for a in (*args.posonlyargs, *args.args)]
+        if self.class_name is not None and names and names[0] in ("self", "cls"):
+            self.self_name = names[0]
+            names = names[1:]
+        else:
+            self.self_name = None
+        self.params = names + [a.arg for a in args.kwonlyargs]
+        self.vararg = args.vararg.arg if args.vararg else None
+        self.kwarg = args.kwarg.arg if args.kwarg else None
+        self.summary = Summary()
+
+    def param_index(self, name: str) -> int | None:
+        try:
+            return self.params.index(name)
+        except ValueError:
+            return None
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    name: str
+    module_name: str
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    bases: list[str] = field(default_factory=list)  # unresolved dotted names
+    has_explicit_init: bool = False
+
+
+@dataclass
+class ModuleInfo:
+    name: str
+    rel_path: str
+    tree: ast.Module
+    lines: list[str]
+    imports: dict[str, str] = field(default_factory=dict)
+    constants: dict[str, str] = field(default_factory=dict)  # NAME -> str value
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)  # top-level
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+    def resolve(self, dotted: str | None) -> str | None:
+        """Expand the head of a dotted name through the import map."""
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        origin = self.imports.get(head)
+        if origin is None:
+            return dotted
+        return f"{origin}.{rest}" if rest else origin
+
+
+class Summary:
+    """Per-function dataflow summary; all fields grow monotonically."""
+
+    def __init__(self):
+        self.param_to_return: set[int] = set()
+        self.source_to_return: dict[tuple, tuple] = {}  # taint key -> witness
+        self.param_to_sink: dict[tuple[int, str], tuple] = {}  # (param, sink) -> witness
+
+    def size(self) -> tuple[int, int, int]:
+        return (len(self.param_to_return), len(self.source_to_return),
+                len(self.param_to_sink))
+
+
+@dataclass
+class Annotation:
+    path: str
+    line: int
+    reason: str
+    used: bool = False
+
+
+class Program:
+    """The whole-program index plus the shared fixpoint state."""
+
+    def __init__(self):
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}  # qualname -> info
+        self.classes: dict[str, ClassInfo] = {}  # qualname -> info
+        self.by_method_name: dict[str, list[str]] = {}  # name -> qualnames
+        # class qualname -> attr -> (taint key -> witness); source taints only.
+        self.attr_taint: dict[str, dict[str, dict[tuple, tuple]]] = {}
+        # class qualname -> attr -> class qualname (from `self.x = Cls(...)`).
+        self.attr_types: dict[str, dict[str, str]] = {}
+        self.annotations: dict[str, dict[int, Annotation]] = {}  # path -> line -> ann
+        self.findings: dict[tuple, Finding] = {}
+        self.suppressed = 0
+        self.suppressed_keys: set[tuple] = set()
+        self.parse_errors: list[Finding] = []
+        self.files_analyzed = 0
+
+    # -- indexing -------------------------------------------------------
+
+    def add_module(self, rel_path: str, source: str) -> None:
+        try:
+            tree = ast.parse(source, filename=rel_path)
+        except SyntaxError as exc:
+            self.parse_errors.append(Finding(
+                rule="SYNTAX", path=rel_path, line=exc.lineno or 1,
+                column=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}", snippet="",
+            ))
+            return
+        self.files_analyzed += 1
+        name = _module_name(rel_path)
+        module = ModuleInfo(name=name, rel_path=rel_path, tree=tree,
+                            lines=source.splitlines())
+        self._collect_imports(module)
+        self._collect_annotations(module)
+        for stmt in tree.body:
+            if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)):
+                module.constants[stmt.targets[0].id] = stmt.value.value
+            elif (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.BinOp)
+                    and isinstance(stmt.value.op, ast.Add)):
+                # NAME = PREFIX + "literal" (the repro.node.maps idiom).
+                left = stmt.value.left
+                right = stmt.value.right
+                left_val = (module.constants.get(left.id)
+                            if isinstance(left, ast.Name) else
+                            left.value if isinstance(left, ast.Constant)
+                            and isinstance(left.value, str) else None)
+                right_val = (right.value if isinstance(right, ast.Constant)
+                             and isinstance(right.value, str) else None)
+                if left_val is not None and right_val is not None:
+                    module.constants[stmt.targets[0].id] = left_val + right_val
+        self._index_scope(module, tree.body, prefix="", class_info=None)
+        self.modules[name] = module
+
+    def _collect_imports(self, module: ModuleInfo) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    module.imports[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    module.imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}")
+
+    def _collect_annotations(self, module: ModuleInfo) -> None:
+        table: dict[int, Annotation] = {}
+        for lineno, text in enumerate(module.lines, start=1):
+            match = _ANNOTATION_RE.search(text)
+            if not match:
+                continue
+            target = lineno + 1 if text.lstrip().startswith("#") else lineno
+            table[target] = Annotation(
+                path=module.rel_path, line=target, reason=match.group(1))
+        if table:
+            self.annotations[module.rel_path] = table
+
+    def _index_scope(self, module: ModuleInfo, body, prefix: str,
+                     class_info: ClassInfo | None) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                symbol = f"{prefix}{stmt.name}"
+                info = FunctionInfo(
+                    qualname=f"{module.name}.{symbol}", symbol=symbol,
+                    module=module, node=stmt,
+                    class_name=class_info.qualname if class_info else None,
+                )
+                self.functions[info.qualname] = info
+                self.by_method_name.setdefault(stmt.name, []).append(info.qualname)
+                if class_info is not None and prefix == f"{class_info.name}.":
+                    class_info.methods[stmt.name] = info
+                    if stmt.name == "__init__":
+                        class_info.has_explicit_init = True
+                elif class_info is None and prefix == "":
+                    module.functions[stmt.name] = info
+                # Nested defs are indexed (and analyzed) but not resolvable
+                # by bare name from other scopes.
+                self._index_scope(module, stmt.body, f"{symbol}.", class_info)
+            elif isinstance(stmt, ast.ClassDef):
+                cls = ClassInfo(
+                    qualname=f"{module.name}.{stmt.name}", name=stmt.name,
+                    module_name=module.name,
+                    bases=[d for d in (_dotted(b) for b in stmt.bases) if d],
+                )
+                self.classes[cls.qualname] = cls
+                module.classes[stmt.name] = cls
+                self._index_scope(module, stmt.body, f"{stmt.name}.", cls)
+
+    # -- resolution helpers ---------------------------------------------
+
+    def lookup_class(self, module: ModuleInfo, dotted: str | None) -> ClassInfo | None:
+        if dotted is None:
+            return None
+        if dotted in module.classes:
+            return module.classes[dotted]
+        resolved = module.resolve(dotted)
+        return self.classes.get(resolved) if resolved else None
+
+    def lookup_method(self, cls: ClassInfo, name: str) -> FunctionInfo | None:
+        seen: set[str] = set()
+        queue = [cls]
+        while queue:
+            current = queue.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            if name in current.methods:
+                return current.methods[name]
+            module = self.modules.get(current.module_name)
+            if module is not None:
+                for base in current.bases:
+                    base_cls = self.lookup_class(module, base)
+                    if base_cls is not None:
+                        queue.append(base_cls)
+        return None
+
+    def constant_value(self, module: ModuleInfo, node: ast.AST) -> str | None:
+        """Resolve a string constant: literal, local constant, or an
+        attribute of an imported constants module (``maps.NODES_INFO``)."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.Name):
+            return module.constants.get(node.id)
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            origin = module.imports.get(node.value.id)
+            target = self.modules.get(origin) if origin else None
+            if target is not None:
+                return target.constants.get(node.attr)
+        return None
+
+    # -- annotations / findings -----------------------------------------
+
+    def annotation_at(self, path: str, line: int) -> Annotation | None:
+        return self.annotations.get(path, {}).get(line)
+
+    def record_finding(self, fn: FunctionInfo, sink: sink_catalog.Sink,
+                       line: int, taint_key: tuple, witness: tuple) -> None:
+        source_id, origin = taint_key[1], taint_key[2]
+        dedup = (sink.rule, fn.module.rel_path, line, source_id, origin, sink.sink_id)
+        if dedup in self.findings or dedup in self.suppressed_keys:
+            return
+        origin_path, _, origin_line = origin.rpartition(":")
+        for ann in (self.annotation_at(fn.module.rel_path, line),
+                    self.annotation_at(origin_path, int(origin_line or 0))):
+            if ann is not None:
+                ann.used = True
+                self.suppressed_keys.add(dedup)
+                self.suppressed = len(self.suppressed_keys)
+                return
+        chain = " -> ".join((*witness, f"sink {sink.sink_id} at "
+                             f"{fn.module.rel_path}:{line}"))[:1000]
+        snippet = ""
+        if 0 < line <= len(fn.module.lines):
+            snippet = fn.module.lines[line - 1].strip()
+        self.findings[dedup] = Finding(
+            rule=sink.rule, path=fn.module.rel_path, line=line, column=1,
+            message=f"secret '{source_id}' reaches {sink.sink_id}: {chain}",
+            snippet=snippet, symbol=fn.symbol,
+        )
+
+
+def _module_name(rel_path: str) -> str:
+    parts = list(Path(rel_path).with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or rel_path
+
+
+# ---------------------------------------------------------------------------
+# Intraprocedural transfer functions
+
+TaintMap = dict[tuple, tuple]  # taint key -> witness (tuple of hop strings)
+
+
+def _merge(into: TaintMap, other: TaintMap) -> bool:
+    changed = False
+    for key, witness in other.items():
+        if key not in into:
+            into[key] = witness
+            changed = True
+    return changed
+
+
+def _hop(witness: tuple, step: str) -> tuple:
+    if len(witness) >= _MAX_CHAIN:
+        return witness
+    return (*witness, step)
+
+
+class FunctionAnalyzer:
+    """One pass of abstract interpretation over one function body."""
+
+    def __init__(self, program: Program, fn: FunctionInfo):
+        self.program = program
+        self.fn = fn
+        self.module = fn.module
+        self.env: dict[str, TaintMap] = {}
+        self.env_types: dict[str, str] = {}  # var -> class qualname
+        for i, name in enumerate(fn.params):
+            self.env[name] = {("param", i): ()}
+        for arg in (*fn.node.args.posonlyargs, *fn.node.args.args,
+                    *fn.node.args.kwonlyargs):
+            cls = self.program.lookup_class(self.module, _dotted(arg.annotation)
+                                            if arg.annotation is not None else None)
+            if cls is not None:
+                self.env_types[arg.arg] = cls.qualname
+        if fn.vararg:
+            self.env[fn.vararg] = {("param", len(fn.params)): ()}
+        if fn.kwarg:
+            self.env[fn.kwarg] = {("param", len(fn.params) + 1): ()}
+
+    # -- driver ---------------------------------------------------------
+
+    def run(self) -> None:
+        for _ in range(4):  # local fixpoint for loops/late bindings
+            before = {name: len(t) for name, t in self.env.items()}
+            self._walk(self.fn.node.body)
+            if {name: len(t) for name, t in self.env.items()} == before:
+                break
+
+    def _loc(self, node: ast.AST) -> str:
+        return f"{self.module.rel_path}:{getattr(node, 'lineno', 0)}"
+
+    # -- statements ------------------------------------------------------
+
+    def _walk(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            # `a, b = x, y` binds elementwise (no cross-element smearing).
+            if (len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Tuple)
+                    and isinstance(stmt.value, ast.Tuple)
+                    and len(stmt.targets[0].elts) == len(stmt.value.elts)):
+                for tgt, val in zip(stmt.targets[0].elts, stmt.value.elts):
+                    self._bind(tgt, self.eval(val), val)
+                return
+            taints = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taints, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            cls = self.program.lookup_class(self.module, _dotted(stmt.annotation))
+            if cls is not None and isinstance(stmt.target, ast.Name):
+                self.env_types[stmt.target.id] = cls.qualname
+            if stmt.value is not None:
+                self._bind(stmt.target, self.eval(stmt.value), stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            taints = self.eval(stmt.value)
+            _merge(taints, self.eval(stmt.target))
+            self._bind(stmt.target, taints, stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._note_return(self.eval(stmt.value))
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                taints = self.eval(stmt.exc)
+                self._sink_hit(sink_catalog.SINKS_BY_ID["exception-text"],
+                               stmt, taints)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.eval(stmt.test)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            self._bind_loop_target(stmt.target, stmt.iter)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                taints = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taints, item.context_expr)
+            self._walk(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._walk(stmt.body)
+            for handler in stmt.handlers:
+                self._walk(handler.body)
+            self._walk(stmt.orelse)
+            self._walk(stmt.finalbody)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # indexed and analyzed separately
+        elif isinstance(stmt, ast.Assert):
+            self.eval(stmt.test)
+            if stmt.msg is not None:
+                taints = self.eval(stmt.msg)
+                self._sink_hit(sink_catalog.SINKS_BY_ID["exception-text"],
+                               stmt, taints)
+        elif isinstance(stmt, ast.Delete):
+            pass
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+                elif isinstance(child, ast.stmt):
+                    self._stmt(child)
+
+    def _bind_loop_target(self, target: ast.expr, iterable: ast.expr) -> None:
+        """``for a, b in zip(xs, ys)`` binds a from xs and b from ys —
+        iterating a zip must not smear one column's taint onto the other."""
+        if (isinstance(target, ast.Tuple) and isinstance(iterable, ast.Call)
+                and isinstance(iterable.func, ast.Name)
+                and iterable.func.id == "zip"
+                and not any(isinstance(a, ast.Starred) for a in iterable.args)
+                and len(iterable.args) == len(target.elts)):
+            for tgt, arg in zip(target.elts, iterable.args):
+                self._bind(tgt, self.eval(arg), arg)
+            return
+        self._bind(target, self.eval(iterable), iterable)
+
+    def _bind(self, target: ast.expr, taints: TaintMap, value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            changed = _merge(self.env.setdefault(target.id, {}), taints)
+            cls = self._constructed_class(value)
+            if cls is not None:
+                self.env_types[target.id] = cls
+            if changed is False and not taints:
+                pass
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                self._bind(inner, taints, value)
+        elif isinstance(target, ast.Attribute):
+            self._bind_attr(target, taints, value)
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            if isinstance(base, ast.Name):
+                _merge(self.env.setdefault(base.id, {}), taints)
+            elif isinstance(base, ast.Attribute):
+                self._bind_attr(base, taints, value)
+
+    def _bind_attr(self, target: ast.Attribute, taints: TaintMap,
+                   value: ast.expr) -> None:
+        if (self.fn.self_name is None or self.fn.class_name is None
+                or not isinstance(target.value, ast.Name)
+                or target.value.id != self.fn.self_name):
+            return
+        source_taints = {k: w for k, w in taints.items() if k[0] == "source"}
+        if source_taints:
+            slot = self.program.attr_taint.setdefault(
+                self.fn.class_name, {}).setdefault(target.attr, {})
+            _merge(slot, {
+                k: _hop(w, f"stored in self.{target.attr} at {self._loc(target)}")
+                for k, w in source_taints.items()
+            })
+        cls = self._constructed_class(value)
+        if cls is not None:
+            self.program.attr_types.setdefault(
+                self.fn.class_name, {})[target.attr] = cls
+
+    def _constructed_class(self, value: ast.expr) -> str | None:
+        if isinstance(value, ast.Call):
+            cls = self.program.lookup_class(self.module, _dotted(value.func))
+            if cls is not None:
+                return cls.qualname
+        if isinstance(value, ast.Name):
+            return self.env_types.get(value.id)
+        return None
+
+    def _note_return(self, taints: TaintMap) -> None:
+        summary = self.fn.summary
+        for key, witness in taints.items():
+            if key[0] == "param":
+                summary.param_to_return.add(key[1])
+            else:
+                summary.source_to_return.setdefault(key, witness)
+
+    # -- expressions -----------------------------------------------------
+
+    def eval(self, node: ast.expr) -> TaintMap:
+        if isinstance(node, ast.Name):
+            return dict(self.env.get(node.id, {}))
+        if isinstance(node, ast.Constant):
+            return {}
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Subscript):
+            taints = self.eval(node.value)
+            _merge(taints, self.eval(node.slice))
+            return taints
+        if isinstance(node, ast.Compare):
+            self.eval(node.left)
+            for comp in node.comparators:
+                self.eval(comp)
+            return {}  # a boolean verdict, not the secret
+        if isinstance(node, ast.Lambda):
+            return {}
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for comp in node.generators:
+                self._bind_loop_target(comp.target, comp.iter)
+            return self.eval(node.elt)
+        if isinstance(node, ast.DictComp):
+            for comp in node.generators:
+                self._bind_loop_target(comp.target, comp.iter)
+            taints = self.eval(node.key)
+            _merge(taints, self.eval(node.value))
+            return taints
+        if isinstance(node, ast.NamedExpr):
+            taints = self.eval(node.value)
+            self._bind(node.target, taints, node.value)
+            return taints
+        taints: TaintMap = {}
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                _merge(taints, self.eval(child))
+        return taints
+
+    def _eval_attribute(self, node: ast.Attribute) -> TaintMap:
+        if node.attr in PUBLIC_PROJECTIONS:
+            self.eval(node.value)
+            return {}
+        taints: TaintMap = {}
+        if node.attr in SOURCE_ATTRS:
+            source = SOURCE_ATTRS[node.attr]
+            taints[("source", source.source_id, self._loc(node))] = (
+                f"{self.fn.symbol} reads .{node.attr} ({source.description}) "
+                f"at {self._loc(node)}",)
+        if (self.fn.self_name is not None and isinstance(node.value, ast.Name)
+                and node.value.id == self.fn.self_name
+                and self.fn.class_name is not None):
+            stored = self.program.attr_taint.get(
+                self.fn.class_name, {}).get(node.attr)
+            if stored:
+                _merge(taints, {
+                    k: _hop(w, f"read from self.{node.attr} at {self._loc(node)}")
+                    for k, w in stored.items()
+                })
+        _merge(taints, self.eval(node.value))
+        return taints
+
+    def _receiver_type(self, receiver: ast.expr) -> str | None:
+        if isinstance(receiver, ast.Name):
+            if receiver.id == "cls" and self.fn.class_name is not None:
+                return self.fn.class_name
+            return self.env_types.get(receiver.id)
+        if (isinstance(receiver, ast.Attribute)
+                and self.fn.self_name is not None
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == self.fn.self_name
+                and self.fn.class_name is not None):
+            return self.program.attr_types.get(
+                self.fn.class_name, {}).get(receiver.attr)
+        return None
+
+    # -- calls -----------------------------------------------------------
+
+    def _eval_call(self, node: ast.Call) -> TaintMap:
+        func = node.func
+        method = func.attr if isinstance(func, ast.Attribute) else None
+        bare = func.id if isinstance(func, ast.Name) else None
+        receiver = func.value if isinstance(func, ast.Attribute) else None
+        receiver_terminal = _terminal_name(receiver) if receiver is not None else None
+
+        # getattr(self, "attr", default) is an attribute read.
+        if bare == "getattr" and node.args and len(node.args) >= 2:
+            target, name_node = node.args[0], node.args[1]
+            if (isinstance(name_node, ast.Constant)
+                    and isinstance(name_node.value, str)):
+                fake = ast.Attribute(value=target, attr=name_node.value,
+                                     ctx=ast.Load())
+                ast.copy_location(fake, node)
+                return self._eval_attribute(fake)
+
+        resolved = self._resolve_qualname(func, method, bare, receiver)
+
+        arg_taints = [self.eval(arg.value if isinstance(arg, ast.Starred) else arg)
+                      for arg in node.args]
+        kw_taints = {kw.arg: self.eval(kw.value) for kw in node.keywords}
+
+        # 1. Declassifiers win: the result is public by design.
+        if declassifier_for(resolved, method, bare) is not None:
+            return {}
+
+        # 2. Sources: the result is secret.
+        source = self._match_source(node, resolved, method, receiver_terminal)
+        if source is not None:
+            taints: TaintMap = {}
+            for t in arg_taints:
+                _merge(taints, t)
+            for t in kw_taints.values():
+                _merge(taints, t)
+            key = ("source", source.source_id, self._loc(node))
+            taints.setdefault(key, (
+                f"{self.fn.symbol} obtains {source.source_id} "
+                f"({source.description}) at {self._loc(node)}",))
+            return taints
+
+        # 3. Sinks: tainted arguments are violations / summary flows.
+        sink = self._match_sink(node, resolved, method, bare, receiver,
+                                receiver_terminal)
+        if sink is not None:
+            leaked: TaintMap = {}
+            relevant = (range(len(arg_taints)) if sink.args == (ALL_ARGS,)
+                        else [i for i in sink.args if i < len(arg_taints)])
+            for i in relevant:
+                _merge(leaked, arg_taints[i])
+            if sink.kwargs_leak:
+                for t in kw_taints.values():
+                    _merge(leaked, t)
+            self._sink_hit(sink, node, leaked)
+            return {}
+
+        mutation: TaintMap = {}
+        for t in (*arg_taints, *kw_taints.values()):
+            _merge(mutation, t)
+        receiver_taints: TaintMap = (
+            self.eval(receiver) if receiver is not None else {})
+
+        # 4. Resolved callee: apply its summary. The result also carries the
+        # receiver's own taint (``h.digest()`` derives from ``h``'s state).
+        callee = self._resolve_callee(func, resolved, method, bare, receiver)
+        if callee is not None:
+            result = self._apply_summary(node, callee, arg_taints, kw_taints)
+            if method is not None:
+                _merge(result, receiver_taints)
+            return result
+
+        # 4b. Constructor of an indexed class (incl. `cls(...)` inside a
+        # classmethod of that class).
+        cls = self.program.lookup_class(self.module, _dotted(func))
+        if cls is None and bare == "cls" and self.fn.class_name is not None:
+            cls = self.program.classes.get(self.fn.class_name)
+        if cls is not None:
+            if cls.has_explicit_init:
+                init = cls.methods.get("__init__")
+                if init is not None:
+                    self._apply_summary(node, init, arg_taints, kw_taints)
+                return {}  # behaviour object: a clean handle
+            result: TaintMap = {}  # value carrier: fields keep their taint
+            for t in (*arg_taints, *kw_taints.values()):
+                _merge(result, {
+                    k: _hop(w, f"carried into {cls.name}() at {self._loc(node)}")
+                    for k, w in t.items()
+                })
+            return result
+
+        # 5. Unknown callable: conservative propagation (receiver + args),
+        # plus a weak update — the call may deposit argument taint in its
+        # receiver (``h.update(secret)``, ``entries.append(secret)``). Only
+        # unresolved calls need this (summaries model resolved ones), and
+        # never on `self`/`cls` (instance state is the attr-taint heap).
+        if (method is not None and isinstance(receiver, ast.Name)
+                and receiver.id not in (self.fn.self_name, "cls") and mutation):
+            _merge(self.env.setdefault(receiver.id, {}), {
+                k: _hop(w, f"stored into {receiver.id}.{method}(...) at "
+                        f"{self._loc(node)}")
+                for k, w in mutation.items()
+            })
+        result = {}
+        _merge(result, receiver_taints)
+        _merge(result, mutation)
+        return result
+
+    def _resolve_qualname(self, func, method, bare, receiver) -> str | None:
+        if bare is not None:
+            resolved = self.module.resolve(bare)
+            return resolved
+        dotted = _dotted(func)
+        if dotted is not None:
+            resolved = self.module.resolve(dotted)
+            if resolved is not None and (resolved in SOURCE_CALLS
+                                         or resolved in self.program.functions
+                                         or "." in resolved):
+                # `Type.method` via imported class: ClassName.method.
+                head, _, tail = dotted.partition(".")
+                cls = self.program.lookup_class(self.module, head)
+                if cls is not None and tail and "." not in tail:
+                    return f"{cls.qualname}.{tail}"
+                return resolved
+        if receiver is not None and method is not None:
+            rtype = self._receiver_type(receiver)
+            if rtype is not None:
+                return f"{rtype}.{method}"
+        return None
+
+    def _match_source(self, node, resolved, method, receiver_terminal):
+        if resolved is not None and resolved in SOURCE_CALLS:
+            return SOURCE_CALLS[resolved]
+        if method is not None and receiver_terminal is not None:
+            hint = SOURCE_METHOD_HINTS.get((method, receiver_terminal))
+            if hint is not None:
+                return hint
+            if (method == "get" and receiver_terminal == "memory" and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value in SECRET_ENCLAVE_KEYS):
+                return SECRET_ENCLAVE_KEYS[node.args[0].value]
+        return None
+
+    def _match_sink(self, node, resolved, method, bare, receiver,
+                    receiver_terminal):
+        for sink in SINKS:
+            if sink.sink_id == "exception-text":
+                continue
+            if resolved is not None and resolved in sink.qualnames:
+                if sink.sink_id == "public-kv-write" and not \
+                        self._is_public_map_write(node):
+                    continue
+                return sink
+            if bare is not None and bare in sink.names:
+                return sink
+            if method is None:
+                continue
+            hint_ok = receiver_terminal is not None and any(
+                receiver_terminal == hint or receiver_terminal.endswith(hint)
+                for hint in sink.receiver_hints
+            )
+            if sink.methods and method in sink.methods:
+                if sink.receiver_hints and not hint_ok:
+                    continue
+                if sink.sink_id == "public-kv-write" and not \
+                        self._is_public_map_write(node):
+                    continue
+                return sink
+            if not sink.methods and sink.receiver_hints and hint_ok:
+                return sink
+        return None
+
+    def _is_public_map_write(self, node: ast.Call) -> bool:
+        if not node.args:
+            return False
+        value = self.program.constant_value(self.module, node.args[0])
+        return value is not None and value.startswith("public:")
+
+    def _resolve_callee(self, func, resolved, method, bare, receiver):
+        if resolved is not None and resolved in self.program.functions:
+            return self.program.functions[resolved]
+        if bare is not None and bare in self.module.functions:
+            return self.module.functions[bare]
+        if method is not None and receiver is not None:
+            # self.method() -> own class (and bases).
+            if (self.fn.self_name is not None
+                    and isinstance(receiver, ast.Name)
+                    and receiver.id == self.fn.self_name
+                    and self.fn.class_name is not None):
+                cls = self.program.classes.get(self.fn.class_name)
+                if cls is not None:
+                    found = self.program.lookup_method(cls, method)
+                    if found is not None:
+                        return found
+            rtype = self._receiver_type(receiver)
+            if rtype is not None:
+                cls = self.program.classes.get(rtype)
+                if cls is not None:
+                    found = self.program.lookup_method(cls, method)
+                    if found is not None:
+                        return found
+            # Unique-name fallback for untypable receivers (host wiring).
+            if (method not in _GENERIC_METHODS and len(method) >= 6
+                    and not method.startswith("__")):
+                candidates = self.program.by_method_name.get(method, [])
+                if len(candidates) == 1:
+                    return self.program.functions[candidates[0]]
+        return None
+
+    def _apply_summary(self, node: ast.Call, callee: FunctionInfo,
+                       arg_taints: list[TaintMap],
+                       kw_taints: dict[str | None, TaintMap]) -> TaintMap:
+        by_param: dict[int, TaintMap] = {}
+        spill: TaintMap = {}
+        n_params = len(callee.params)
+        for i, (arg, taints) in enumerate(zip(node.args, arg_taints)):
+            if isinstance(arg, ast.Starred):
+                _merge(spill, taints)
+            elif i < n_params:
+                by_param.setdefault(i, {}).update(taints)
+            elif callee.vararg is not None:
+                by_param.setdefault(n_params, {}).update(taints)
+            else:
+                _merge(spill, taints)
+        for name, taints in kw_taints.items():
+            idx = callee.param_index(name) if name is not None else None
+            if idx is not None:
+                by_param.setdefault(idx, {}).update(taints)
+            elif callee.kwarg is not None:
+                by_param.setdefault(n_params + 1, {}).update(taints)
+            else:
+                _merge(spill, taints)
+        if spill:
+            for i in range(n_params + 2):
+                by_param.setdefault(i, {}).update(spill)
+
+        loc = self._loc(node)
+        summary = callee.summary
+        # Parameters that reach sinks inside the callee (or deeper).
+        for (i, sink_id), inner_witness in sorted(summary.param_to_sink.items()):
+            taints = by_param.get(i)
+            if not taints:
+                continue
+            sink = sink_catalog.SINKS_BY_ID[sink_id]
+            for key, witness in sorted(taints.items()):
+                step = f"passed to {callee.symbol}() at {loc}"
+                full = (*_hop(witness, step), *inner_witness)[:_MAX_CHAIN]
+                if key[0] == "source":
+                    self.program.record_finding(
+                        self.fn, sink, node.lineno, key, full)
+                else:
+                    self.fn.summary.param_to_sink.setdefault(
+                        (key[1], sink_id), full)
+        # The return value.
+        result: TaintMap = {}
+        for i in sorted(summary.param_to_return):
+            taints = by_param.get(i)
+            if taints:
+                _merge(result, {
+                    k: _hop(w, f"through {callee.symbol}() at {loc}")
+                    for k, w in taints.items()
+                })
+        for key, inner_witness in sorted(summary.source_to_return.items()):
+            result.setdefault(
+                key, (*inner_witness, f"returned by {callee.symbol}() at {loc}")
+                [:_MAX_CHAIN])
+        return result
+
+    # -- sink recording --------------------------------------------------
+
+    def _sink_hit(self, sink: sink_catalog.Sink, node: ast.AST,
+                  taints: TaintMap) -> None:
+        line = getattr(node, "lineno", 0)
+        for key, witness in sorted(taints.items()):
+            if key[0] == "source":
+                self.program.record_finding(self.fn, sink, line, key, witness)
+            else:
+                self.fn.summary.param_to_sink.setdefault(
+                    (key[1], sink.sink_id),
+                    _hop(witness, f"reaches sink {sink.sink_id} at "
+                         f"{self.module.rel_path}:{line}"))
+
+
+# ---------------------------------------------------------------------------
+# Whole-program driver
+
+
+@dataclass
+class TaintResult:
+    findings: list[Finding] = field(default_factory=list)
+    parse_errors: list[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    annotations: list[Annotation] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+
+def build_program(paths: Iterable[Path], root: Path | None = None) -> Program:
+    root = root if root is not None else Path.cwd()
+    program = Program()
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        try:
+            rel = file_path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = file_path.as_posix()
+        program.add_module(rel, file_path.read_text())
+    return program
+
+
+def analyze_taint(
+    paths: Iterable[Path],
+    root: Path | None = None,
+    baseline: Baseline | None = None,
+) -> TaintResult:
+    """Run the interprocedural analysis over every file under ``paths``."""
+    program = build_program(paths, root)
+    order = sorted(program.functions)
+    for _pass in range(_MAX_PASSES):
+        before = (
+            tuple(program.functions[q].summary.size() for q in order),
+            sum(len(attrs) and sum(len(t) for t in attrs.values())
+                for attrs in program.attr_taint.values()),
+            len(program.findings), program.suppressed,
+        )
+        for qualname in order:
+            # Findings found in earlier passes stay (dedup'd); summaries and
+            # heap taint only grow, so re-analysis is monotone.
+            FunctionAnalyzer(program, program.functions[qualname]).run()
+        after = (
+            tuple(program.functions[q].summary.size() for q in order),
+            sum(len(attrs) and sum(len(t) for t in attrs.values())
+                for attrs in program.attr_taint.values()),
+            len(program.findings), program.suppressed,
+        )
+        if after == before:
+            break
+    result = TaintResult(
+        parse_errors=program.parse_errors,
+        files_analyzed=program.files_analyzed,
+        suppressed=program.suppressed,
+    )
+    findings = sorted(
+        program.findings.values(),
+        key=lambda f: (f.path, f.line, f.rule, f.message),
+    )
+    if baseline is not None:
+        findings, result.baselined = baseline.filter(findings)
+    result.findings = findings
+    result.annotations = sorted(
+        (ann for table in program.annotations.values() for ann in table.values()),
+        key=lambda a: (a.path, a.line),
+    )
+    return result
+
+
+def boundary_map(result: TaintResult | None = None) -> dict:
+    """The machine-readable trust-boundary map: every declared source,
+    sink, and declassifier, plus (when a run is supplied) each audited
+    in-code declassification annotation and whether it matched a flow."""
+    mapping: dict = {"sources": source_catalog.catalog()}
+    mapping.update(sink_catalog.catalog())
+    mapping["annotation_grammar"] = (
+        "# repro-taint: declassify=REASON  -- on the sink (or source) line, "
+        "or alone on the line above it")
+    if result is not None:
+        mapping["annotations"] = [
+            {"path": ann.path, "line": ann.line, "reason": ann.reason,
+             "used": ann.used}
+            for ann in result.annotations
+        ]
+    return mapping
+
+
+# ---------------------------------------------------------------------------
+# Rule registry entries (for --list-rules / SARIF metadata). The checks are
+# whole-program, so the per-file ``check`` hooks yield nothing; the taint
+# driver constructs Findings carrying these rule ids directly.
+
+_TAINT_RULES: tuple[tuple[str, str], ...] = tuple(
+    (sink.rule, sink.description) for sink in SINKS
+)
+
+
+def _register_taint_rules() -> None:
+    for rule_id, description in _TAINT_RULES:
+        if rule_id in RULES:
+            continue
+
+        namespace = {
+            "rule_id": rule_id,
+            "title": f"secret flow to {description}",
+            "rationale": "interprocedural taint analysis "
+                         "(python -m repro.analysis taint)",
+            "check": lambda self, ctx: (),
+        }
+        register(type(f"TaintRule_{rule_id}", (Rule,), namespace))
+
+
+_register_taint_rules()

@@ -472,7 +472,14 @@ class CCFNode:
             claimed = (receipt.claims or {}).get("snapshot_digest")
             if not ct_eq(claimed, digest.hex()):
                 raise VerificationError("snapshot does not match its receipt claims")
-            self.store = KVStore.deserialize(message.snapshot)
+            # The snapshot arrives sealed (its digest covers the sealed
+            # bytes); decrypt with the generation named in the verified
+            # metadata, which doubles as the AEAD's associated data.
+            secret = secrets.for_generation(metadata.get("secret_generation", 0))
+            plain = secret.open_snapshot(
+                metadata["base_seqno"], message.snapshot, aad=encode_value(metadata)
+            )
+            self.store = KVStore.deserialize(plain)
             self.ledger = Ledger.from_snapshot_metadata(
                 secrets,
                 base_seqno=metadata["base_seqno"],
@@ -871,7 +878,16 @@ class CCFNode:
         self._last_snapshot_seqno = commit_seqno
         data = self.store.serialize_at(commit_seqno)
         metadata = self.ledger.snapshot_metadata(commit_seqno)
-        digest = bytes(sha256(data, encode_value(metadata)))
+        # Serialized store state includes private-map plaintext, so the
+        # snapshot is sealed under the current ledger secret before it can
+        # touch host storage or the join path; the metadata (which names the
+        # generation a joiner must use to open it) is bound as AAD. The
+        # digest — and therefore the receipt claim — covers the *sealed*
+        # bytes: integrity is verifiable without decrypting.
+        secret = self.ledger.secrets.current()
+        metadata["secret_generation"] = secret.generation
+        sealed = secret.seal_snapshot(commit_seqno, data, aad=encode_value(metadata))
+        digest = bytes(sha256(sealed, encode_value(metadata)))
         # Snapshot evidence transaction (validated by receipt, section 4.4).
         write_set = WriteSet()
         write_set.put(
@@ -882,7 +898,7 @@ class CCFNode:
         claims = {"snapshot_digest": digest.hex()}
         entry = self._append_local_entry(write_set, claims=claims)
         self._pending_snapshot = {
-            "data": data,
+            "data": sealed,
             "metadata": metadata,
             "evidence_seqno": entry.txid.seqno,
             "claims": claims,

@@ -95,6 +95,10 @@ class JoinResponse:
     # channel key (they must never transit the untrusted network in the
     # clear): (sender, counter, box).
     sealed_secrets: tuple = ()
+    # Serialized KV state sealed under the ledger secret generation named in
+    # ``snapshot_metadata["secret_generation"]`` — private maps never transit
+    # (or rest on) the host unsealed. The receipt claim digests these sealed
+    # bytes, so integrity is checkable before decryption.
     snapshot: bytes = b""
     snapshot_metadata: dict | None = None
     snapshot_receipt: dict | None = None

@@ -15,7 +15,14 @@ from repro.obs.metrics import (
     nearest_rank,
 )
 from repro.obs.profile import ProfileReport, TraceProfile, profile_spans
-from repro.obs.spans import Span, build_tree, export_jsonl, load_jsonl
+from repro.obs.spans import (
+    Span,
+    build_tree,
+    export_jsonl,
+    load_jsonl,
+    redact,
+    sanitize_attrs,
+)
 
 # The trace checker imports repro.verification (and through it the
 # consensus package); importing it eagerly here would close an import
@@ -49,4 +56,6 @@ __all__ = [
     "load_jsonl",
     "nearest_rank",
     "profile_spans",
+    "redact",
+    "sanitize_attrs",
 ]

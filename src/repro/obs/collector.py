@@ -37,7 +37,7 @@ from __future__ import annotations
 import random
 
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.spans import Span, export_jsonl
+from repro.obs.spans import Span, export_jsonl, sanitize_attrs
 
 
 def estimate_wire_size(payload: object) -> int:
@@ -155,7 +155,10 @@ class ObsCollector:
             trace_id=parent.trace_id if parent is not None else span_id,
             parent_id=parent.span_id if parent is not None else None,
             node=node,
-            attrs=dict(attrs),
+            # Attributes cross the trust boundary when traces are exported:
+            # byte values (key material, sealed blobs) are redacted here so
+            # no caller can accidentally put raw secrets in a span.
+            attrs=sanitize_attrs(attrs),
         )
         self.spans.append(span)
         self._span_by_id[span_id] = span

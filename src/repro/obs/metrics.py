@@ -144,7 +144,12 @@ class Histogram:
 
 
 def _label_key(labels: dict[str, str]) -> LabelPairs:
-    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    # Labels appear verbatim in exported snapshots, which the untrusted
+    # host can read: byte values (key material) are redacted, never
+    # str()'d into the label.
+    from repro.obs.spans import redact
+
+    return tuple(sorted((str(k), str(redact(v))) for k, v in labels.items()))
 
 
 def format_metric(name: str, labels: LabelPairs) -> str:

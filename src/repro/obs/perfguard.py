@@ -1,26 +1,38 @@
 """``python -m repro.obs.perfguard``: wall-clock regression guard for CI.
 
-Compares a measured tier-1 suite duration against the stored budget in
-``perf-budget.json``. The budget carries generous slack (~3x the measured
-baseline) so it only trips on genuine regressions — an accidentally disabled
-fast path, a quadratic loop — not on CI host noise.
+Compares measured durations against the stored budgets in
+``perf-budget.json``. Two budgets exist today: the tier-1 pytest suite and
+the static-analysis pass (lint + taint over src/). Each budget carries
+generous slack (~3x the measured baseline) so it only trips on genuine
+regressions — an accidentally disabled fast path, a quadratic loop, a taint
+fixpoint that stopped converging — not on CI host noise.
 
-Update the budget deliberately (edit ``perf-budget.json`` with a fresh
-baseline and the same slack factor) when the suite legitimately grows.
+Update a budget deliberately (edit ``perf-budget.json`` with a fresh
+baseline and the same slack factor) when the guarded step legitimately
+grows.
 """
 
 from __future__ import annotations
 
 import json
 
+# kind -> key prefix in perf-budget.json (``<prefix>_seconds_max`` is the
+# limit, ``<prefix>_seconds_baseline`` the documented measurement).
+BUDGET_KINDS = {
+    "tier1": "tier1",
+    "analysis": "analysis",
+}
 
-def check_budget(measured_seconds: float, budget: dict) -> list[str]:
+
+def check_budget(measured_seconds: float, budget: dict, kind: str = "tier1") -> list[str]:
     """Return violations (empty list means within budget)."""
-    limit = float(budget["tier1_seconds_max"])
+    prefix = BUDGET_KINDS[kind]
+    limit = float(budget[f"{prefix}_seconds_max"])
     if measured_seconds > limit:
         return [
-            f"tier-1 suite took {measured_seconds:.1f}s, budget is {limit:.1f}s "
-            f"(baseline {budget.get('tier1_seconds_baseline', '?')}s; see {budget.get('note', '')})"
+            f"{kind} took {measured_seconds:.1f}s, budget is {limit:.1f}s "
+            f"(baseline {budget.get(f'{prefix}_seconds_baseline', '?')}s; "
+            f"see {budget.get('note', '')})"
         ]
     return []
 
@@ -32,23 +44,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--tier1-seconds",
         type=float,
-        required=True,
         help="measured wall-clock duration of the tier-1 pytest run",
+    )
+    parser.add_argument(
+        "--analysis-seconds",
+        type=float,
+        help="measured wall-clock duration of the static-analysis pass",
     )
     parser.add_argument("--budget", default="perf-budget.json")
     args = parser.parse_args(argv)
 
+    measured = {
+        "tier1": args.tier1_seconds,
+        "analysis": args.analysis_seconds,
+    }
+    if all(value is None for value in measured.values()):
+        parser.error("pass at least one of --tier1-seconds / --analysis-seconds")
+
     with open(args.budget, encoding="utf-8") as handle:
         budget = json.load(handle)
 
-    problems = check_budget(args.tier1_seconds, budget)
+    problems: list[str] = []
+    for kind, seconds in measured.items():
+        if seconds is None:
+            continue
+        kind_problems = check_budget(seconds, budget, kind=kind)
+        problems.extend(kind_problems)
+        if not kind_problems:
+            limit = float(budget[f"{BUDGET_KINDS[kind]}_seconds_max"])
+            print(f"perfguard: {kind} {seconds:.1f}s within {limit:.1f}s budget")
     for problem in problems:
         print(f"perfguard: BUDGET EXCEEDED: {problem}")
-    if not problems:
-        print(
-            f"perfguard: tier-1 {args.tier1_seconds:.1f}s within "
-            f"{float(budget['tier1_seconds_max']):.1f}s budget"
-        )
     return 1 if problems else 0
 
 

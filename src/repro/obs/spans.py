@@ -15,8 +15,36 @@ and trace ids are the stable correlation handles.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
+
+
+def redact(value):
+    """Replace byte strings with a length + digest-prefix placeholder.
+
+    Span attributes and metrics labels are exported to the untrusted host,
+    so raw bytes — the representation of every key, share, and sealed blob
+    in this codebase — must never appear in them. The placeholder keeps
+    traces debuggable (equal secrets redact equally, lengths survive)
+    without revealing the bytes. Non-bytes values pass through untouched;
+    containers are redacted recursively.
+    """
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        digest = hashlib.sha256(raw).hexdigest()[:8]
+        return f"[redacted {len(raw)}B sha256:{digest}]"
+    if isinstance(value, dict):
+        return {k: redact(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        out = [redact(v) for v in value]
+        return tuple(out) if isinstance(value, tuple) else out
+    return value
+
+
+def sanitize_attrs(attrs: dict) -> dict:
+    """Redact every value of a span-attribute / label mapping."""
+    return {key: redact(value) for key, value in attrs.items()}
 
 
 @dataclass
@@ -61,7 +89,9 @@ class Span:
         if self.node is not None:
             out["node"] = self.node
         if self.attrs:
-            out["attrs"] = dict(sorted(self.attrs.items()))
+            # Defense in depth: attrs are sanitized at creation, but any
+            # bytes smuggled in by direct mutation are redacted at export.
+            out["attrs"] = sanitize_attrs(dict(sorted(self.attrs.items())))
         if self.costs:
             out["costs"] = dict(sorted(self.costs.items()))
         return out

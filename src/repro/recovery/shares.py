@@ -81,7 +81,10 @@ def provision_recovery_shares(
         # The digest is a public commitment to the member's share: at
         # submission time it lets the node reject a wrong share *before* it
         # enters (and poisons) the Shamir reconstruction. It reveals nothing
-        # about the share (preimage resistance over 32 random bytes).
+        # about the share (preimage resistance over 32 random bytes) —
+        # hashing is not an approved declassifier, so this judgement is
+        # recorded for the taint analyzer's boundary map:
+        # repro-taint: declassify=share-commitment
         ctx.put(
             maps.RECOVERY_SHARES,
             subject,

@@ -1,0 +1,12 @@
+"""Clean: a hash commitment carrying an audited declassification."""
+
+import hashlib
+
+from repro.crypto import shamir
+
+
+def commit(tx, wrapping_key: bytes, rng):
+    shares = shamir.split(wrapping_key, 2, 3, rng)
+    digest = hashlib.sha256(shares[0]).hexdigest()
+    # repro-taint: declassify=demo-share-commitment
+    tx.put("public:demo.commitments", "member0", digest)

@@ -1,0 +1,9 @@
+"""Clean: a constant-time equality verdict is a public boolean."""
+
+from repro.crypto.ct import ct_eq
+from repro.ledger.secrets import LedgerSecret
+
+
+def check(expected: bytes, seed: bytes):
+    secret = LedgerSecret.generate(seed)
+    print("match:", ct_eq(secret.key_bytes, expected))

@@ -1,0 +1,9 @@
+"""Clean: an ECIES box of a share may rest in a public map."""
+
+from repro.crypto import ecies, shamir
+
+
+def record(tx, wrapping_key: bytes, member_public: bytes, rng):
+    shares = shamir.split(wrapping_key, 2, 3, rng)
+    box = ecies.encrypt(member_public, shares[0], entropy=wrapping_key)
+    tx.put("public:demo.shares", "member0", box.hex())

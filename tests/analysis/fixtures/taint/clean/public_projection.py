@@ -1,0 +1,10 @@
+"""Clean: public halves and version counters of secret objects."""
+
+from repro.crypto.ecdsa import SigningKey
+from repro.ledger.secrets import LedgerSecret
+
+
+def describe(network, seed: bytes):
+    key = SigningKey.generate(seed)
+    secret = LedgerSecret.generate(seed)
+    network.send("n0", "n1", (key.public_key, secret.generation))

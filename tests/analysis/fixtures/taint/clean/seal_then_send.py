@@ -1,0 +1,9 @@
+"""Clean: AEAD-sealed ciphertext may cross the network."""
+
+from repro.crypto.aead import AEADKey
+
+
+def replicate(network, nonce: bytes, payload: bytes):
+    key = AEADKey.generate(b"seed")
+    sealed = key.seal(nonce, payload, b"")
+    network.send("n0", "n1", sealed)

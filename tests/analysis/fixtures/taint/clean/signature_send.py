@@ -1,0 +1,9 @@
+"""Clean: signatures derived from a private key are public."""
+
+from repro.crypto.ecdsa import SigningKey
+
+
+def endorse(network, seed: bytes, message: bytes):
+    key = SigningKey.generate(seed)
+    signature = key.sign(message)
+    network.send("n0", "n1", signature)

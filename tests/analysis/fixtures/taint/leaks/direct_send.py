@@ -1,0 +1,8 @@
+"""Leak shape: a secret handed straight to the untrusted network."""
+
+from repro.ledger.secrets import LedgerSecret
+
+
+def exfiltrate(network, seed: bytes):
+    secret = LedgerSecret.generate(seed)
+    network.send("n0", "n1", secret)

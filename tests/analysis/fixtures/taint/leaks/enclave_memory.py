@@ -1,0 +1,6 @@
+"""Leak shape: secret fetched from enclave memory, then sent."""
+
+
+def exfiltrate(network, memory):
+    node_key = memory.get("node_key")
+    network.send("n0", "n1", node_key)

@@ -1,0 +1,10 @@
+"""Leak shape: the secret ends up in a raised exception's text."""
+
+from repro.crypto.shamir import combine
+
+
+def reconstruct(shares):
+    wrapping_key = combine(shares)
+    if len(wrapping_key) != 32:
+        raise ValueError(f"bad wrapping key {wrapping_key!r}")
+    return wrapping_key

@@ -1,0 +1,10 @@
+"""Leak shape: the secret serialized into JSON wire/report text."""
+
+import json
+
+from repro.crypto.hkdf import hkdf
+
+
+def report(seed: bytes) -> str:
+    session_key = hkdf(seed, b"salt", b"session", 32)
+    return json.dumps({"session_key": list(session_key)})

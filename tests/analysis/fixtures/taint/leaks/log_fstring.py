@@ -1,0 +1,11 @@
+"""Leak shape: key bytes interpolated into logged text."""
+
+from repro.ledger.secrets import LedgerSecret
+
+
+def debug_dump(secret: LedgerSecret):
+    print(f"ledger secret is {secret.key_bytes.hex()}")
+
+
+def trigger(seed: bytes):
+    debug_dump(LedgerSecret.generate(seed))

@@ -1,0 +1,8 @@
+"""Leak shape: the secret as a metrics label value."""
+
+from repro.crypto.fastaead import make_key
+
+
+def count_usage(registry, raw: bytes):
+    key = make_key("aes256gcm", raw)
+    registry.counter("channel_key_uses", key=key)

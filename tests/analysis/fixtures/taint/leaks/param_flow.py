@@ -1,0 +1,12 @@
+"""Leak shape: interprocedural parameter flow into a sink helper."""
+
+from repro.crypto.ecdsa import SigningKey
+
+
+def write_out(storage, blob):
+    storage.write_buffered("keys.bin", blob)
+
+
+def provision(storage, seed: bytes):
+    node_key = SigningKey.generate(seed)
+    write_out(storage, node_key)

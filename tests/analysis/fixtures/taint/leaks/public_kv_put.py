@@ -1,0 +1,8 @@
+"""Leak shape: a recovery share written to a public: map in the clear."""
+
+from repro.crypto import shamir
+
+
+def record(tx, wrapping_key: bytes, rng):
+    shares = shamir.split(wrapping_key, 2, 3, rng)
+    tx.put("public:demo.shares", "member0", shares[0])

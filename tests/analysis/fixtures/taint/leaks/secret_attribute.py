@@ -1,0 +1,11 @@
+"""Leak shape: reading a raw-material attribute off a key object."""
+
+from repro.crypto.ecdsa import SigningKey
+
+
+def dump(key: SigningKey):
+    print("scalar:", key.scalar)
+
+
+def trigger(seed: bytes):
+    dump(SigningKey.generate(seed))

@@ -1,0 +1,8 @@
+"""Leak shape: the secret recorded as an observability span attribute."""
+
+from repro.crypto.hkdf import hkdf_extract
+
+
+def trace_handshake(obs, ikm: bytes):
+    prk = hkdf_extract(b"salt", ikm)
+    obs.handshake_event("n0", prk=prk)

@@ -1,0 +1,8 @@
+"""Leak shape: secret bytes written to untrusted host storage."""
+
+from repro.crypto.ecies import EncryptionKeyPair
+
+
+def persist(storage):
+    pair = EncryptionKeyPair.generate(b"seed")
+    storage.write("member_key.bin", pair)

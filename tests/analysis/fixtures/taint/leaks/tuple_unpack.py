@@ -1,0 +1,9 @@
+"""Leak shape: the secret survives tuple packing and unpacking."""
+
+from repro.ledger.secrets import LedgerSecret
+
+
+def exfiltrate(network, seed: bytes):
+    pair = (LedgerSecret.generate(seed), "generation-0")
+    payload, label = pair
+    network.send("n0", "n1", payload)

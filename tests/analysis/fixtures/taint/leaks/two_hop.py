@@ -1,0 +1,16 @@
+"""Leak shape: source -> helper A -> helper B -> sink (two call hops)."""
+
+from repro.crypto.x25519 import DHPrivateKey
+
+
+def inner(network, material):
+    network.send("n0", "n1", material)
+
+
+def outer(network, material):
+    inner(network, material)
+
+
+def exfiltrate(network):
+    private = DHPrivateKey.generate(b"entropy")
+    outer(network, private)

@@ -1,0 +1,10 @@
+"""Leak shape: the secret hides inside a mutated collection."""
+
+from repro.crypto.aead import AEADKey
+
+
+def exfiltrate(network):
+    key = AEADKey.generate(b"seed")
+    batch = []
+    batch.append(key)
+    network.send("n0", "n1", batch)

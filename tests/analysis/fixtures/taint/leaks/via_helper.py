@@ -1,0 +1,12 @@
+"""Leak shape: the secret flows through a helper's return value."""
+
+from repro.crypto.hkdf import hkdf
+
+
+def derive(seed: bytes) -> bytes:
+    return hkdf(seed, b"salt", b"info", 32)
+
+
+def exfiltrate(network, seed: bytes):
+    key = derive(seed)
+    network.send("n0", "n1", key)

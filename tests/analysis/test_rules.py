@@ -283,7 +283,10 @@ class TestPROTO002BroadExcept:
 
 class TestRegistry:
     def test_catalog_is_complete(self):
-        assert set(RULES) == {
+        # TAINT rules register lazily when repro.analysis.taint is imported
+        # (possibly by other tests in this process); the lint catalog itself
+        # must be exactly this set.
+        assert {r for r in RULES if not r.startswith("TAINT")} == {
             "DET001", "DET002", "DET003", "SEC001", "SEC002",
             "PROTO001", "PROTO002",
         }

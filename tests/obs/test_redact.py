@@ -1,0 +1,81 @@
+"""Regression tests for secret redaction at the observability boundary.
+
+Span attributes and metrics labels are exported to the untrusted host, so
+raw bytes (the representation of every key and share in this codebase) must
+be replaced with a length + digest-prefix placeholder everywhere they could
+surface: at span creation, at span export, and in metrics label keys.
+"""
+
+import json
+
+from repro.obs import ObsCollector, MetricsRegistry, redact, sanitize_attrs
+from repro.obs.spans import Span, export_jsonl
+
+
+class TestRedact:
+    def test_bytes_become_placeholder(self):
+        out = redact(b"\x01\x02\x03\x04")
+        assert out.startswith("[redacted 4B sha256:")
+        assert out.endswith("]")
+        assert "\x01" not in out
+
+    def test_equal_secrets_redact_equally(self):
+        assert redact(b"key material") == redact(b"key material")
+        assert redact(b"key material") != redact(b"other material")
+
+    def test_bytearray_and_memoryview(self):
+        raw = b"secret"
+        assert redact(bytearray(raw)) == redact(raw)
+        assert redact(memoryview(raw)) == redact(raw)
+
+    def test_containers_recursed(self):
+        out = redact({"k": b"s", "nested": [b"a", (b"b", 1)]})
+        assert out["k"].startswith("[redacted 1B")
+        assert out["nested"][0].startswith("[redacted 1B")
+        assert out["nested"][1][0].startswith("[redacted 1B")
+        assert out["nested"][1][1] == 1
+
+    def test_non_bytes_pass_through(self):
+        for value in ("text", 7, 1.5, True, None):
+            assert redact(value) == value
+
+    def test_sanitize_attrs(self):
+        out = sanitize_attrs({"seqno": 4, "digest": b"\xaa" * 32})
+        assert out["seqno"] == 4
+        assert out["digest"].startswith("[redacted 32B")
+
+
+class TestSpanBoundary:
+    def test_collector_redacts_at_creation(self):
+        collector = ObsCollector()
+        collector.recovery_event("n0", "seal", key=b"\xaa" * 32, seqno=3)
+        (span,) = collector.spans
+        assert span.attrs["key"].startswith("[redacted 32B")
+        assert span.attrs["seqno"] == 3
+
+    def test_export_redacts_smuggled_bytes(self):
+        # Direct attr mutation bypasses start_span; export still redacts.
+        span = Span(index=0, span_id="s0", name="x", start=0.0, trace_id="s0")
+        span.attrs["wrapping_key"] = b"\xbb" * 16
+        line = export_jsonl([span])
+        assert "\\xbb" not in line and "\xbb" not in line
+        exported = json.loads(line)["attrs"]["wrapping_key"]
+        assert exported.startswith("[redacted 16B sha256:")
+
+
+class TestMetricsBoundary:
+    def test_label_values_redacted(self):
+        registry = MetricsRegistry()
+        registry.counter("sends", peer=b"\xcc" * 8).inc()
+        (rendered,) = registry.snapshot().keys()
+        assert "\xcc" not in rendered
+        assert "[redacted 8B sha256:" in rendered
+
+    def test_same_bytes_same_series(self):
+        registry = MetricsRegistry()
+        registry.counter("sends", peer=b"n1").inc()
+        registry.counter("sends", peer=b"n1").inc()
+        registry.counter("sends", peer=b"n2").inc()
+        snapshot = registry.snapshot()
+        assert len(snapshot) == 2
+        assert sorted(snapshot.values()) == [1.0, 2.0]
