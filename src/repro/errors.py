@@ -98,6 +98,30 @@ class ServiceUnavailableError(CCFError):
     """The service cannot currently process the request (e.g. no primary)."""
 
 
+class ReadBehindError(CCFError):
+    """A read-offload request asked for freshness (``after_txid``) that this
+    node's committed snapshot does not yet include. Retryable: the client
+    can retry here after replication catches up, or read elsewhere. Never
+    raised in place of serving — it exists so an offloaded read is either
+    provably fresh or *typed* stale, not silently stale. ``after_txid``
+    carries the requested floor for diagnostics."""
+
+    def __init__(self, message: str, after_txid: str | None = None):
+        super().__init__(message)
+        self.after_txid = after_txid
+
+
+class ReadRolledBackError(CCFError):
+    """The ``after_txid`` freshness floor of a read-offload request refers
+    to a transaction that can no longer commit (superseded after an
+    election). Not retryable as-is: the client's speculative write was
+    rolled back, and any state derived from it must be reconciled."""
+
+    def __init__(self, message: str, after_txid: str | None = None):
+        super().__init__(message)
+        self.after_txid = after_txid
+
+
 class JSError(CCFError):
     """An error raised by (or inside) the embedded mini-JS interpreter."""
 

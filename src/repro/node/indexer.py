@@ -115,6 +115,25 @@ class Indexer:
             strategy.handle_committed(txid, write_set)
         self.last_indexed = txid.seqno
 
+    def feed_batch(self, items: list[tuple[TxID, WriteSet]]) -> int:
+        """Consume one *batched* commit notification.
+
+        Pipelined execution commits whole batches at once, and catch-up
+        replay can overlap a range an eager feed already covered — so the
+        input may arrive unordered and may overlap ``last_indexed``.
+        Entries are applied in seqno order, each exactly once (the
+        double-indexing guard is positional, not per-call). Returns how
+        many entries were newly indexed."""
+        fed = 0
+        for txid, write_set in sorted(items, key=lambda item: item[0].seqno):
+            if txid.seqno <= self.last_indexed:
+                continue
+            for strategy in self._strategies.values():
+                strategy.handle_committed(txid, write_set)
+            self.last_indexed = txid.seqno
+            fed += 1
+        return fed
+
     def rebuild_lazily(self, ledger, through_seqno: int) -> int:
         """Section 3.4's lazy alternative: instead of indexing eagerly at
         commit time, (re)build the index from the ledger when a historical

@@ -37,12 +37,14 @@ from repro.errors import (
     AuthorizationError,
     CCFError,
     KVError,
+    ReadBehindError,
+    ReadRolledBackError,
     ServiceUnavailableError,
     VerificationError,
 )
 from repro.kv.serialization import encode_value
 from repro.kv.store import KVStore
-from repro.kv.tx import WriteSet
+from repro.kv.tx import Transaction, WriteSet
 from repro.ledger.entry import EntryKind, LedgerEntry, TxID
 from repro.ledger.ledger import Ledger
 from repro.ledger.receipts import Receipt, issue_receipt
@@ -125,6 +127,17 @@ class CCFNode:
         self._pending_forwards: dict[int, tuple[str, Request]] = {}
         self._claims_by_seqno: dict[int, dict] = {}
         self._sessions_forwarded: set[str] = set()
+        # Pipelined execution (primary only): queued writes awaiting a batch
+        # drain. Each item is (request, origin_node) — origin_node is None
+        # for direct client requests, else the backup that forwarded it.
+        self._batch_queue: list[tuple[Request, str | None]] = []
+        self._batch_queue_bytes = 0
+        self._batch_drain_handle = None
+        # In-order apply: batches execute on parallel workers but append in
+        # drain order, so the ledger keeps the serial oracle's order.
+        self._batch_seq = 0
+        self._batch_apply_next = 0
+        self._batches_completed: dict[int, tuple[list, int]] = {}
         self._last_snapshot_seqno = 0
         self._latest_snapshot: dict | None = None  # join-ready package
         self._persisted_seqno = 0
@@ -708,6 +721,16 @@ class CCFNode:
         """Fail pending forwarded requests: per section 4.3 the session is
         terminated when forwarding is no longer possible due to a primary
         change — the client retries (and re-discovers the primary)."""
+        if self._batch_queue:
+            # Queued-but-unexecuted batch writes redirect to the new primary
+            # (or fail retryably); nothing was appended, so this is safe.
+            pending_batch = self._batch_queue
+            self._batch_queue = []
+            self._batch_queue_bytes = 0
+            if self._batch_drain_handle is not None:
+                self._batch_drain_handle.cancel()
+                self._batch_drain_handle = None
+            self._redirect_batch(pending_batch)
         for request_id, (client_id, request) in list(self._pending_forwards.items()):
             del self._pending_forwards[request_id]
             self.network.send(
@@ -728,10 +751,11 @@ class CCFNode:
         committed range (exactly once, in order)."""
         start = max(self._commit_scan, self.ledger.base_seqno)
         reload_app = False
+        indexable: list[tuple[TxID, WriteSet]] = []
         for seqno in range(start + 1, commit_seqno + 1):
             entry = self.ledger.entry_at(seqno)
             write_set = self.ledger.decrypt_private(entry)
-            self.indexer.feed(entry.txid, write_set)
+            indexable.append((entry.txid, write_set))
             for node_id, info in write_set.updates.get(maps.NODES_INFO, {}).items():
                 if isinstance(info, dict):
                     self._on_committed_status(node_id, info.get("status"))
@@ -750,6 +774,10 @@ class CCFNode:
                 secrets = self.enclave.memory.get("ledger_secrets")
                 if secrets is not None and len(secrets):
                     self._reprovision_recovery_shares(secrets.current())
+        # One batched notification per commit advance: pipelined commits can
+        # cover a whole execution batch at once, and the indexer guarantees
+        # exactly-once, in-order processing regardless of batch shape.
+        self.indexer.feed_batch(indexable)
         self._commit_scan = max(self._commit_scan, commit_seqno)
         if reload_app:
             self.reload_js_app()
@@ -1070,8 +1098,17 @@ class CCFNode:
             request_id=request.request_id,
             client_id=client_id,
             session_id=request.session_id,
+            after_txid=request.after_txid,
         )
         read_only = self._is_read_only(request)
+        if (
+            not read_only
+            and self.config.batch_execution
+            and self.consensus is not None
+            and self.consensus.can_accept_writes
+        ):
+            self._enqueue_batch(request, origin_node=None)
+            return
         service_time = self.cost.read_cost() if read_only else self.cost.write_cost(
             self._backup_count()
         )
@@ -1147,6 +1184,13 @@ class CCFNode:
             return
 
         if endpoint.read_only:
+            if self.config.read_offload:
+                # Read offload (paper's read-scaling design): serve locally
+                # from the last-committed snapshot with freshness metadata;
+                # session consistency comes from the after_txid floor, not
+                # from following the forwarded session to the primary.
+                self._execute_read(request, endpoint, offload=True)
+                return
             # Session consistency: once a session was forwarded to the
             # primary, subsequent reads follow it too (section 4.3).
             if request.session_id and request.session_id in self._sessions_forwarded:
@@ -1195,6 +1239,11 @@ class CCFNode:
         endpoint = self._lookup_endpoint(request.path)
         if endpoint is None or self.consensus is None or not self.consensus.can_accept_writes:
             response = Response(request.request_id, status=503, error="not primary")
+        elif self.config.batch_execution and not endpoint.read_only:
+            # Forwarded writes join the primary's execution batch like any
+            # other write; the reply returns through the forwarding origin.
+            self._enqueue_batch(request, origin_node=payload.origin_node)
+            return
         else:
             worker = min(range(len(self._workers)), key=lambda i: self._workers[i])
             obs = self.scheduler.obs
@@ -1228,6 +1277,247 @@ class CCFNode:
         del request
 
     # ------------------------------------------------------------------
+    # Pipelined batch execution (the primary's hot path)
+
+    def _enqueue_batch(self, request: Request, origin_node: str | None) -> None:
+        """Queue a write for the next execution batch.
+
+        Adaptive sizing: the batch closes immediately at
+        ``batch_max_requests`` requests or ``batch_max_bytes`` of request
+        payload, and otherwise drains ``batch_latency_budget`` after the
+        first write was queued — under load batches fill, when idle a lone
+        write only waits out the (sub-millisecond) latency budget.
+        """
+        self._batch_queue.append((request, origin_node))
+        self._batch_queue_bytes += len(encode_value(request.body))
+        if (
+            len(self._batch_queue) >= self.config.batch_max_requests
+            or self._batch_queue_bytes >= self.config.batch_max_bytes
+        ):
+            if self._batch_drain_handle is not None:
+                self._batch_drain_handle.cancel()
+                self._batch_drain_handle = None
+            self._drain_batch()
+            return
+        if self._batch_drain_handle is None:
+            self._batch_drain_handle = self.scheduler.after(
+                self.config.batch_latency_budget, self._drain_batch
+            )
+
+    def _drain_batch(self) -> None:
+        """Close the current batch and schedule its execution on the
+        least-loaded worker after the amortized batched service time."""
+        self._batch_drain_handle = None
+        if self.stopped or not self._batch_queue:
+            return
+        batch = self._batch_queue
+        batch_bytes = self._batch_queue_bytes
+        self._batch_queue = []
+        self._batch_queue_bytes = 0
+        if self.consensus is None or not self.consensus.can_accept_writes:
+            self._redirect_batch(batch)
+            return
+        n = len(batch)
+        service_time = self.cost.batched_write_cost(n, self._backup_count())
+        worker = min(range(len(self._workers)), key=lambda i: self._workers[i])
+        start = max(self.scheduler.now, self._workers[worker])
+        completion = start + service_time
+        self._workers[worker] = completion
+        obs = self.scheduler.obs
+        if obs is not None:
+            queue_wait = start - self.scheduler.now
+            busy = sum(1 for free_at in self._workers if free_at > self.scheduler.now)
+            obs.pipeline_batch(self.node_id, n, batch_bytes, queue_wait, service_time)
+            per_request = service_time / n
+            for request, origin_node in batch:
+                obs.begin_execute(
+                    self.node_id,
+                    request,
+                    False,
+                    queue_wait,
+                    per_request,
+                    busy,
+                    forwarded=origin_node is not None,
+                    batched=True,
+                )
+        batch_seq = self._batch_seq
+        self._batch_seq += 1
+        self.scheduler.at(
+            completion, lambda: self._on_batch_complete(batch_seq, batch, worker)
+        )
+
+    def _on_batch_complete(self, batch_seq: int, batch: list, worker: int) -> None:
+        """A batch finished executing on its worker. Batches run on parallel
+        workers but *apply* (append + respond) strictly in drain order, so
+        the ledger keeps the serial oracle's arrival order even when a
+        small batch overtakes a larger earlier one."""
+        if self.stopped:
+            return
+        self._batches_completed[batch_seq] = (batch, worker)
+        while self._batch_apply_next in self._batches_completed:
+            ready, ready_worker = self._batches_completed.pop(self._batch_apply_next)
+            self._batch_apply_next += 1
+            self._execute_batch(ready, ready_worker)
+
+    def _execute_batch(
+        self, batch: list[tuple[Request, str | None]], worker: int
+    ) -> None:
+        """Apply one drained batch: every request executes speculatively
+        against the batch-start snapshot, conflicting requests re-execute
+        against the live store, and each surviving write set is appended in
+        arrival order — byte-identical ledger entries, seqnos, and signature
+        positions to serial execution."""
+        if self.stopped:
+            return
+        obs = self.scheduler.obs
+        if self.consensus is None or not self.consensus.can_accept_writes:
+            # Primacy was lost while the batch sat in the pipe; nothing was
+            # executed or appended, so redirecting is safe.
+            if obs is not None:
+                for request, _origin in batch:
+                    obs.finish_execute(self.node_id, request.request_id, status=503)
+            self._redirect_batch(batch)
+            return
+        tracer = self.scheduler.tracer
+        if tracer is not None:
+            # Fold the batch boundary into the trace digest: replay equality
+            # then also proves batch composition is deterministic.
+            tracer.record_mark(
+                f"pipeline.batch|{self.node_id}|{self.ledger.last_seqno + 1}"
+                f"|{len(batch)}"
+            )
+        base_maps, base_version = self.store.snapshot_view()
+        written_keys: set[tuple[str, object]] = set()
+        written_maps: set[str] = set()
+        outgoing: list[tuple[Request, str | None, Response, float]] = []
+        sig_delay = 0.0
+        for request, origin_node in batch:
+            self.requests_processed += 1
+            if obs is not None:
+                obs.enter_execute(self.node_id, request.request_id)
+            try:
+                response, signed = self._execute_batched_request(
+                    request, base_maps, base_version, written_keys, written_maps
+                )
+            finally:
+                if obs is not None:
+                    obs.finish_execute(self.node_id, request.request_id)
+            if signed:
+                # The triggering request pays for the signature, exactly as
+                # in serial execution (Figure 8's latency spike); later
+                # responses in the batch queue behind it.
+                self._workers[worker] += self.cost.signature_cost
+                sig_delay += self.cost.signature_cost
+            outgoing.append((request, origin_node, response, sig_delay))
+        for request, origin_node, response, delay in outgoing:
+            self._send_batched_response(request, origin_node, response, delay)
+
+    def _execute_batched_request(
+        self,
+        request: Request,
+        base_maps: dict,
+        base_version: int,
+        written_keys: set[tuple[str, object]],
+        written_maps: set[str],
+    ) -> tuple[Response, bool]:
+        """Execute one request of a batch. Returns (response, signed)."""
+        endpoint = self._lookup_endpoint(request.path)
+        if endpoint is None:
+            return (
+                Response(
+                    request.request_id,
+                    status=404,
+                    error=f"no endpoint {request.path}",
+                ),
+                False,
+            )
+        try:
+            self._require_service_open(request)
+            caller = self._authenticate(request, endpoint)
+            # Speculative execution against the shared batch-start snapshot.
+            tx = Transaction(base_maps, base_version)
+            ctx = RequestContext(request, tx, caller, node=self)
+            body = endpoint.handler(ctx)
+            conflict = any(
+                (map_name, key) in written_keys
+                for map_name, key, _seen in tx.reads()
+            ) or bool(tx.scanned_maps() & written_maps)
+            if conflict:
+                # An earlier request in this batch wrote something this one
+                # read (or scanned a map it wrote): roll the speculative tx
+                # back and re-execute against the live store, which already
+                # holds every earlier write — exact serial semantics.
+                if self.scheduler.obs is not None:
+                    self.scheduler.obs.pipeline_conflict(self.node_id, request.path)
+                tx = self.store.begin()
+                ctx = RequestContext(request, tx, caller, node=self)
+                body = endpoint.handler(ctx)
+            self._check_app_write_set(request, tx.write_set)
+            if tx.is_read_only:
+                txid = self.ledger.txid_at(
+                    min(self.store.version, self.ledger.last_seqno)
+                )
+                return Response(request.request_id, body=body, txid=str(txid)), False
+            for map_name, entries in tx.write_set.updates.items():
+                written_maps.add(map_name)
+                for key in entries:
+                    written_keys.add((map_name, key))
+            entry = self._append_local_entry(tx.write_set, claims=ctx.claims)
+            self.writes_executed += 1
+            response = Response(request.request_id, body=body, txid=str(entry.txid))
+            if self._txs_since_signature >= self.config.signature_interval:
+                self._append_signature_now()
+                return response, True
+            return response, False
+        except CCFError as exc:
+            return self._error_response(request, exc), False
+
+    def _send_batched_response(
+        self,
+        request: Request,
+        origin_node: str | None,
+        response: Response,
+        delay: float,
+    ) -> None:
+        def deliver() -> None:
+            if self.stopped:
+                return
+            if origin_node is None:
+                self._respond(request, response)
+            else:
+                self.network.send(
+                    self.node_id,
+                    origin_node,
+                    ForwardedResponse(
+                        response=response, origin_request_id=request.request_id
+                    ),
+                )
+
+        if delay > 0:
+            self.scheduler.after(delay, deliver)
+        else:
+            deliver()
+
+    def _redirect_batch(self, batch: list[tuple[Request, str | None]]) -> None:
+        """The queued batch can no longer execute here (primacy lost):
+        direct requests re-enter the forwarding path, forwarded ones bounce
+        back to their origin as a retryable 503."""
+        for request, origin_node in batch:
+            if origin_node is None:
+                self._forward_or_fail(request)
+            else:
+                self.network.send(
+                    self.node_id,
+                    origin_node,
+                    ForwardedResponse(
+                        response=Response(
+                            request.request_id, status=503, error="not primary"
+                        ),
+                        origin_request_id=request.request_id,
+                    ),
+                )
+
+    # ------------------------------------------------------------------
     # Execution
 
     def _authenticate(self, request: Request, endpoint) -> Caller:
@@ -1243,20 +1533,82 @@ class CCFNode:
                     f"{info.get('status', 'unknown')})"
                 )
 
-    def _execute_read(self, request: Request, endpoint) -> None:
+    def _execute_read(self, request: Request, endpoint, offload: bool = False) -> None:
         try:
             self._require_service_open(request)
             caller = self._authenticate(request, endpoint)
-            tx = self.store.begin()
+            if offload and not self.is_primary:
+                # Backups serve from the last-committed snapshot: nothing
+                # speculative can leak into (or be silently missing from)
+                # an offloaded read.
+                served_version = min(self.consensus.commit_seqno, self.store.version)
+                served_version = max(
+                    served_version, self.store.earliest_retained_version()
+                )
+                tx = self.store.begin_at(served_version)
+            else:
+                # The primary serves current state: read-your-writes for
+                # sessions that stayed on the primary.
+                served_version = self.store.version
+                tx = self.store.begin()
+            if request.after_txid:
+                self._check_read_freshness(request.after_txid, served_version)
             ctx = RequestContext(request, tx, caller, node=self)
             body = endpoint.handler(ctx)
             # Read-only: reply with the ID of the last applied transaction
             # (section 3.4).
-            txid = self.ledger.txid_at(min(self.store.version, self.ledger.last_seqno))
+            txid = self.ledger.txid_at(min(served_version, self.ledger.last_seqno))
             self.reads_executed += 1
-            self._respond(request, Response(request.request_id, body=body, txid=str(txid)))
+            response = Response(request.request_id, body=body, txid=str(txid))
+            if offload:
+                response.freshness = self._freshness_metadata(served_version)
+                if self.scheduler.obs is not None:
+                    self.scheduler.obs.offloaded_read(self.node_id, behind=False)
+            self._respond(request, response)
         except CCFError as exc:
+            if offload and isinstance(exc, (ReadBehindError, ReadRolledBackError)):
+                if self.scheduler.obs is not None:
+                    self.scheduler.obs.offloaded_read(self.node_id, behind=True)
             self._respond(request, self._error_response(request, exc))
+
+    def _check_read_freshness(self, after_text: str, served_version: int) -> None:
+        """Enforce a read's ``after_txid`` freshness floor: serve only when
+        the served snapshot provably includes that exact transaction, else
+        raise a *typed* error — behind (retryable) or rolled back (the
+        floor can never commit). Never a silent stale answer."""
+        try:
+            after = TxID.parse(after_text)
+        except CCFError:
+            raise KVError(f"malformed after_txid {after_text!r}") from None
+        status = self.consensus.status_of(after)
+        if status.value == "Invalid":
+            raise ReadRolledBackError(
+                f"freshness floor {after_text} was rolled back and can "
+                "never commit; reconcile state derived from it",
+                after_txid=after_text,
+            )
+        if after.seqno <= served_version and self.ledger.has_txid(after):
+            return
+        raise ReadBehindError(
+            f"snapshot at seqno {served_version} does not yet include "
+            f"{after_text}; retry here later or read elsewhere",
+            after_txid=after_text,
+        )
+
+    def _freshness_metadata(self, served_version: int) -> dict:
+        """Metadata letting a client audit an offloaded read's freshness:
+        the served snapshot seqno, this node's commit seqno, and the latest
+        signature-anchored TxID at or below the served snapshot — the
+        client can fetch that anchor's receipt (/node/receipt) to bind the
+        snapshot to the signed Merkle root."""
+        anchor_seqno = self.ledger.prev_signature_seqno(served_version)
+        freshness = {
+            "served_seqno": served_version,
+            "commit_seqno": self.consensus.commit_seqno,
+        }
+        if anchor_seqno is not None:
+            freshness["signature_txid"] = str(self.ledger.txid_at(anchor_seqno))
+        return freshness
 
     @staticmethod
     def _check_app_write_set(request: Request, write_set: WriteSet) -> None:
@@ -1312,6 +1664,12 @@ class CCFNode:
             AuthenticationError: 401,
             AuthorizationError: 403,
             ServiceUnavailableError: 503,
+            # 425 Too Early: the offloaded snapshot is behind the requested
+            # freshness floor — retryable here or on another node.
+            ReadBehindError: 425,
+            # 410 Gone: the freshness floor was rolled back and can never
+            # commit — not retryable as-is.
+            ReadRolledBackError: 410,
             GovernanceError: 400,
             KVError: 400,
         }

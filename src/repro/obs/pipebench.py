@@ -1,0 +1,302 @@
+"""``python -m repro.obs.pipebench``: pipelined-execution benchmark (PR 8).
+
+Measures batched vs serial throughput in the *simulated* cost model — the
+same machine-independent numbers as every other benchmark here — over the
+two sweeps the paper's experiments hinge on:
+
+- **Signature-interval sweep** (Figure 8's axis): write-only workload at
+  signature intervals 1 / 20 / 100, serial vs batched. Batching amortizes
+  the fixed per-request pipeline overhead (``batch_overhead_fraction`` of
+  the write service time, paid once per batch) and folds one replication
+  hand-off per batch, so the gap widens as signatures stop dominating.
+- **Read-ratio sweep** (Figure 7's axis): batched + read-offload total
+  throughput at read ratios 0% / 50% / 95%, with reads spread across all
+  nodes and served from each node's last-committed snapshot. Serial
+  counterparts at the same ratios for reference.
+
+``--check`` enforces the regression floors: batched write throughput at
+signature interval 100 must be at least ``pipeline_write_speedup_min``
+times serial (from ``perf-budget.json``), and total batched+offload
+throughput must scale monotonically with the read ratio.
+
+The workload is the closed-loop logging app driven exactly like
+``benchmarks/harness.py``; concurrency is sized to saturate the batched
+pipeline (batching trades queueing latency for throughput, so it needs a
+deeper closed loop than serial to reach capacity).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.app.logging_app import build_logging_app
+from repro.node.config import NodeConfig
+from repro.service.client import ClosedLoopClient, ServiceClient
+from repro.service.service import CCFService, ServiceSetup
+from repro.sim.metrics import LatencyRecorder, ThroughputRecorder
+
+MESSAGE = "payload-20-chars-xyz"
+KEY_SPACE = 1000
+SIGNATURE_INTERVALS = (1, 20, 100)
+READ_RATIOS = (0.0, 0.5, 0.95)
+CHECKED_SIGNATURE_INTERVAL = 100
+
+
+def run_cell(
+    signature_interval: int,
+    batch_execution: bool,
+    read_ratio: float,
+    n_nodes: int = 3,
+    concurrency: int = 800,
+    warmup: float = 0.05,
+    window: float = 0.1,
+    seed: int = 42,
+) -> dict:
+    """Measure one operating point; returns a plain-JSON row."""
+    config = NodeConfig(
+        signature_interval=signature_interval,
+        batch_execution=batch_execution,
+        read_offload=batch_execution,
+    )
+    service = CCFService(
+        ServiceSetup(
+            n_nodes=n_nodes,
+            node_config=config,
+            app_factory=build_logging_app,
+            seed=seed,
+        )
+    )
+    service.bootstrap()
+    primary = service.primary_node()
+    user = service.users[0]
+    credentials = {"certificate": user.certificate.to_dict()}
+
+    # Pre-populate the read key grid so reads always hit.
+    read_stride = max(1, KEY_SPACE // 50)
+    seeder = ServiceClient(
+        service.scheduler, service.network, name="pipebench-seeder", identity=user
+    )
+    for key in range(0, KEY_SPACE, read_stride):
+        seeder.call(
+            primary.node_id,
+            "/app/write_message",
+            {"id": key, "msg": MESSAGE},
+            credentials=credentials,
+        )
+    # Settle past the signature flush so the whole grid is *committed*
+    # before clients start: offloaded reads serve the committed snapshot,
+    # and an uncommitted grid key would (correctly) 403 as missing.
+    service.run(0.12)
+
+    writes = ThroughputRecorder()
+    reads = ThroughputRecorder()
+    write_latency = LatencyRecorder()
+    read_latency = LatencyRecorder()
+    clients: list[ClosedLoopClient] = []
+
+    def make_factory(kind: str, salt: int):
+        def factory(i: int):
+            key = (i * 7 + salt) % KEY_SPACE
+            if kind == "write":
+                return "/app/write_message", {"id": key, "msg": MESSAGE}, credentials
+            read_key = (key // read_stride) * read_stride
+            return "/app/read_message", {"id": read_key}, credentials
+
+        return factory
+
+    if read_ratio < 1.0:
+        endpoint = ServiceClient(
+            service.scheduler, service.network, name="pipebench-writer", identity=user
+        )
+        clients.append(
+            ClosedLoopClient(
+                endpoint,
+                primary.node_id,
+                make_factory("write", 0),
+                concurrency=max(1, int(concurrency * (1 - read_ratio))),
+                throughput=writes,
+                latency=write_latency,
+                retry_timeout=2.0,
+            )
+        )
+    if read_ratio > 0.0:
+        # Reads spread over every node — the offload path serves them from
+        # each node's last-committed snapshot (the paper's read scaling).
+        targets = [n.node_id for n in service.nodes.values() if not n.stopped]
+        per_node = max(1, int(concurrency * read_ratio) // len(targets))
+        for index, target in enumerate(targets):
+            endpoint = ServiceClient(
+                service.scheduler,
+                service.network,
+                name=f"pipebench-reader-{index}",
+                identity=user,
+            )
+            clients.append(
+                ClosedLoopClient(
+                    endpoint,
+                    target,
+                    make_factory("read", index + 1),
+                    concurrency=per_node,
+                    throughput=reads,
+                    latency=read_latency,
+                    retry_timeout=2.0,
+                )
+            )
+
+    for client in clients:
+        client.start()
+    service.run(warmup)
+    start = service.scheduler.now
+    service.run(window)
+    end = service.scheduler.now
+    for client in clients:
+        client.stop()
+
+    return {
+        "signature_interval": signature_interval,
+        "batch_execution": batch_execution,
+        "read_ratio": read_ratio,
+        "concurrency": concurrency,
+        "writes_per_second": round(writes.throughput(start, end), 1),
+        "reads_per_second": round(reads.throughput(start, end), 1),
+        "total_per_second": round(
+            writes.throughput(start, end) + reads.throughput(start, end), 1
+        ),
+        "write_p50_ms": round(write_latency.percentile(50) * 1e3, 3),
+        "errors": sum(client.errors for client in clients),
+    }
+
+
+def run_matrix(
+    concurrency: int = 800, warmup: float = 0.05, window: float = 0.1
+) -> dict:
+    """The full BENCH_pr8 matrix: signature sweep + read-ratio sweep."""
+    signature_sweep = []
+    for interval in SIGNATURE_INTERVALS:
+        for batched in (False, True):
+            row = run_cell(
+                interval,
+                batched,
+                read_ratio=0.0,
+                concurrency=concurrency,
+                warmup=warmup,
+                window=window,
+            )
+            signature_sweep.append(row)
+            print(
+                f"pipebench: sig={interval:<3} "
+                f"{'batched' if batched else 'serial '} "
+                f"writes/s={row['writes_per_second']:>10,.0f} "
+                f"p50={row['write_p50_ms']}ms errors={row['errors']}"
+            )
+    read_sweep = []
+    for ratio in READ_RATIOS:
+        for batched in (False, True):
+            row = run_cell(
+                CHECKED_SIGNATURE_INTERVAL,
+                batched,
+                read_ratio=ratio,
+                concurrency=concurrency,
+                warmup=warmup,
+                window=window,
+            )
+            read_sweep.append(row)
+            print(
+                f"pipebench: ratio={int(ratio * 100):<3} "
+                f"{'batched+offload' if batched else 'serial         '} "
+                f"total/s={row['total_per_second']:>10,.0f} errors={row['errors']}"
+            )
+    return {
+        "workload": "logging app, closed loop, 3 nodes, sim cost model",
+        "concurrency": concurrency,
+        "signature_sweep": signature_sweep,
+        "read_ratio_sweep": read_sweep,
+    }
+
+
+def check_report(report: dict, speedup_floor: float) -> list[str]:
+    """Regression gates over a BENCH_pr8 report; returns violations."""
+    problems: list[str] = []
+    by_key = {
+        (row["signature_interval"], row["batch_execution"]): row
+        for row in report["signature_sweep"]
+    }
+    serial = by_key[(CHECKED_SIGNATURE_INTERVAL, False)]["writes_per_second"]
+    batched = by_key[(CHECKED_SIGNATURE_INTERVAL, True)]["writes_per_second"]
+    speedup = batched / serial if serial else 0.0
+    report["write_speedup_at_checked_interval"] = round(speedup, 2)
+    if speedup < speedup_floor:
+        problems.append(
+            f"batched write throughput at signature interval "
+            f"{CHECKED_SIGNATURE_INTERVAL} is only {speedup:.2f}x serial "
+            f"({batched:,.0f}/s vs {serial:,.0f}/s); floor is "
+            f"{speedup_floor}x"
+        )
+    batched_totals = [
+        row["total_per_second"]
+        for row in report["read_ratio_sweep"]
+        if row["batch_execution"]
+    ]
+    for earlier, later in zip(batched_totals, batched_totals[1:]):
+        if later <= earlier:
+            problems.append(
+                "batched+offload total throughput must scale monotonically "
+                f"with read ratio; got {batched_totals}"
+            )
+            break
+    errors = sum(
+        row["errors"]
+        for rows in (report["signature_sweep"], report["read_ratio_sweep"])
+        for row in rows
+    )
+    if errors:
+        problems.append(f"benchmark workload saw {errors} request errors")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="pipelined execution benchmark (BENCH_pr8)"
+    )
+    parser.add_argument("--out", help="write the JSON report here")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce the speedup floor and read-ratio monotonicity",
+    )
+    parser.add_argument("--budget", default="perf-budget.json")
+    parser.add_argument("--concurrency", type=int, default=800)
+    parser.add_argument("--warmup", type=float, default=0.05)
+    parser.add_argument("--window", type=float, default=0.1)
+    args = parser.parse_args(argv)
+
+    report = run_matrix(
+        concurrency=args.concurrency, warmup=args.warmup, window=args.window
+    )
+
+    problems: list[str] = []
+    if args.check:
+        with open(args.budget, encoding="utf-8") as handle:
+            budget = json.load(handle)
+        floor = float(budget["pipeline_write_speedup_min"])
+        problems = check_report(report, floor)
+        if not problems:
+            print(
+                f"pipebench: OK — "
+                f"{report['write_speedup_at_checked_interval']}x batched "
+                f"write speedup (floor {floor}x), read-ratio scaling "
+                f"monotone"
+            )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"pipebench: report written to {args.out}")
+    for problem in problems:
+        print(f"pipebench: FLOOR VIOLATION: {problem}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -72,6 +72,13 @@ class CostModel:
     forwarding_cost: float = 5.0e-6
     # Snapshot serialization, per KV entry.
     snapshot_cost_per_entry: float = 0.5e-6
+    # Fraction of the per-write service time that is fixed per-request
+    # pipeline overhead (Merkle append bookkeeping, ledger framing,
+    # replication hand-off) rather than application execution. Batched
+    # execution pays this once per batch instead of once per request;
+    # the remaining (1 - fraction) is charged per request unchanged, so a
+    # batch of one costs exactly the serial write cost.
+    batch_overhead_fraction: float = 0.6
 
     def __post_init__(self) -> None:
         if (self.runtime, self.platform) not in _EXECUTION_COSTS:
@@ -80,6 +87,8 @@ class CostModel:
             )
         if self.worker_threads < 1:
             raise ConfigurationError("need at least one worker thread")
+        if not 0.0 <= self.batch_overhead_fraction < 1.0:
+            raise ConfigurationError("batch_overhead_fraction must be in [0, 1)")
 
     @property
     def execution(self) -> ExecutionCosts:
@@ -93,3 +102,19 @@ class CostModel:
     def read_cost(self) -> float:
         """Service time for one read request on any node."""
         return self.execution.read
+
+    def batched_write_cost(self, batch_size: int, num_backups: int = 0) -> float:
+        """Service time for one pipelined batch of ``batch_size`` writes.
+
+        The fixed per-request overhead share (``batch_overhead_fraction`` of
+        the write service time) and the per-backup replication hand-off are
+        paid once per batch; the application-execution share is paid per
+        request. ``batched_write_cost(1, n) == write_cost(n)`` exactly, so
+        enabling batching never changes the cost of an unbatched request.
+        """
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        write = self.execution.write
+        shared = write * self.batch_overhead_fraction
+        shared += num_backups * self.replication_cost_per_backup
+        return shared + batch_size * write * (1.0 - self.batch_overhead_fraction)

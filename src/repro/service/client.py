@@ -67,13 +67,20 @@ class ServiceClient:
         credentials: dict | None = None,
         session_id: str = "",
         on_response: Callable[[Response], None] | None = None,
+        after_txid: str = "",
     ) -> int:
-        """Fire a request; returns the request id for correlation."""
+        """Fire a request; returns the request id for correlation.
+
+        ``after_txid`` sets a read-offload freshness floor: a node serving
+        the read must prove its snapshot includes that committed TxID, or
+        reply with a typed retryable "behind" error (never silently stale).
+        """
         request = Request(
             path=path,
             body=body or {},
             credentials=credentials if credentials is not None else self.credentials_for_cert_auth(),
             session_id=session_id or self.client_id,
+            after_txid=after_txid,
         )
         if on_response is not None:
             self._callbacks[request.request_id] = on_response
@@ -104,12 +111,13 @@ class ServiceClient:
 
     def call(self, node_id: str, path: str, body: dict | None = None,
              credentials: dict | None = None, timeout: float = 5.0,
-             signed: bool = False) -> Response:
+             signed: bool = False, after_txid: str = "") -> Response:
         """Convenience: send and run the scheduler until the reply arrives."""
         if signed:
             request_id = self.send_signed(node_id, path, body or {})
         else:
-            request_id = self.send(node_id, path, body, credentials)
+            request_id = self.send(node_id, path, body, credentials,
+                                   after_txid=after_txid)
         deadline = self.scheduler.now + timeout
         while request_id not in self.responses and self.scheduler.now < deadline:
             if not self.scheduler.step():

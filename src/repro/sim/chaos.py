@@ -62,6 +62,12 @@ class ChaosSpec:
     client_concurrency: int = 2
     base_latency: float = 0.004  # slower-than-LAN links keep event counts sane
     signature_interval: int = 100
+    # Pipelined execution knobs (PR 8): chaos schedules can run with the
+    # primary batching writes and backups serving offloaded reads, so the
+    # safety invariants and trace-digest determinism gates cover the
+    # pipelined hot path too.
+    batch_execution: bool = False
+    read_offload: bool = False
 
     # Per-step fault probabilities.
     p_crash: float = 0.12
@@ -190,7 +196,11 @@ class ServiceCluster:
         self.spec = spec
         self.service = CCFService(ServiceSetup(
             n_nodes=spec.n_nodes,
-            node_config=NodeConfig(signature_interval=spec.signature_interval),
+            node_config=NodeConfig(
+                signature_interval=spec.signature_interval,
+                batch_execution=spec.batch_execution,
+                read_offload=spec.read_offload,
+            ),
             link=LinkConfig(base_latency=spec.base_latency, jitter=spec.base_latency / 5),
             seed=seed,
         ))

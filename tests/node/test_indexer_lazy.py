@@ -1,11 +1,19 @@
-"""Tests for lazy index rebuilding and the consensus endpoint."""
+"""Tests for lazy index rebuilding, batched commit feeds, and the
+consensus endpoint."""
 
 import pytest
 
+from repro.kv.tx import WriteSet
 from repro.ledger.entry import TxID
 from repro.node.indexer import Indexer, KeyWriteIndex
 
 from tests.node.conftest import make_service
+
+
+def _ws(key, value):
+    ws = WriteSet()
+    ws.put("records", key, value)
+    return ws
 
 
 class TestLazyIndexing:
@@ -39,6 +47,82 @@ class TestLazyIndexing:
         again = indexer.rebuild_lazily(node.ledger, node.consensus.commit_seqno)
         assert first > 0
         assert again == 0  # nothing new to process
+
+
+class TestBatchedFeed:
+    """Regression tests for ``Indexer.feed_batch`` — the consumer of the
+    batched commit notifications emitted by pipelined execution."""
+
+    def _indexer(self):
+        indexer = Indexer()
+        indexer.install(KeyWriteIndex("message_writes", "records"))
+        return indexer
+
+    def test_batch_feed_matches_serial_feed(self):
+        items = [(TxID(1, s), _ws(s % 2, f"v{s}")) for s in range(1, 7)]
+        serial, batched = self._indexer(), self._indexer()
+        for txid, ws in items:
+            serial.feed(txid, ws)
+        fed = batched.feed_batch(items)
+        assert fed == 6
+        assert batched.last_indexed == serial.last_indexed == 6
+        for key in (0, 1):
+            assert (
+                batched.strategy("message_writes").txids_for_key(key)
+                == serial.strategy("message_writes").txids_for_key(key)
+            )
+
+    def test_overlap_with_eager_feed_does_not_double_index(self):
+        """Catch-up replay can hand the indexer a batch overlapping what an
+        eager per-entry feed already covered: the overlap must be skipped,
+        not indexed twice."""
+        indexer = self._indexer()
+        items = [(TxID(1, s), _ws(0, f"v{s}")) for s in range(1, 5)]
+        for txid, ws in items[:2]:  # eager feed covered seqnos 1-2
+            indexer.feed(txid, ws)
+        fed = indexer.feed_batch(items)  # batch replays 1-4
+        assert fed == 2  # only 3 and 4 are new
+        assert indexer.last_indexed == 4
+        txids = indexer.strategy("message_writes").txids_for_key(0)
+        assert txids == [TxID(1, s) for s in range(1, 5)]  # each exactly once
+
+    def test_unordered_batch_is_applied_in_seqno_order(self):
+        indexer = self._indexer()
+        items = [(TxID(1, s), _ws(0, f"v{s}")) for s in (3, 1, 2)]
+        assert indexer.feed_batch(items) == 3
+        txids = indexer.strategy("message_writes").txids_for_key(0)
+        assert txids == [TxID(1, 1), TxID(1, 2), TxID(1, 3)]
+
+    def test_repeated_batch_is_idempotent(self):
+        indexer = self._indexer()
+        items = [(TxID(1, s), _ws(0, f"v{s}")) for s in range(1, 4)]
+        assert indexer.feed_batch(items) == 3
+        assert indexer.feed_batch(items) == 0
+        assert len(indexer.strategy("message_writes").txids_for_key(0)) == 3
+
+    def test_batched_service_indexes_each_commit_once(self):
+        """End to end: with pipelined execution on, the node-side indexer
+        sees every committed write exactly once — ``message_history`` (an
+        index-backed endpoint) lists one TxID per write, no duplicates."""
+        from repro.node.config import NodeConfig
+
+        service = make_service(
+            n_nodes=1,
+            node_config=NodeConfig(signature_interval=10, batch_execution=True),
+        )
+        user = service.any_user_client()
+        node = service.primary_node()
+        txids = []
+        for i in range(6):
+            resp = user.call(
+                node.node_id, "/app/write_message", {"id": 1, "msg": f"m{i}"}
+            )
+            assert resp.ok
+            txids.append(resp.txid)
+        service.run(0.5)
+        history = user.call(node.node_id, "/app/message_history", {"id": 1})
+        assert history.ok
+        assert history.body["writes"] == txids  # once each, in order
 
 
 class TestConsensusEndpoint:

@@ -135,3 +135,39 @@ def test_chaos_message_loss():
         status = user.call(primary.node_id, "/node/tx", {"txid": txid})
         assert status.body["status"] == "Committed", (i, txid)
     check_all_invariants([n.consensus for n in service.nodes.values() if n.consensus])
+
+
+def test_chaos_with_batching_replays_identically():
+    """A full chaos schedule with pipelined batching (and read offload)
+    enabled: every safety invariant still holds, and the run — including
+    the batch boundaries themselves, folded into the trace digest as
+    ``pipeline.batch`` marks — replays byte-identically from (seed, spec).
+    A nondeterministic batch cut (time-, load-, or hash-order-dependent)
+    would shift the marks and split the digests."""
+    from repro.obs.collector import ObsCollector
+    from repro.sim.chaos import ChaosEngine, ChaosSpec
+    from repro.sim.trace import first_divergence
+    from repro.sim.trace import TraceRecorder
+
+    spec = ChaosSpec(steps=3, p_crash=0.3, batch_execution=True, read_offload=True)
+    engine = ChaosEngine(spec)
+    runs = []
+    for _attempt in range(2):
+        tracer = TraceRecorder()
+        obs = ObsCollector()
+        report = engine.run_schedule(9, tracer=tracer, obs=obs)
+        assert not report.safety_violations, report.safety_violations
+        assert report.completed_requests > 0
+        runs.append((tracer, obs, report))
+    (tracer_a, obs_a, report_a), (tracer_b, obs_b, report_b) = runs
+    assert report_a.fingerprint() == report_b.fingerprint()
+    divergence = first_divergence(tracer_a, tracer_b)
+    assert divergence is None, divergence.describe()
+    assert tracer_a.digest == tracer_b.digest
+    # Anti-vacuity: the schedule really did execute through the batch path
+    # (so the digest equality above covered the batch marks), and both
+    # runs cut identical batches.
+    batches_a = sum(c.value for c in obs_a.registry.collect("pipeline.batches").values())
+    batches_b = sum(c.value for c in obs_b.registry.collect("pipeline.batches").values())
+    assert batches_a >= 1
+    assert batches_a == batches_b
