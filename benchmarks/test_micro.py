@@ -51,6 +51,35 @@ class TestMerkle:
         root = tree.root()
         benchmark(lambda: proof.verify((123).to_bytes(8, "big"), root))
 
+    def test_historical_root_warm(self, benchmark):
+        """``root_at`` against a fixed past size once the spine cache holds
+        the ragged subrange roots — the receipt-issuing hot path."""
+        tree = MerkleTree()
+        for i in range(10_000):
+            tree.append(i.to_bytes(8, "big"))
+        tree.root_at(9_995)  # freeze the spine for this size
+        benchmark(lambda: tree.root_at(9_995))
+
+    def test_historical_proof_warm(self, benchmark):
+        """Historical inclusion proofs over a warm cache: O(log n) node
+        hashes instead of recomputing the ragged spine each call."""
+        tree = MerkleTree()
+        for i in range(10_000):
+            tree.append(i.to_bytes(8, "big"))
+        tree.proof(123, 9_995)  # warm subtree + spine caches
+        benchmark(lambda: tree.proof(123, 9_995))
+
+    def test_batch_extend(self, benchmark):
+        """``extend`` amortizes per-append overhead during recovery replay."""
+        data = [i.to_bytes(8, "big") for i in range(1000)]
+
+        def extend_1000():
+            tree = MerkleTree()
+            tree.extend(data)
+            return tree.root()
+
+        benchmark(extend_1000)
+
 
 class TestChamp:
     def test_insert_1000(self, benchmark):

@@ -120,7 +120,7 @@ DECLASSIFIERS: tuple[Declassifier, ...] = (
     Declassifier(
         category="aead-seal",
         rationale="AEAD ciphertext is indistinguishable without the key",
-        methods=frozenset({"seal", "seal_snapshot"}),
+        methods=frozenset({"seal", "seal_snapshot", "seal_chunk"}),
     ),
     Declassifier(
         category="ecies-encrypt",
@@ -150,7 +150,7 @@ DECLASSIFIERS: tuple[Declassifier, ...] = (
         category="decrypt-reentry",
         rationale="decrypted payloads re-enter as application data, which "
                   "has its own (non-key-material) classification",
-        methods=frozenset({"open", "open_snapshot"}),
+        methods=frozenset({"open", "open_snapshot", "open_chunk"}),
     ),
     Declassifier(
         category="size",

@@ -118,6 +118,11 @@ class MerkleTree:
         self._peak_sizes: list[int] = []
         # Memoized hashes of aligned perfect subtrees: (start, size) -> digest.
         self._subtree_cache: dict[tuple[int, int], Digest] = {}
+        # Memoized ragged-spine roots: (start, size) -> digest for arbitrary
+        # historical subranges. A subrange over leaves that already exist is
+        # frozen — appends never change it — so entries stay valid until a
+        # retract discards leaves under them.
+        self._spine_cache: dict[tuple[int, int], Digest] = {}
 
     def __len__(self) -> int:
         return len(self._leaves)
@@ -149,6 +154,32 @@ class MerkleTree:
             self._peaks.append(merged)
             self._peak_sizes.append(2 * size)
 
+    def extend(self, leaf_data: list[bytes]) -> None:
+        """Append many leaves in one call (batched ledger replay).
+
+        Semantically identical to ``append`` in a loop — same leaves, same
+        peaks, same subtree cache entries — but runs the hash/merge loop
+        over local variables, so per-leaf Python overhead is paid once per
+        batch instead of once per leaf."""
+        leaves = self._leaves
+        peaks = self._peaks
+        peak_sizes = self._peak_sizes
+        cache = self._subtree_cache
+        for data in leaf_data:
+            digest = leaf_hash(data)
+            leaves.append(digest)
+            peaks.append(digest)
+            peak_sizes.append(1)
+            while len(peak_sizes) >= 2 and peak_sizes[-1] == peak_sizes[-2]:
+                right = peaks.pop()
+                left = peaks.pop()
+                size = peak_sizes.pop()
+                peak_sizes.pop()
+                merged = node_hash(left, right)
+                cache[(len(leaves) - 2 * size, 2 * size)] = merged
+                peaks.append(merged)
+                peak_sizes.append(2 * size)
+
     def root(self) -> Digest:
         """The current Merkle root (a commitment to all appended leaves)."""
         if not self._peaks:
@@ -172,6 +203,9 @@ class MerkleTree:
         del self._leaves[size:]
         self._subtree_cache = {
             key: value for key, value in self._subtree_cache.items() if key[0] + key[1] <= size
+        }
+        self._spine_cache = {
+            key: value for key, value in self._spine_cache.items() if key[0] + key[1] <= size
         }
         self._rebuild_peaks()
 
@@ -213,10 +247,22 @@ class MerkleTree:
     def _subrange_root(self, start: int, size: int) -> Digest:
         if size == 1:
             return self._leaves[start]
+        # Perfect aligned subtrees live in _subtree_cache (filled at merge
+        # time); everything else is a ragged right spine whose value is
+        # frozen once its leaves exist, so memoize it too. This is what
+        # keeps root_at/proof at O(log n) hashes instead of recomputing the
+        # spine per call.
+        if size & (size - 1) == 0 and start % size == 0:
+            return self._range_hash(start, size)
+        cached = self._spine_cache.get((start, size))
+        if cached is not None:
+            return cached
         k = _largest_power_of_two_below(size)
-        return node_hash(
+        digest = node_hash(
             self._range_hash(start, k), self._subrange_root(start + k, size - k)
         )
+        self._spine_cache[(start, size)] = digest
+        return digest
 
     def proof(self, leaf_index: int, tree_size: int | None = None) -> MerkleProof:
         """Inclusion proof for ``leaf_index`` against the root at ``tree_size``.

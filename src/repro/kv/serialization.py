@@ -24,6 +24,11 @@ _TAG_BYTES = 0x06
 _TAG_LIST = 0x07
 _TAG_DICT = 0x08
 
+# Nesting bound for the decoder. Encoded input comes off the wire and off
+# disk, so an adversarial blob of nested one-element lists must fail with a
+# typed error instead of exhausting the interpreter's recursion stack.
+MAX_DECODE_DEPTH = 128
+
 
 def _encode_length(value: int) -> bytes:
     return value.to_bytes(4, "big")
@@ -32,45 +37,82 @@ def _encode_length(value: int) -> bytes:
 def encode_value(value: Any) -> bytes:
     """Encode ``value`` into canonical bytes. Raises :class:`KVError` for
     unsupported types so nondeterministic objects never reach the ledger."""
+    out = bytearray()
+    _encode_into(out, value)
+    return bytes(out)
+
+
+def _encode_into(out: bytearray, value: Any) -> None:
+    """Append the canonical encoding of ``value`` to ``out``.
+
+    Scalars and lists write straight into the shared accumulator; only dict
+    entries take a per-item scratch buffer, because canonical form sorts
+    entries by their encoded bytes before emission.
+    """
     if value is None:
-        return bytes([_TAG_NONE])
+        out.append(_TAG_NONE)
+        return
     if value is True:
-        return bytes([_TAG_TRUE])
+        out.append(_TAG_TRUE)
+        return
     if value is False:
-        return bytes([_TAG_FALSE])
+        out.append(_TAG_FALSE)
+        return
     if isinstance(value, int):
         magnitude = value if value >= 0 else -value - 1
         body = magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1, "big")
-        tag = _TAG_INT_POS if value >= 0 else _TAG_INT_NEG
-        return bytes([tag]) + _encode_length(len(body)) + body
+        out.append(_TAG_INT_POS if value >= 0 else _TAG_INT_NEG)
+        out += _encode_length(len(body))
+        out += body
+        return
     if isinstance(value, str):
         body = value.encode()
-        return bytes([_TAG_STR]) + _encode_length(len(body)) + body
+        out.append(_TAG_STR)
+        out += _encode_length(len(body))
+        out += body
+        return
     if isinstance(value, (bytes, bytearray)):
-        body = bytes(value)
-        return bytes([_TAG_BYTES]) + _encode_length(len(body)) + body
+        out.append(_TAG_BYTES)
+        out += _encode_length(len(value))
+        out += value
+        return
     if isinstance(value, (list, tuple)):
-        parts = [encode_value(item) for item in value]
-        body = b"".join(parts)
-        return bytes([_TAG_LIST]) + _encode_length(len(parts)) + body
+        out.append(_TAG_LIST)
+        out += _encode_length(len(value))
+        for item in value:
+            _encode_into(out, item)
+        return
     if isinstance(value, dict):
-        encoded_items = sorted(
-            (encode_value(key), encode_value(val)) for key, val in value.items()
-        )
-        body = b"".join(k + v for k, v in encoded_items)
-        return bytes([_TAG_DICT]) + _encode_length(len(encoded_items)) + body
+        pairs = []
+        for key, val in value.items():
+            key_buf = bytearray()
+            _encode_into(key_buf, key)
+            val_buf = bytearray()
+            _encode_into(val_buf, val)
+            pairs.append((bytes(key_buf), bytes(val_buf)))
+        pairs.sort()
+        out.append(_TAG_DICT)
+        out += _encode_length(len(pairs))
+        for key_bytes, val_bytes in pairs:
+            out += key_bytes
+            out += val_bytes
+        return
     raise KVError(f"cannot serialize {type(value).__name__} values")
 
 
 def decode_value(data: bytes) -> Any:
     """Decode canonical bytes back into a value."""
-    value, offset = _decode(data, 0)
+    value, offset = _decode(data, 0, 0)
     if offset != len(data):
         raise KVError("trailing bytes after encoded value")
     return value
 
 
-def _decode(data: bytes, offset: int) -> tuple[Any, int]:
+def _decode(data: bytes, offset: int, depth: int) -> tuple[Any, int]:
+    if depth > MAX_DECODE_DEPTH:
+        raise KVError(
+            f"encoded value nests deeper than {MAX_DECODE_DEPTH} levels"
+        )
     if offset >= len(data):
         raise KVError("truncated encoding")
     tag = data[offset]
@@ -103,13 +145,13 @@ def _decode(data: bytes, offset: int) -> tuple[Any, int]:
         if tag == _TAG_LIST:
             items = []
             for _ in range(length):
-                item, offset = _decode(data, offset)
+                item, offset = _decode(data, offset, depth + 1)
                 items.append(item)
             return items, offset
         result: dict = {}
         for _ in range(length):
-            key, offset = _decode(data, offset)
-            value, offset = _decode(data, offset)
+            key, offset = _decode(data, offset, depth + 1)
+            value, offset = _decode(data, offset, depth + 1)
             result[_freeze_key(key)] = value
         return result, offset
     raise KVError(f"unknown type tag 0x{tag:02x}")
@@ -125,6 +167,33 @@ def freeze_key(key: Any) -> Any:
 _freeze_key = freeze_key  # internal alias used by the decoder
 
 
+def json_safe_key(key: Any) -> str:
+    """Render a dict key as a collision-free JSON object key.
+
+    ``str(key)`` conflates distinct keys — ``1`` and ``"1"`` both become
+    ``"1"`` and one entry silently vanishes from a ledger excerpt. Non-string
+    keys get a type tag instead, and the rare string that *looks* tagged is
+    escaped, so the mapping is injective and mechanically reversible.
+    """
+    if isinstance(key, str):
+        if key.startswith("__") and "__:" in key:
+            return f"__str__:{key}"
+        return key
+    if key is None:
+        return "__none__:"
+    if key is True:
+        return "__bool__:true"
+    if key is False:
+        return "__bool__:false"
+    if isinstance(key, int):
+        return f"__int__:{key}"
+    if isinstance(key, (bytes, bytearray)):
+        return f"__bytes__:{bytes(key).hex()}"
+    if isinstance(key, tuple):
+        return f"__tuple__:{encode_value(list(key)).hex()}"
+    raise KVError(f"cannot render {type(key).__name__} dict keys")
+
+
 def json_safe(value: Any) -> Any:
     """Convert a value into a JSON-serializable shape (bytes become hex
     strings tagged for reversibility). Used for ledger excerpt printing."""
@@ -133,5 +202,5 @@ def json_safe(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return [json_safe(item) for item in value]
     if isinstance(value, dict):
-        return {str(key): json_safe(val) for key, val in value.items()}
+        return {json_safe_key(key): json_safe(val) for key, val in value.items()}
     return value

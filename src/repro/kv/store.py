@@ -189,6 +189,60 @@ class KVStore:
         }
         return encode_value(state)
 
+    def map_table_at(self, version: int) -> dict[str, ChampMap]:
+        """The (shared) map table as of retained ``version``.
+
+        Delta snapshots hold on to this table as the dirty-detection
+        baseline: persistent maps mean an untouched map is literally the
+        *same object* across versions, so "changed since the last snapshot"
+        is an O(#maps) identity comparison, exact for untouched maps and
+        conservative (a fresh equal object) for touched-and-reverted ones.
+        """
+        if version == self.version:
+            return dict(self._maps)
+        snapshot = self._history.get(version)
+        if snapshot is None:
+            raise KVError(f"no retained state at version {version}")
+        return dict(snapshot)
+
+    def changed_map_names(
+        self, version: int, baseline: dict[str, ChampMap]
+    ) -> set[str]:
+        """Names of maps whose state at ``version`` is not (identically) the
+        map recorded in ``baseline`` — the dirty set for a delta snapshot.
+        Maps present only in ``baseline`` (since emptied away) also count."""
+        table = self.map_table_at(version)
+        changed = {
+            name for name, champ in table.items() if baseline.get(name) is not champ
+        }
+        changed.update(name for name in baseline if name not in table)
+        return changed
+
+    @staticmethod
+    def canonical_map_rows(champ: ChampMap) -> list[list[Any]]:
+        """One map's entries in canonical (encoded-key) order — the unit of
+        per-map chunk serialization. Matches ``_serialize_maps`` row order
+        so full and chunked snapshots agree byte-for-byte per map."""
+        return [
+            [key, value]
+            for key, value in sorted(
+                champ.items(), key=lambda item: encode_value(item[0])
+            )
+        ]
+
+    @classmethod
+    def from_map_rows(
+        cls, maps: dict[str, list[list[Any]]], version: int
+    ) -> "KVStore":
+        """Rebuild a store from per-map canonical rows (chunked install)."""
+        store = cls()
+        for name, rows in maps.items():
+            store._maps[name] = ChampMap.from_dict({key: value for key, value in rows})
+        store.version = version
+        store._history = {version: dict(store._maps)}
+        store._history_order = [version]
+        return store
+
     @classmethod
     def deserialize(cls, data: bytes) -> "KVStore":
         state = decode_value(data)

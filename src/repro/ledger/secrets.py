@@ -20,6 +20,7 @@ from repro.errors import LedgerError
 
 _LEDGER_DOMAIN = 0x4C  # 'L': nonce domain for ledger entries
 _SNAPSHOT_DOMAIN = 0x53  # 'S': nonce domain for sealed snapshots
+_CHUNK_DOMAIN = 0x43  # 'C': nonce domain for content-addressed state chunks
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,37 @@ class LedgerSecret:
     def open_snapshot(self, base_seqno: int, sealed: bytes, aad: bytes) -> bytes:
         key = make_key(self.suite, self.key_bytes)
         return key.open(nonce_from_counter(base_seqno, _SNAPSHOT_DOMAIN), sealed, aad)
+
+    def chunk_nonce(self, content_digest: bytes) -> bytes:
+        """SIV-style nonce for a state chunk: domain byte + plaintext digest.
+
+        Content-addressed dedup needs sealing to be a *pure function* of
+        (plaintext, generation): a clean map must seal to the same bytes in
+        every snapshot so its chunk id is stable and joiners can skip it. A
+        counter nonce would break that, and a per-snapshot index would risk
+        reusing one nonce for *different* plaintexts across snapshots. Tying
+        the nonce to the sha256 of the plaintext makes nonce reuse imply
+        identical plaintext (collision resistance), which is safe.
+        """
+        if len(content_digest) < 11:
+            raise LedgerError("chunk nonce needs a full content digest")
+        return bytes([_CHUNK_DOMAIN]) + content_digest[:11]
+
+    def seal_chunk(self, content_digest: bytes, plaintext: bytes, aad: bytes) -> bytes:
+        """Encrypt one state chunk; deterministic in (plaintext, generation).
+
+        ``content_digest`` must be sha256 of ``plaintext``. The chunk's
+        position in a snapshot is deliberately *not* in the AAD — binding an
+        index would give the same plaintext different sealed bytes per
+        snapshot, destroying dedup. Position binding instead lives in the
+        signed manifest, whose digest the snapshot receipt covers.
+        """
+        key = make_key(self.suite, self.key_bytes)
+        return key.seal(self.chunk_nonce(content_digest), plaintext, aad)
+
+    def open_chunk(self, content_digest: bytes, sealed: bytes, aad: bytes) -> bytes:
+        key = make_key(self.suite, self.key_bytes)
+        return key.open(self.chunk_nonce(content_digest), sealed, aad)
 
     def __repr__(self) -> str:  # pragma: no cover - never leak key bytes
         return f"LedgerSecret(generation={self.generation}, <secret>)"

@@ -46,6 +46,20 @@ class NodeConfig:
     # any node (instead of forwarding reads of forwarded sessions to the
     # primary), with TxID + receipt-claim freshness metadata on responses.
     read_offload: bool = False
+    # Incremental state transfer (PR 9). With ``delta_snapshots`` on,
+    # snapshot production serializes only maps that changed since the last
+    # snapshot into content-addressed sealed chunks (~``snapshot_chunk_bytes``
+    # of canonical rows each), reusing prior chunks for clean maps, and the
+    # join protocol ships a signed manifest first so joiners fetch only the
+    # chunks they don't already hold, ``join_chunk_batch`` ids per round.
+    # Off = legacy monolithic sealed-blob snapshots and joins.
+    delta_snapshots: bool = True
+    snapshot_chunk_bytes: int = 16384
+    join_chunk_batch: int = 16
+    # Batched ledger replay during disaster recovery (two-phase: structural
+    # apply, then deferred signature verification below the anchor). The
+    # serial replay remains as the differential-testing oracle.
+    replay_fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.signature_interval < 1:
@@ -58,6 +72,10 @@ class NodeConfig:
             raise ConfigurationError("batch_max_bytes must be >= 1")
         if self.batch_latency_budget < 0:
             raise ConfigurationError("batch_latency_budget must be >= 0")
+        if self.snapshot_chunk_bytes < 256:
+            raise ConfigurationError("snapshot_chunk_bytes must be >= 256")
+        if self.join_chunk_batch < 1:
+            raise ConfigurationError("join_chunk_batch must be >= 1")
 
     def resolve_cost_model(self) -> CostModel:
         if self.cost_model is not None:

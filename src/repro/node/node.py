@@ -49,6 +49,7 @@ from repro.ledger.entry import EntryKind, LedgerEntry, TxID
 from repro.ledger.ledger import Ledger
 from repro.ledger.receipts import Receipt, issue_receipt
 from repro.ledger.secrets import LedgerSecret, LedgerSecretStore
+from repro.ledger import statetransfer
 from repro.ledger.chunking import chunk_entries
 from repro.net.channels import NodeChannels, SealedMessage
 from repro.net.network import Network
@@ -65,6 +66,8 @@ from repro.node.wire import (
     JoinRequest,
     JoinResponse,
     SealedConsensusMessage,
+    StateChunkRequest,
+    StateChunkResponse,
 )
 from repro.sim.scheduler import Scheduler
 from repro.storage.host_storage import HostStorage
@@ -140,6 +143,11 @@ class CCFNode:
         self._batches_completed: dict[int, tuple[list, int]] = {}
         self._last_snapshot_seqno = 0
         self._latest_snapshot: dict | None = None  # join-ready package
+        # Delta-snapshot production state (primary): the previous snapshot's
+        # map table + sealed chunks, so clean maps reuse their chunks.
+        self._snapshot_baseline: statetransfer.SnapshotBaseline | None = None
+        # Joiner-side chunked-transfer state between manifest and install.
+        self._pending_state_transfer: dict | None = None
         self._persisted_seqno = 0
         self.stopped = False
 
@@ -287,6 +295,19 @@ class CCFNode:
             # back), nobody replicates to us, and our own stale store still
             # shows the rolled-back row — only the leader silence gives the
             # orphaning away.
+            transfer = self._pending_state_transfer
+            if transfer is not None:
+                # A chunked transfer is in flight. Re-sending the join
+                # request now would race a duplicate (slow, byte-costed)
+                # JoinResponse against the chunk stream and trip the
+                # channel replay guard — so only interfere if the transfer
+                # has made no progress since the last tick (its serving
+                # node died mid-stream).
+                if transfer["fetched"] > transfer.get("last_progress", -1):
+                    transfer["last_progress"] = transfer["fetched"]
+                    self.scheduler.after(self.config.join_retry_interval, tick)
+                    return
+                self._pending_state_transfer = None
             if self.consensus is None or row is None or orphaned:
                 # Not admitted yet, or our PENDING record was rolled back by
                 # an election. Rotate through every node we know about —
@@ -402,14 +423,19 @@ class CCFNode:
             if info.get("dh_public")
         }
         snapshot = self._latest_snapshot or {}
+        # A chunked snapshot ships its manifest only; the joiner pulls the
+        # chunks it is missing afterwards. A monolithic snapshot rides the
+        # response whole, as before.
+        chunked = "chunks" in snapshot
         response = JoinResponse(
             accepted=True,
             service_certificate=self.service_certificate.to_dict(),
             node_certificate=node_certificate.to_dict(),
             sealed_secrets=(sealed.sender, sealed.counter, sealed.box),
-            snapshot=snapshot.get("data", b""),
+            snapshot=b"" if chunked else snapshot.get("data", b""),
             snapshot_metadata=snapshot.get("metadata"),
             snapshot_receipt=snapshot.get("receipt"),
+            snapshot_manifest=snapshot.get("metadata") if chunked else None,
             current_nodes=tuple(sorted(self.consensus.configurations.current.nodes)),
             config_base_seqno=self.consensus.configurations.current.seqno,
             peer_dh_publics=peer_dh,
@@ -435,12 +461,68 @@ class CCFNode:
         if message.node_id not in self.consensus.configurations.current.nodes:
             self.consensus.add_learner(message.node_id, next_seqno)
         # Reply to the joiner itself — with forwarding, ``src`` may be the
-        # relaying backup rather than the joining node.
-        self.network.send(self.node_id, message.node_id, response)
+        # relaying backup rather than the joining node. Shipping state costs
+        # wire time proportional to its size (the whole blob for monolithic
+        # snapshots, just the manifest for chunked ones).
+        state_bytes = len(response.snapshot)
+        if response.snapshot_metadata is not None:
+            state_bytes += len(encode_value(response.snapshot_metadata))
+        self.network.send(
+            self.node_id,
+            message.node_id,
+            response,
+            extra_delay=self.cost.state_transfer_cost(state_bytes),
+        )
+
+    def _on_state_chunk_request(self, src: str, message: StateChunkRequest) -> None:
+        """Serve sealed state chunks by content address (primary side).
+
+        Chunks come from the live snapshot package or the on-disk cache
+        (older-but-still-referenced chunks a resuming joiner may ask for).
+        Ids this node cannot produce are reported back as ``missing`` so the
+        joiner can fall back instead of stalling."""
+        del src  # replies go to the joining node named in the request
+        package = self._latest_snapshot or {}
+        available: dict = package.get("chunks") or {}
+        found: list[tuple[str, bytes]] = []
+        missing: list[str] = []
+        for chunk_id in message.chunk_ids:
+            blob = available.get(chunk_id)
+            if blob is None:
+                blob = self.storage.read_state_chunk(chunk_id)
+                if blob is not None and not ct_eq(
+                    statetransfer.chunk_id(blob), chunk_id
+                ):
+                    blob = None  # disk-tampered cache entry: treat as absent
+            if blob is None:
+                missing.append(chunk_id)
+            else:
+                found.append((chunk_id, blob))
+        payload_bytes = sum(len(blob) for _, blob in found)
+        obs = self.scheduler.obs
+        if obs is not None:
+            obs.state_transfer_event(
+                self.node_id,
+                "chunks_served",
+                joiner=message.node_id,
+                served=len(found),
+                missing=len(missing),
+                bytes=payload_bytes,
+            )
+        self.network.send(
+            self.node_id,
+            message.node_id,
+            StateChunkResponse(
+                base_seqno=message.base_seqno,
+                chunks=tuple(found),
+                missing=tuple(missing),
+            ),
+            extra_delay=self.cost.state_transfer_cost(payload_bytes),
+        )
 
     # -- Join: new node side --------------------------------------------
 
-    def _on_join_response(self, message: JoinResponse) -> None:
+    def _on_join_response(self, src: str, message: JoinResponse) -> None:
         if self.consensus is not None:
             # Already joined: this is a reply to a retried (or duplicated)
             # join request. Re-initializing from it would throw away state.
@@ -463,7 +545,17 @@ class CCFNode:
         # Open the sealed key material (channel with the admitting primary
         # was established just above from its published DH key).
         sender, counter, box = message.sealed_secrets
-        payload = self.channels.open(SealedMessage(sender=sender, counter=counter, box=box))
+        try:
+            payload = self.channels.open(
+                SealedMessage(sender=sender, counter=counter, box=box)
+            )
+        except VerificationError:
+            # A retried join request can draw a second response; the
+            # duplicate is byte-costed (slow) and may arrive after newer
+            # channel traffic, failing the replay counter. Drop it like
+            # any replayed sealed message — the in-flight join continues
+            # (and the retry timer covers the nothing-in-flight case).
+            return
         from repro.kv.serialization import decode_value
 
         secret_material = decode_value(payload)
@@ -475,6 +567,13 @@ class CCFNode:
         if service_key.public_key.encode() != service_certificate.public_key.encode():
             raise VerificationError("received service key does not match the certificate")
         self.enclave.memory.put("service_key", service_key)
+
+        if message.snapshot_manifest is not None:
+            # Chunked state transfer: verify the manifest against its
+            # receipt, then pull only the chunks we don't already hold.
+            # Joining completes asynchronously in _complete_chunked_install.
+            self._begin_chunked_transfer(src, message)
+            return
 
         base_seqno = 0
         if message.snapshot:
@@ -506,9 +605,13 @@ class CCFNode:
         else:
             self.store = KVStore()
             self.ledger = Ledger(secrets)
-        self.wire_obs(self.scheduler.obs)
+        self._finish_join(message, base_seqno)
 
-        config_base = message.config_base_seqno if message.snapshot else 0
+    def _finish_join(self, message: JoinResponse, base_seqno: int) -> None:
+        """Shared join tail: store/ledger are installed; start consensus."""
+        self.wire_obs(self.scheduler.obs)
+        from_snapshot = bool(message.snapshot) or message.snapshot_manifest is not None
+        config_base = message.config_base_seqno if from_snapshot else 0
         self.consensus = ConsensusNode(
             node_id=self.node_id,
             ledger=self.ledger,
@@ -519,6 +622,163 @@ class CCFNode:
             config_base_seqno=min(config_base, base_seqno),
         )
         self.consensus.start()
+
+    # -- Join: chunked state transfer (joiner side) ---------------------
+
+    def _begin_chunked_transfer(self, src: str, message: JoinResponse) -> None:
+        metadata = message.snapshot_manifest
+        receipt = Receipt.from_dict(message.snapshot_receipt)
+        receipt.verify(self.service_certificate)
+        digest = bytes(statetransfer.manifest_digest(metadata))
+        claimed = (receipt.claims or {}).get("snapshot_digest")
+        if not ct_eq(claimed, digest.hex()):
+            raise VerificationError(
+                "snapshot manifest does not match its receipt claims"
+            )
+        transfer = self._pending_state_transfer
+        if transfer is not None and ct_eq(transfer["digest"], digest):
+            # Retried join response for the same snapshot mid-transfer: a
+            # chunk round may have been lost — re-kick, don't restart.
+            self._request_missing_chunks()
+            return
+        # (Re)plan the transfer. Seed from the local content-addressed
+        # cache: chunks from a prior partial join or an older snapshot are
+        # skipped if their bytes still match their address.
+        needed = statetransfer.manifest_chunk_ids(metadata)
+        have: dict[str, bytes] = {}
+        for chunk_id in needed:
+            blob = self.storage.read_state_chunk(chunk_id)
+            if blob is not None and ct_eq(statetransfer.chunk_id(blob), chunk_id):
+                have[chunk_id] = blob
+        self._pending_state_transfer = {
+            "digest": digest,
+            "metadata": metadata,
+            "message": message,
+            "source": src,
+            "have": have,
+            "missing": [cid for cid in needed if cid not in have],
+            "cached": len(have),
+            "fetched": 0,
+        }
+        obs = self.scheduler.obs
+        if obs is not None:
+            obs.state_transfer_event(
+                self.node_id,
+                "manifest",
+                base_seqno=metadata["base_seqno"],
+                chunks=len(needed),
+                cached=len(have),
+            )
+        self._request_missing_chunks()
+
+    def _request_missing_chunks(self) -> None:
+        transfer = self._pending_state_transfer
+        if transfer is None:
+            return
+        if not transfer["missing"]:
+            self._complete_chunked_install()
+            return
+        batch = tuple(transfer["missing"][: self.config.join_chunk_batch])
+        self.network.send(
+            self.node_id,
+            transfer["source"],
+            StateChunkRequest(
+                node_id=self.node_id,
+                base_seqno=transfer["metadata"]["base_seqno"],
+                chunk_ids=batch,
+            ),
+        )
+
+    def _on_state_chunk_response(self, src: str, message: StateChunkResponse) -> None:
+        del src
+        transfer = self._pending_state_transfer
+        if transfer is None or self.consensus is not None:
+            return
+        if message.base_seqno != transfer["metadata"]["base_seqno"]:
+            return  # stale round from a superseded transfer
+        if message.missing:
+            # The server no longer holds part of this snapshot (it advanced
+            # or changed hands). Abandon the transfer; the join retry timer
+            # restarts the handshake cleanly — against whatever snapshot the
+            # current primary can actually serve — and everything already
+            # cached still dedups on the next attempt.
+            obs = self.scheduler.obs
+            if obs is not None:
+                obs.state_transfer_event(
+                    self.node_id, "fallback", missing=len(message.missing)
+                )
+            self._pending_state_transfer = None
+            return
+        wanted = 0
+        verified = 0
+        still_missing = set(transfer["missing"])
+        for chunk_id, blob in message.chunks:
+            if chunk_id not in still_missing:
+                continue  # duplicate round (retried request): already held
+            wanted += 1
+            try:
+                statetransfer.verify_chunk_blob(chunk_id, blob)
+            except VerificationError:
+                continue  # leave in missing
+            verified += 1
+            transfer["have"][chunk_id] = blob
+            transfer["fetched"] += 1
+            # Streaming install: each verified chunk is persisted into the
+            # content-addressed cache immediately, so a crash mid-transfer
+            # resumes without re-fetching anything already received.
+            self.storage.write_state_chunk(chunk_id, blob)
+        if wanted and not verified:
+            # Every chunk we still needed from this round failed its content
+            # address: the serving host is substituting state, not merely
+            # re-sending a stale round. Re-requesting would loop forever.
+            self._pending_state_transfer = None
+            raise VerificationError(
+                "state chunks do not match their content addresses"
+            )
+        transfer["missing"] = [
+            cid for cid in transfer["missing"] if cid not in transfer["have"]
+        ]
+        self._request_missing_chunks()
+
+    def _complete_chunked_install(self) -> None:
+        transfer = self._pending_state_transfer
+        metadata = transfer["metadata"]
+        message: JoinResponse = transfer["message"]
+        secrets: LedgerSecretStore = self.enclave.memory.get("ledger_secrets")
+        try:
+            self.store = statetransfer.assemble_store(
+                metadata, transfer["have"], secrets
+            )
+        except (VerificationError, KVError):
+            # A chunk passed its content address but failed decryption or
+            # decode — only a mis-sealed producer can cause this. Drop the
+            # transfer; the retry timer falls back to a fresh join.
+            self._pending_state_transfer = None
+            raise
+        self.ledger = Ledger.from_snapshot_metadata(
+            secrets,
+            base_seqno=metadata["base_seqno"],
+            txids=[TxID(v, s) for v, s in metadata["txids"]],
+            leaf_hashes=list(metadata["leaf_hashes"]),
+            last_signature_txid=TxID(*metadata["last_signature_txid"]),
+        )
+        base_seqno = metadata["base_seqno"]
+        self._commit_scan = base_seqno
+        self.indexer.last_indexed = base_seqno
+        obs = self.scheduler.obs
+        if obs is not None:
+            obs.state_chunks_progress(
+                self.node_id, transfer["fetched"], transfer["cached"]
+            )
+            obs.state_transfer_event(
+                self.node_id,
+                "installed",
+                base_seqno=base_seqno,
+                fetched=transfer["fetched"],
+                cached=transfer["cached"],
+            )
+        self._pending_state_transfer = None
+        self._finish_join(message, base_seqno)
 
     # ==================================================================
     # Disaster recovery (section 5.2)
@@ -536,7 +796,9 @@ class CCFNode:
         """
         from repro.recovery.recovery import replay_public_ledger
 
-        replay = replay_public_ledger(salvaged_storage)
+        replay = replay_public_ledger(
+            salvaged_storage, fast_path=self.config.replay_fast_path
+        )
         obs = self.scheduler.obs
         if obs is not None:
             obs.recovery_event(
@@ -904,18 +1166,46 @@ class CCFNode:
         if commit_seqno - self._last_snapshot_seqno < interval:
             return
         self._last_snapshot_seqno = commit_seqno
-        data = self.store.serialize_at(commit_seqno)
         metadata = self.ledger.snapshot_metadata(commit_seqno)
         # Serialized store state includes private-map plaintext, so the
         # snapshot is sealed under the current ledger secret before it can
-        # touch host storage or the join path; the metadata (which names the
-        # generation a joiner must use to open it) is bound as AAD. The
-        # digest — and therefore the receipt claim — covers the *sealed*
-        # bytes: integrity is verifiable without decrypting.
+        # touch host storage or the join path. The digest — and therefore
+        # the receipt claim — covers sealed bytes only: integrity is
+        # verifiable without decrypting.
         secret = self.ledger.secrets.current()
         metadata["secret_generation"] = secret.generation
-        sealed = secret.seal_snapshot(commit_seqno, data, aad=encode_value(metadata))
-        digest = bytes(sha256(sealed, encode_value(metadata)))
+        if self.config.delta_snapshots:
+            # Incremental production: serialize + seal only maps that
+            # changed since the previous snapshot; clean maps reuse their
+            # previous sealed chunks (same content ⇒ same chunk id). The
+            # receipt claim digests the manifest, which lists every chunk
+            # id, so all chunks are transitively receipt-covered.
+            built = statetransfer.build_chunked_snapshot(
+                self.store,
+                commit_seqno,
+                secret,
+                metadata,
+                chunk_bytes=self.config.snapshot_chunk_bytes,
+                baseline=self._snapshot_baseline,
+            )
+            digest = bytes(statetransfer.manifest_digest(built.metadata))
+            obs = self.scheduler.obs
+            if obs is not None:
+                obs.snapshot_produced(self.node_id, commit_seqno, built.stats)
+            pending = {
+                "metadata": built.metadata,
+                "chunks": built.chunks,
+                "map_chunks": built.map_chunks,
+                "table": self.store.map_table_at(commit_seqno),
+                "generation": secret.generation,
+            }
+        else:
+            # Legacy monolithic path: the whole store, one sealed blob, the
+            # metadata (naming the generation) bound as AAD.
+            data = self.store.serialize_at(commit_seqno)
+            sealed = secret.seal_snapshot(commit_seqno, data, aad=encode_value(metadata))
+            digest = bytes(sha256(sealed, encode_value(metadata)))
+            pending = {"data": sealed, "metadata": metadata}
         # Snapshot evidence transaction (validated by receipt, section 4.4).
         write_set = WriteSet()
         write_set.put(
@@ -925,12 +1215,9 @@ class CCFNode:
         )
         claims = {"snapshot_digest": digest.hex()}
         entry = self._append_local_entry(write_set, claims=claims)
-        self._pending_snapshot = {
-            "data": sealed,
-            "metadata": metadata,
-            "evidence_seqno": entry.txid.seqno,
-            "claims": claims,
-        }
+        pending["evidence_seqno"] = entry.txid.seqno
+        pending["claims"] = claims
+        self._pending_snapshot = pending
         self._request_signature_soon()
 
     def _finalize_snapshot_if_ready(self) -> None:
@@ -946,12 +1233,38 @@ class CCFNode:
             self.ledger, evidence_seqno, self.node_certificate, claims=pending["claims"]
         )
         package = {
-            "data": pending["data"],
             "metadata": pending["metadata"],
             "receipt": receipt.to_dict(),
         }
-        self._latest_snapshot = package
-        self.storage.write_snapshot(pending["metadata"]["base_seqno"], pending["data"])
+        base_seqno = pending["metadata"]["base_seqno"]
+        if "chunks" in pending:
+            package["chunks"] = pending["chunks"]
+            self._latest_snapshot = package
+            # Persist the chunk set (content-addressed, so re-writing a
+            # reused chunk is skipped) and prune chunks no manifest we still
+            # serve references; the manifest file makes the snapshot
+            # reconstructable from disk alone.
+            for chunk_id, blob in pending["chunks"].items():
+                if self.storage.read_state_chunk(chunk_id) is None:
+                    self.storage.write_state_chunk(chunk_id, blob)
+            self.storage.prune_state_chunks(set(pending["chunks"]))
+            for name in self.storage.list_files("manifest_"):
+                self.storage.delete(name, sync=False)
+            self.storage.write(
+                f"manifest_{base_seqno}.bin",
+                encode_value(pending["metadata"]),
+                sync=True,
+            )
+            # Next delta builds against this snapshot's table + chunks.
+            self._snapshot_baseline = statetransfer.SnapshotBaseline(
+                table=pending["table"],
+                map_chunks=pending["map_chunks"],
+                generation=pending["generation"],
+            )
+        else:
+            package["data"] = pending["data"]
+            self._latest_snapshot = package
+            self.storage.write_snapshot(base_seqno, pending["data"])
         self._pending_snapshot = None
 
     # ==================================================================
@@ -1076,7 +1389,13 @@ class CCFNode:
             self._on_join_request(src, payload)
             return
         if isinstance(payload, JoinResponse):
-            self._on_join_response(payload)
+            self._on_join_response(src, payload)
+            return
+        if isinstance(payload, StateChunkRequest):
+            self._on_state_chunk_request(src, payload)
+            return
+        if isinstance(payload, StateChunkResponse):
+            self._on_state_chunk_response(src, payload)
             return
         if isinstance(payload, ChannelHello):
             self.channels.establish(payload.sender, payload.dh_public)

@@ -105,3 +105,32 @@ class JoinResponse:
     current_nodes: tuple = ()  # ids of the current configuration
     config_base_seqno: int = 0
     peer_dh_publics: dict = field(default_factory=dict)  # node id -> DH public
+    # Chunked state transfer: when the primary holds a chunked snapshot it
+    # ships the signed *manifest* here instead of a monolithic ``snapshot``
+    # blob. The manifest (format, base seqno, secret generation, per-map
+    # chunk-id listing, ledger metadata) is covered by ``snapshot_receipt``
+    # via its canonical digest; the joiner then pulls only the chunks it
+    # doesn't already hold with StateChunkRequest.
+    snapshot_manifest: dict | None = None
+
+
+@dataclass(frozen=True)
+class StateChunkRequest:
+    """Joiner → admitting primary: fetch sealed state chunks by content
+    address. Sent in batches after the manifest verified; chunks the joiner
+    already holds (prior partial join, local snapshot cache) are skipped."""
+
+    node_id: str
+    base_seqno: int  # manifest base the ids were taken from
+    chunk_ids: tuple = ()
+
+
+@dataclass(frozen=True)
+class StateChunkResponse:
+    """Primary → joiner: the requested sealed chunks (id, bytes) pairs.
+    Ids the serving node no longer holds come back in ``missing`` — the
+    joiner falls back to a fresh join (full transfer) rather than stalling."""
+
+    base_seqno: int
+    chunks: tuple = ()  # ((chunk_id, sealed_bytes), ...)
+    missing: tuple = ()

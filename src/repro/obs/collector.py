@@ -475,3 +475,44 @@ class ObsCollector:
         trace of a recovered run shows the §5.2 protocol end to end."""
         self._event(f"recovery.{phase}", node=node_id, **attrs)
         self.registry.counter("recovery.phases", node=node_id, phase=phase).inc()
+
+    # ------------------------------------------------------------------
+    # Incremental state-transfer hooks (PR 9)
+
+    def snapshot_produced(self, node_id: str, base_seqno: int, stats: dict) -> None:
+        """One delta-snapshot production on the primary. ``stats`` carries
+        only sizes and counts (chunk payloads are sealed and never reach
+        span attributes)."""
+        self._event(
+            "statetransfer.snapshot", node=node_id, base_seqno=base_seqno, **stats
+        )
+        self.registry.counter("statetransfer.snapshots", node=node_id).inc()
+        self.registry.counter("statetransfer.chunks_built", node=node_id).inc(
+            stats.get("chunks_built", 0)
+        )
+        self.registry.counter("statetransfer.chunks_reused", node=node_id).inc(
+            stats.get("chunks_reused", 0)
+        )
+        self.registry.counter("statetransfer.entries_serialized", node=node_id).inc(
+            stats.get("entries_serialized", 0)
+        )
+
+    def state_transfer_event(self, node_id: str, phase: str, **attrs) -> None:
+        """One chunked-join phase boundary: ``manifest`` (verified, transfer
+        planned), ``chunks_served`` (primary side), ``installed`` (store
+        assembled), ``fallback`` (transfer abandoned toward full join)."""
+        self._event(f"statetransfer.{phase}", node=node_id, **attrs)
+        self.registry.counter("statetransfer.events", node=node_id, phase=phase).inc()
+
+    def state_chunks_progress(self, node_id: str, fetched: int, cached: int) -> None:
+        """Chunk accounting on the joiner: ``fetched`` came over the wire,
+        ``cached`` were satisfied from the local content-addressed cache
+        (the dedup win a warm rejoin banks on)."""
+        if fetched:
+            self.registry.counter(
+                "statetransfer.chunks_fetched", node=node_id
+            ).inc(fetched)
+        if cached:
+            self.registry.counter(
+                "statetransfer.chunks_cached", node=node_id
+            ).inc(cached)

@@ -1,0 +1,365 @@
+"""``python -m repro.obs.statebench``: incremental state transfer benchmark
+(PR 9).
+
+Two sweeps, both in the *simulated* cost model (machine-independent, like
+every other benchmark here):
+
+- **Snapshot cost vs dirty fraction**: a fixed store (many maps, many rows)
+  is snapshotted once in full, then delta-snapshotted after touching a
+  varying fraction of its maps. The dirty-map tracker means the delta only
+  serializes and seals the dirty maps, so the production cost — charged per
+  serialized entry by the :class:`~repro.perf.costmodel.CostModel` — must
+  fall with the dirty fraction instead of staying flat at O(state).
+- **Join time vs transfer mode**: a three-node service is loaded to ~10k
+  committed entries, then a node joins under each transfer mode and the
+  simulated time from ``request_join`` to an active consensus engine is
+  measured. ``full_replay`` withholds snapshots entirely (raft catch-up
+  streams the whole ledger); ``chunked_cold`` transfers the manifest plus
+  every chunk; ``dedup_warm`` re-joins with a disk that already caches all
+  the chunks (a prior joiner's storage), so only the manifest travels.
+
+``--check`` enforces the regression floors from ``perf-budget.json``:
+the delta snapshot at 10% dirty must cost at most
+``snapshot_dirty_cost_ratio_max`` of the full serialize, and the warm
+dedup re-join must be at least ``join_dedup_speedup_min`` times faster
+than the full ledger replay.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.app.logging_app import build_logging_app
+from repro.errors import ConfigurationError
+from repro.kv.store import KVStore
+from repro.kv.tx import WriteSet
+from repro.ledger import statetransfer
+from repro.ledger.secrets import LedgerSecret
+from repro.node.config import NodeConfig
+from repro.node.node import CCFNode
+from repro.perf.costmodel import CostModel
+from repro.service.client import ClosedLoopClient, ServiceClient
+from repro.service.service import CCFService, ServiceSetup
+from repro.sim.metrics import ThroughputRecorder
+
+DIRTY_FRACTIONS = (0.0, 0.1, 0.25, 0.5, 1.0)
+CHECKED_DIRTY_FRACTION = 0.1
+N_MAPS = 50
+ROWS_PER_MAP = 200
+JOIN_STATE_ENTRIES = 10_000
+MESSAGE = "payload-20-chars-xyz"
+
+
+# ----------------------------------------------------------------------
+# Sweep 1: snapshot production cost vs dirty fraction
+
+
+def _build_store(n_maps: int, rows_per_map: int) -> tuple[KVStore, int]:
+    store = KVStore()
+    version = 0
+    for m in range(n_maps):
+        ws = WriteSet()
+        for r in range(rows_per_map):
+            ws.put(f"map{m:03d}", f"key{r:05d}", {"value": r, "map": m})
+        version += 1
+        store.apply_write_set(ws, version)
+    return store, version
+
+
+def run_snapshot_sweep(
+    n_maps: int = N_MAPS, rows_per_map: int = ROWS_PER_MAP
+) -> list[dict]:
+    """Delta snapshot cost at each dirty fraction, as a ratio of the full
+    serialize. The cost metric is the CostModel's per-serialized-entry
+    charge, so the rows are exact and deterministic."""
+    cost = CostModel()
+    secret = LedgerSecret.generate(b"statebench")
+    store, version = _build_store(n_maps, rows_per_map)
+
+    full = statetransfer.build_chunked_snapshot(
+        store,
+        version,
+        secret,
+        {"base_seqno": version},
+        chunk_bytes=NodeConfig().snapshot_chunk_bytes,
+    )
+    full_cost = cost.snapshot_production_cost(full.stats["entries_serialized"])
+    rows = []
+    for fraction in DIRTY_FRACTIONS:
+        baseline = full.baseline(store.map_table_at(version))
+        dirty_maps = max(0, round(n_maps * fraction))
+        working = store
+        working_version = version
+        for m in range(dirty_maps):
+            ws = WriteSet()
+            ws.put(f"map{m:03d}", "key00000", {"value": "touched"})
+            working_version += 1
+            working.apply_write_set(ws, working_version)
+        delta = statetransfer.build_chunked_snapshot(
+            working,
+            working_version,
+            secret,
+            {"base_seqno": working_version},
+            chunk_bytes=NodeConfig().snapshot_chunk_bytes,
+            baseline=baseline,
+        )
+        delta_cost = cost.snapshot_production_cost(delta.stats["entries_serialized"])
+        rows.append(
+            {
+                "dirty_fraction": fraction,
+                "maps_dirty": delta.stats["maps_dirty"],
+                "entries_serialized": delta.stats["entries_serialized"],
+                "entries_total": delta.stats["entries_total"],
+                "chunks_reused": delta.stats["chunks_reused"],
+                "cost_ratio_vs_full": round(delta_cost / full_cost, 4)
+                if full_cost
+                else 0.0,
+            }
+        )
+        # Rebuild pristine state for the next fraction (the touches above
+        # mutated the store's version history).
+        store, version = _build_store(n_maps, rows_per_map)
+        full = statetransfer.build_chunked_snapshot(
+            store,
+            version,
+            secret,
+            {"base_seqno": version},
+            chunk_bytes=NodeConfig().snapshot_chunk_bytes,
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Sweep 2: join time vs transfer mode
+
+
+def _loaded_service(
+    seed: int, entries: int, snapshots: bool
+) -> tuple[CCFService, int]:
+    """A three-node service with ``entries`` committed writes."""
+    config = NodeConfig(
+        signature_interval=100,
+        snapshot_interval=2000 if snapshots else 0,
+        batch_execution=True,
+    )
+    service = CCFService(
+        ServiceSetup(
+            n_nodes=3,
+            node_config=config,
+            app_factory=build_logging_app,
+            seed=seed,
+        )
+    )
+    service.bootstrap()
+    primary = service.primary_node()
+    user = service.users[0]
+    credentials = {"certificate": user.certificate.to_dict()}
+    endpoint = ServiceClient(
+        service.scheduler, service.network, name="statebench-writer", identity=user
+    )
+    throughput = ThroughputRecorder()
+    client = ClosedLoopClient(
+        endpoint,
+        primary.node_id,
+        lambda i: ("/app/write_message", {"id": i, "msg": MESSAGE}, credentials),
+        concurrency=50,
+        throughput=throughput,
+        retry_timeout=2.0,
+    )
+    client.start()
+    service.run_until(lambda: throughput.count >= entries, timeout=60.0)
+    client.stop()
+    service.run(0.1)  # drain in-flight requests and the signature flush
+    return service, throughput.count
+
+
+def _measure_join(service: CCFService, node_id: str, storage=None) -> dict:
+    """Join one node and return the simulated join time plus transfer
+    accounting (chunks fetched vs served from the local cache)."""
+    primary = service.primary_node()
+    joiner = CCFNode(
+        node_id=node_id,
+        scheduler=service.scheduler,
+        network=service.network,
+        hardware=service.hardware,
+        app=service._app_factory(),
+        config=service.setup.node_config,
+        code_id=service.code_id,
+    )
+    if storage is not None:
+        joiner.storage = storage
+    stats = {"fetched": 0, "cached": 0}
+    original = joiner._complete_chunked_install
+
+    def spying_install():
+        transfer = joiner._pending_state_transfer
+        stats["fetched"] = transfer["fetched"]
+        stats["cached"] = transfer["cached"]
+        original()
+
+    joiner._complete_chunked_install = spying_install
+    # Joined means *caught up*: an active consensus engine AND the ledger
+    # streamed (or snapshot-installed) up to the service's commit point —
+    # otherwise full replay would stop the clock before the entries travel.
+    target_seqno = primary.consensus.commit_seqno
+    start = service.scheduler.now
+    joiner.request_join(primary.node_id, primary.service_certificate)
+    service.run_until(
+        lambda: joiner.consensus is not None
+        and joiner.ledger.last_seqno >= target_seqno,
+        timeout=60.0,
+    )
+    elapsed = service.scheduler.now - start
+    service.nodes[node_id] = joiner
+    return {
+        "node_id": node_id,
+        "join_seconds": elapsed,
+        "chunks_fetched": stats["fetched"],
+        "chunks_cached": stats["cached"],
+        "base_seqno": joiner.ledger.base_seqno,
+        "_storage": joiner.storage,
+    }
+
+
+def run_join_sweep(entries: int = JOIN_STATE_ENTRIES, seed: int = 42) -> list[dict]:
+    """Join time under each transfer mode at the same state size."""
+    rows = []
+
+    # Full ledger replay: no snapshot ever produced, so the joiner streams
+    # the entire ledger through raft catch-up.
+    service, committed = _loaded_service(seed, entries, snapshots=False)
+    row = _measure_join(service, "statebench-full")
+    row.pop("_storage")
+    row.update(mode="full_replay", committed_entries=committed)
+    if row["base_seqno"] != 0:
+        raise ConfigurationError("full replay must not have used a snapshot")
+    rows.append(row)
+
+    # Chunked transfer: one service serves both the cold join (every chunk
+    # travels) and the warm dedup re-join (a disk that already caches the
+    # chunks — only the manifest travels).
+    service, committed = _loaded_service(seed, entries, snapshots=True)
+    cold = _measure_join(service, "statebench-cold")
+    warm = _measure_join(
+        service, "statebench-warm", storage=cold.pop("_storage").clone()
+    )
+    warm.pop("_storage")
+    cold.update(mode="chunked_cold", committed_entries=committed)
+    warm.update(mode="dedup_warm", committed_entries=committed)
+    if cold["base_seqno"] <= 0:
+        raise ConfigurationError("chunked join must have installed a snapshot")
+    if warm["chunks_fetched"] != 0:
+        raise ConfigurationError("warm re-join must fetch nothing")
+    rows.append(cold)
+    rows.append(warm)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Report, floors, CLI
+
+
+def run_matrix(entries: int = JOIN_STATE_ENTRIES) -> dict:
+    snapshot_sweep = run_snapshot_sweep()
+    for row in snapshot_sweep:
+        print(
+            f"statebench: dirty={row['dirty_fraction']:<5} "
+            f"serialized={row['entries_serialized']:>6}/{row['entries_total']} "
+            f"cost_ratio={row['cost_ratio_vs_full']}"
+        )
+    join_sweep = run_join_sweep(entries=entries)
+    for row in join_sweep:
+        print(
+            f"statebench: {row['mode']:<13} join={row['join_seconds'] * 1e3:8.2f}ms "
+            f"fetched={row['chunks_fetched']:>3} cached={row['chunks_cached']:>3} "
+            f"base_seqno={row['base_seqno']}"
+        )
+    return {
+        "workload": "logging app, 3 nodes, sim cost model",
+        "snapshot_store": {"maps": N_MAPS, "rows_per_map": ROWS_PER_MAP},
+        "join_state_entries": entries,
+        "snapshot_sweep": snapshot_sweep,
+        "join_sweep": join_sweep,
+    }
+
+
+def check_report(
+    report: dict, speedup_floor: float, dirty_ratio_max: float
+) -> list[str]:
+    """Regression gates over a BENCH_pr9 report; returns violations."""
+    problems: list[str] = []
+    by_fraction = {row["dirty_fraction"]: row for row in report["snapshot_sweep"]}
+    checked = by_fraction[CHECKED_DIRTY_FRACTION]
+    report["snapshot_cost_ratio_at_checked_fraction"] = checked["cost_ratio_vs_full"]
+    if checked["cost_ratio_vs_full"] > dirty_ratio_max:
+        problems.append(
+            f"delta snapshot at {CHECKED_DIRTY_FRACTION:.0%} dirty costs "
+            f"{checked['cost_ratio_vs_full']}x the full serialize; ceiling is "
+            f"{dirty_ratio_max}x"
+        )
+    by_mode = {row["mode"]: row for row in report["join_sweep"]}
+    full = by_mode["full_replay"]["join_seconds"]
+    warm = by_mode["dedup_warm"]["join_seconds"]
+    speedup = full / warm if warm else 0.0
+    report["join_dedup_speedup"] = round(speedup, 2)
+    if speedup < speedup_floor:
+        problems.append(
+            f"warm dedup re-join is only {speedup:.2f}x faster than full "
+            f"replay ({warm * 1e3:.2f}ms vs {full * 1e3:.2f}ms); floor is "
+            f"{speedup_floor}x"
+        )
+    if by_mode["dedup_warm"]["chunks_fetched"]:
+        problems.append(
+            "warm dedup re-join fetched "
+            f"{by_mode['dedup_warm']['chunks_fetched']} chunks; dedup must "
+            "serve them all from the local cache"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="incremental state transfer benchmark (BENCH_pr9)"
+    )
+    parser.add_argument("--out", help="write the JSON report here")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce the dirty-cost ceiling and the dedup join-speedup floor",
+    )
+    parser.add_argument("--budget", default="perf-budget.json")
+    parser.add_argument("--entries", type=int, default=JOIN_STATE_ENTRIES)
+    args = parser.parse_args(argv)
+
+    report = run_matrix(entries=args.entries)
+
+    problems: list[str] = []
+    if args.check:
+        with open(args.budget, encoding="utf-8") as handle:
+            budget = json.load(handle)
+        problems = check_report(
+            report,
+            float(budget["join_dedup_speedup_min"]),
+            float(budget["snapshot_dirty_cost_ratio_max"]),
+        )
+        if not problems:
+            print(
+                f"statebench: OK — {report['join_dedup_speedup']}x warm "
+                f"re-join speedup (floor {budget['join_dedup_speedup_min']}x), "
+                f"{report['snapshot_cost_ratio_at_checked_fraction']}x snapshot "
+                f"cost at {CHECKED_DIRTY_FRACTION:.0%} dirty (ceiling "
+                f"{budget['snapshot_dirty_cost_ratio_max']}x)"
+            )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"statebench: report written to {args.out}")
+    for problem in problems:
+        print(f"statebench: FLOOR VIOLATION: {problem}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,8 +70,14 @@ class CostModel:
     backup_append_cost: float = 8.0e-6
     # Forwarding a user request from a backup to the primary (section 4.3).
     forwarding_cost: float = 5.0e-6
-    # Snapshot serialization, per KV entry.
+    # Snapshot serialization, per KV entry. Delta snapshots charge this only
+    # for entries actually re-serialized (dirty maps); reused chunks are free.
     snapshot_cost_per_entry: float = 0.5e-6
+    # Shipping sealed state to a joiner, per byte (manifest + chunk
+    # responses; the legacy monolithic blob pays it too). Makes join time
+    # scale with transferred state in simulated time, so dedup savings are
+    # visible to the clock and not just to counters.
+    state_transfer_cost_per_byte: float = 2.0e-9
     # Fraction of the per-write service time that is fixed per-request
     # pipeline overhead (Merkle append bookkeeping, ledger framing,
     # replication hand-off) rather than application execution. Batched
@@ -118,3 +124,13 @@ class CostModel:
         shared = write * self.batch_overhead_fraction
         shared += num_backups * self.replication_cost_per_backup
         return shared + batch_size * write * (1.0 - self.batch_overhead_fraction)
+
+    def snapshot_production_cost(self, serialized_entries: int) -> float:
+        """Primary-side cost of producing one snapshot: serializing (and
+        sealing) ``serialized_entries`` KV entries. Delta snapshots pass only
+        the dirty-map entry count — O(change), not O(state)."""
+        return serialized_entries * self.snapshot_cost_per_entry
+
+    def state_transfer_cost(self, num_bytes: int) -> float:
+        """Wire-time surcharge for shipping ``num_bytes`` of state."""
+        return num_bytes * self.state_transfer_cost_per_byte

@@ -24,7 +24,7 @@ from repro.errors import IntegrityError, RecoveryError, VerificationError
 from repro.kv.store import KVStore
 from repro.ledger.chunking import LedgerChunk
 from repro.ledger.entry import LedgerEntry
-from repro.ledger.ledger import Ledger
+from repro.ledger.ledger import SIGNATURES_MAP, Ledger, SignatureRecord
 from repro.ledger.secrets import LedgerSecretStore
 from repro.node import maps
 from repro.storage.host_storage import HostStorage
@@ -123,12 +123,18 @@ class PublicReplayResult:
     warnings: list[SalvageWarning] = field(default_factory=list)
 
 
-def replay_public_ledger(storage: HostStorage) -> PublicReplayResult:
+def replay_public_ledger(
+    storage: HostStorage, *, fast_path: bool = True
+) -> PublicReplayResult:
     """Rebuild ledger + public store from untrusted chunk files, verifying
     every signature transaction against node identities found in the public
     state itself. Entries after the last verifiable signature are dropped,
     and so are chunk files a crash tore or a host corrupted — each with a
-    typed :class:`SalvageWarning` (best effort, as the paper specifies)."""
+    typed :class:`SalvageWarning` (best effort, as the paper specifies).
+
+    ``fast_path`` selects the batched replay (:func:`_replay_entries_fast`);
+    the serial replay stays available as the differential-testing oracle —
+    both produce byte-identical results on any salvaged input."""
     try:
         entries, salvage_warnings = salvage_ledger_entries(storage)
     # Salvaged disks hold arbitrary bytes; any failure to even enumerate
@@ -141,7 +147,16 @@ def replay_public_ledger(storage: HostStorage) -> PublicReplayResult:
             "no ledger entries salvageable from this disk"
             + (f" ({salvage_warnings[0].describe()})" if salvage_warnings else "")
         )
+    replay = _replay_entries_fast if fast_path else _replay_entries_slow
+    return replay(entries, salvage_warnings)
 
+
+def _replay_entries_slow(
+    entries: list[LedgerEntry], salvage_warnings: list[SalvageWarning]
+) -> PublicReplayResult:
+    """The reference replay: strictly serial, one entry at a time, every
+    signature verified the moment it is appended. This is the oracle the
+    fast path is differentially tested against — keep it boring."""
     ledger = Ledger(LedgerSecretStore())
     store = KVStore()
     verified_seqno = 0
@@ -169,6 +184,93 @@ def replay_public_ledger(storage: HostStorage) -> PublicReplayResult:
             except (IntegrityError, VerificationError):
                 break  # tampered: nothing at or past this point is trusted
             verified_seqno = entry.txid.seqno
+    return _finish_replay(ledger, store, verified_seqno, last_view, salvage_warnings)
+
+
+def _replay_entries_fast(
+    entries: list[LedgerEntry], salvage_warnings: list[SalvageWarning]
+) -> PublicReplayResult:
+    """Batched replay below the verified signature anchor.
+
+    Two phases instead of one interleaved loop:
+
+    1. **Structural**: validate ordering and apply each entry's public
+       write set (the KV store needs per-entry versions for rollback), but
+       defer the ledger work. Signature entries are *collected* — the
+       signer's key is resolved here, against the store exactly as the
+       serial replay would see it at that seqno.
+    2. **Batched verify**: append every structurally sound entry in one
+       ``append_batch`` (the Merkle extension folds into a single tight
+       loop), then verify the collected signatures in order — each one a
+       historical-root lookup (O(log n) via the subtree/spine caches) plus
+       one ECDSA check on the fastec double-scalar path. The first failure
+       is the anchor cut-off, exactly as in the serial replay.
+
+    The result is byte-identical to :func:`_replay_entries_slow` by
+    construction (and by the differential suite): entries past a failing
+    signature were applied here but are discarded by the same
+    truncate/rollback tail, and ``last_view`` is taken from the failing
+    signature when there is one, matching where the serial loop stops."""
+    ledger = Ledger(LedgerSecretStore())
+    store = KVStore()
+    accepted: list[LedgerEntry] = []
+    # (seqno, signer key) for every signature entry whose signer identity
+    # was recorded at collection time.
+    collected: list[tuple[int, VerifyingKey]] = []
+    expected_seqno = 1
+    highest_view = 0
+    for entry in entries:
+        try:
+            if entry.txid.seqno != expected_seqno:
+                raise RecoveryError(
+                    f"entry seqno {entry.txid.seqno} != expected {expected_seqno}"
+                )
+            if entry.txid.view < highest_view:
+                raise RecoveryError("entry view regresses")
+            store.apply_write_set(entry.public_writes, entry.txid.seqno)
+        # Same best-effort contract as the serial loop: keep the sound
+        # prefix, drop the broken suffix. repro-lint: disable=PROTO002
+        except Exception:
+            break
+        accepted.append(entry)
+        expected_seqno += 1
+        highest_view = entry.txid.view
+        if entry.is_signature:
+            try:
+                record = SignatureRecord.from_value(
+                    entry.public_writes.updates[SIGNATURES_MAP]["latest"]
+                )
+                key = _node_public_key(store, record.node_id)
+            except RecoveryError:
+                continue  # pre-genesis service-opening signature: skip
+            collected.append((entry.txid.seqno, key))
+    ledger.append_batch(accepted)
+    verified_seqno = 0
+    failed_seqno: int | None = None
+    for seqno, key in collected:
+        try:
+            ledger.verify_signature_entry(seqno, key)
+        except (IntegrityError, VerificationError):
+            failed_seqno = seqno
+            break
+        verified_seqno = seqno
+    if failed_seqno is not None:
+        # The serial replay stops *at* the failing signature, so its
+        # last_view is that entry's view, not the newest appended one.
+        last_view = ledger.txid_at(failed_seqno).view
+    else:
+        last_view = accepted[-1].txid.view if accepted else 0
+    return _finish_replay(ledger, store, verified_seqno, last_view, salvage_warnings)
+
+
+def _finish_replay(
+    ledger: Ledger,
+    store: KVStore,
+    verified_seqno: int,
+    last_view: int,
+    salvage_warnings: list[SalvageWarning],
+) -> PublicReplayResult:
+    """Shared replay tail: cut to the verified prefix and package up."""
     if verified_seqno == 0:
         raise RecoveryError("no verifiable signature transaction in the ledger files")
     # Drop everything after the verified prefix.

@@ -260,6 +260,43 @@ class HostStorage:
         return best
 
     # ------------------------------------------------------------------
+    # State-chunk cache (incremental state transfer)
+    #
+    # Sealed, content-addressed snapshot chunks. The file name *is* the
+    # content address (sha256 of the sealed bytes), so a cache hit is only
+    # trusted after the reader re-derives the digest — a tampered or torn
+    # cached chunk simply reads as a miss and is re-fetched.
+
+    def write_state_chunk(self, chunk_id: str, data: bytes) -> None:
+        # Each chunk syncs on write: the cache's whole point is surviving a
+        # crash mid-transfer, so a buffered chunk would be worthless.
+        self.write(f"state_{chunk_id}.chunk", data, sync=True)
+
+    def read_state_chunk(self, chunk_id: str) -> bytes | None:
+        try:
+            return self.read(f"state_{chunk_id}.chunk")
+        except LedgerError:
+            return None
+
+    def state_chunk_ids(self) -> list[str]:
+        """Content addresses of every cached chunk (unverified — callers
+        digest-check the bytes before use)."""
+        return [
+            name[len("state_") : -len(".chunk")]
+            for name in self.list_files("state_")
+            if name.endswith(".chunk")
+        ]
+
+    def prune_state_chunks(self, keep_ids: set[str]) -> int:
+        """Drop cached chunks outside ``keep_ids``; returns how many."""
+        dropped = 0
+        for chunk_id in self.state_chunk_ids():
+            if chunk_id not in keep_ids:
+                self.delete(f"state_{chunk_id}.chunk", sync=False)
+                dropped += 1
+        return dropped
+
+    # ------------------------------------------------------------------
     # Adversarial operations (the malicious host of the threat model)
 
     def tamper_flip_byte(self, name: str, offset: int) -> None:

@@ -171,3 +171,67 @@ class TestRetraction:
         for i in range(k, n):
             tree.append(f"tx-{i}".encode())
         assert tree.root() == _build(n).root()
+
+
+class TestSpineCache:
+    """The ragged-subrange memo behind O(log n) historical roots/proofs."""
+
+    def test_cached_roots_match_fresh_tree(self):
+        tree = _build(100)
+        # First pass populates the spine cache, second pass reads it; both
+        # must agree with a tree that never cached anything.
+        for _pass in range(2):
+            for size in range(1, 101):
+                fresh = MerkleTree()
+                for i in range(size):
+                    fresh.append(f"tx-{i}".encode())
+                assert tree.root_at(size) == fresh.root(), size
+
+    def test_retract_invalidates_overhanging_entries(self):
+        tree = _build(64)
+        for size in (10, 27, 41, 63):
+            tree.root_at(size)  # warm the cache across the whole range
+        tree.retract_to(30)
+        for i in range(30, 64):
+            tree.append(f"other-{i}".encode())
+        # Every cached subrange overlapping the retracted suffix is gone;
+        # historical roots over the new history are correct.
+        reference = MerkleTree()
+        for i in range(30):
+            reference.append(f"tx-{i}".encode())
+        for i in range(30, 64):
+            reference.append(f"other-{i}".encode())
+        for size in (10, 27, 30, 41, 63, 64):
+            assert tree.root_at(size) == reference.root_at(size), size
+
+    def test_warm_proof_cost_is_logarithmic(self, monkeypatch):
+        """Once caches are warm, a historical proof computes O(log n) node
+        hashes — not the O(log^2 n) ragged-spine recomputation it used to."""
+        import repro.crypto.merkle as merkle_mod
+
+        n = 1 << 12
+        tree = _build(n)
+        tree.proof(3, n - 5)  # warm subtree + spine caches for this shape
+        counter = {"calls": 0}
+        real_node_hash = merkle_mod.node_hash
+
+        def counting_node_hash(left, right):
+            counter["calls"] += 1
+            return real_node_hash(left, right)
+
+        monkeypatch.setattr(merkle_mod, "node_hash", counting_node_hash)
+        proof = tree.proof(3, n - 5)
+        # A proof folds one hash per step; generation itself should add at
+        # most ~log n more for uncached fringes.
+        assert counter["calls"] <= 2 * n.bit_length()
+        monkeypatch.undo()
+        proof.verify(b"tx-3", tree.root_at(n - 5))
+
+    def test_append_after_historical_query_stays_correct(self):
+        tree = _build(33)
+        seen = [tree.root_at(s) for s in range(1, 34)]
+        for i in range(33, 70):
+            tree.append(f"tx-{i}".encode())
+        # Appends never disturb frozen subrange roots.
+        for size, expected in enumerate(seen, start=1):
+            assert tree.root_at(size) == expected

@@ -5,7 +5,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import KVError
-from repro.kv.serialization import decode_value, encode_value, json_safe
+from repro.kv.serialization import (
+    MAX_DECODE_DEPTH,
+    decode_value,
+    encode_value,
+    json_safe,
+    json_safe_key,
+)
 
 # Strategy for the supported value universe.
 _scalars = st.one_of(
@@ -106,6 +112,114 @@ class TestCodec:
             assert encode_value(a) != encode_value(b)
 
 
+# The encoding is a wire/disk format: its exact bytes are load-bearing
+# (Merkle roots sign them). Pin representative vectors byte-for-byte so an
+# accidental format change fails loudly instead of splitting the ledger.
+_GOLDEN_VECTORS = [
+    (None, "00"),
+    (True, "02"),
+    (False, "01"),
+    (0, "030000000100"),
+    (1, "030000000101"),
+    (-1, "040000000100"),
+    (255, "0300000001ff"),
+    (256, "03000000020100"),
+    (-256, "0400000001ff"),
+    (2**70, "0300000009400000000000000000"),
+    (-(2**70), "04000000093fffffffffffffffff"),
+    ("", "0500000000"),
+    ("hello", "050000000568656c6c6f"),
+    ("héllo ✓", "050000000a68c3a96c6c6f20e29c93"),
+    ("1", "050000000131"),
+    (b"", "0600000000"),
+    (b"\x00\x01\xff", "06000000030001ff"),
+    ([], "0700000000"),
+    ([1, "two", b"\x03", None], "0700000004030000000101050000000374776f06000000010300"),
+    (
+        [[1, 2], [3, [4]]],
+        "070000000207000000020300000001010300000001020700000002"
+        "0300000001030700000001030000000104",
+    ),
+    ({}, "0800000000"),
+    (
+        {"a": 1, "b": [2, 3]},
+        "08000000020500000001610300000001010500000001620700000002"
+        "030000000102030000000103",
+    ),
+    (
+        {1: "int", "1": "str"},
+        "08000000020300000001010500000003696e740500000001310500000003737472",
+    ),
+    (
+        {b"\x00": None, "": {"nested": {"deep": [True, False]}}},
+        "08000000020500000000080000000105000000066e6573746564"
+        "08000000010500000004646565700700000002020106000000010000",
+    ),
+    (
+        {(1, 2): "tuple-key"},
+        "0800000001070000000203000000010103000000010205000000097475706c652d6b6579",
+    ),
+    (
+        {"z": 1, "a": 2, "m": 3},
+        "080000000305000000016103000000010205000000016d0300000001"
+        "0305000000017a030000000101",
+    ),
+]
+
+
+class TestGoldenVectors:
+    @pytest.mark.parametrize("value,expected_hex", _GOLDEN_VECTORS)
+    def test_encoding_pinned(self, value, expected_hex):
+        assert encode_value(value).hex() == expected_hex
+
+    @pytest.mark.parametrize("value,expected_hex", _GOLDEN_VECTORS)
+    def test_golden_bytes_decode_back(self, value, expected_hex):
+        decoded = decode_value(bytes.fromhex(expected_hex))
+        if isinstance(value, dict) and any(
+            isinstance(k, tuple) for k in value
+        ):
+            # Tuple keys decode as tuples (frozen lists); values compare equal.
+            assert {k: v for k, v in decoded.items()} == value
+        elif isinstance(value, (list, tuple)):
+            assert decoded == list(value) or decoded == [list(v) for v in value]
+        else:
+            assert decoded == value
+
+
+class TestDecodeDepthLimit:
+    def _nested_list(self, depth):
+        value = 42
+        for _ in range(depth):
+            value = [value]
+        return value
+
+    def test_depth_just_below_limit_accepted(self):
+        value = self._nested_list(MAX_DECODE_DEPTH - 1)
+        assert decode_value(encode_value(value)) == value
+
+    def test_over_depth_raises_typed_error(self):
+        # Build the hostile blob by hand — the encoder itself would recurse.
+        depth = MAX_DECODE_DEPTH + 10
+        blob = b"\x07\x00\x00\x00\x01" * depth + b"\x00"
+        with pytest.raises(KVError, match="nests deeper"):
+            decode_value(blob)
+
+    def test_over_depth_is_not_recursion_error(self):
+        blob = b"\x07\x00\x00\x00\x01" * 5000 + b"\x00"
+        try:
+            decode_value(blob)
+        except KVError:
+            pass  # typed failure, never RecursionError
+
+    def test_deep_dicts_also_bounded(self):
+        # {"k": {"k": ... }} nested past the limit.
+        blob = (b"\x08\x00\x00\x00\x01" + b"\x05\x00\x00\x00\x01k") * (
+            MAX_DECODE_DEPTH + 10
+        ) + b"\x00"
+        with pytest.raises(KVError, match="nests deeper"):
+            decode_value(blob)
+
+
 class TestJsonSafe:
     def test_bytes_become_tagged_hex(self):
         assert json_safe(b"\x01\x02") == {"__bytes__": "0102"}
@@ -115,3 +229,48 @@ class TestJsonSafe:
         import json
 
         json.dumps(json_safe(value))  # must be JSON-serializable
+
+
+class TestJsonSafeKeys:
+    def test_int_and_str_keys_stay_distinct(self):
+        """The historical bug: str(1) == str("1") merged two live rows."""
+        rendered = json_safe({1: "int", "1": "str"})
+        assert rendered == {"__int__:1": "int", "1": "str"}
+        assert len(rendered) == 2
+
+    def test_all_key_types_tagged(self):
+        assert json_safe_key(None) == "__none__:"
+        assert json_safe_key(True) == "__bool__:true"
+        assert json_safe_key(False) == "__bool__:false"
+        assert json_safe_key(-7) == "__int__:-7"
+        assert json_safe_key(b"\x01\xff") == "__bytes__:01ff"
+        assert json_safe_key((1, "a")) == (
+            "__tuple__:" + encode_value([1, "a"]).hex()
+        )
+
+    def test_plain_strings_pass_through(self):
+        assert json_safe_key("hello") == "hello"
+        assert json_safe_key("") == ""
+        assert json_safe_key("__almost") == "__almost"
+
+    def test_tag_shaped_strings_escaped(self):
+        """A user string that happens to look like a tag must not collide
+        with the tagged rendering of another key."""
+        assert json_safe_key("__int__:1") == "__str__:__int__:1"
+        assert json_safe_key(1) != json_safe_key("__int__:1")
+        assert json_safe_key("__str__:x") == "__str__:__str__:x"
+
+    def test_mapping_is_injective_over_mixed_keys(self):
+        keys = [None, True, False, 0, 1, -1, "", "1", "true", b"", b"\x00",
+                (0,), "__int__:0", "__none__:"]
+        rendered = [json_safe_key(k) for k in keys]
+        assert len(set(rendered)) == len(keys)
+
+    def test_bytes_values_keep_dict_form(self):
+        """Only *keys* use the flat tagged form; byte values keep the
+        established ``{"__bytes__": hex}`` object shape."""
+        assert json_safe({b"k": b"v"}) == {"__bytes__:6b": {"__bytes__": "76"}}
+
+    def test_unhashable_key_type_rejected(self):
+        with pytest.raises(KVError):
+            json_safe_key(3.14)

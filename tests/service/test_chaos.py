@@ -71,6 +71,64 @@ def test_chaos_crashes_and_replacements(seed):
         assert dict(node.store.items("records")) == reference
 
 
+@pytest.mark.parametrize("seed", [13, 29])
+def test_chaos_join_mid_load_via_chunked_snapshot(seed):
+    """Chaos with delta snapshots on: a node is killed and its replacement
+    joins *mid-load* through the chunked-dedup state transfer, while the
+    closed-loop client keeps writing. The replacement must come up from a
+    snapshot (not full replay), and the surviving configuration must agree
+    byte-for-byte on committed data afterwards."""
+    from repro.node.config import NodeConfig
+
+    config = NodeConfig(signature_interval=10, snapshot_interval=100,
+                        snapshot_chunk_bytes=1024, join_chunk_batch=4)
+    service = make_service(n_nodes=3, seed=seed, node_config=config)
+    rng = service.scheduler.rng
+    operator = Operator(service)
+    user = service.users[0]
+    credentials = {"certificate": user.certificate.to_dict()}
+    endpoint = ServiceClient(service.scheduler, service.network,
+                             name="chaos-join-writer", identity=user)
+    throughput = ThroughputRecorder()
+    primary = service.primary_node()
+    client = ClosedLoopClient(
+        endpoint, primary.node_id,
+        lambda i: ("/app/write_message", {"id": i % 200, "msg": f"v{i}"}, credentials),
+        concurrency=5, throughput=throughput,
+        fallback_nodes=[n.node_id for n in service.backup_nodes()],
+        retry_timeout=0.15,
+    )
+    client.start()
+    # Enough traffic that a snapshot exists before the kill.
+    service.run_until(lambda: service.primary_node() is not None
+                      and service.primary_node()._latest_snapshot is not None,
+                      timeout=10.0)
+
+    victim = rng.choice([n for n in service.backup_nodes() if not n.stopped])
+    service.kill_node(victim.node_id)
+    service.run_until(lambda: service.primary_node() is not None, timeout=10.0)
+    replacement, _timeline = operator.replace_node(victim.node_id)
+    service.run(0.2)
+    client.stop()
+    service.run(0.5)
+
+    # The replacement installed a chunked snapshot, not a from-genesis replay.
+    assert replacement.ledger.base_seqno > 0
+    assert replacement.storage.state_chunk_ids()
+    primary = service.primary_node()
+    assert len(primary.consensus.configurations.current.nodes) == 3
+    check_all_invariants([n.consensus for n in service.nodes.values()
+                          if n.consensus is not None])
+    assert throughput.count > 500
+    reference = dict(primary.store.items("records"))
+    live_nodes = [n for n in service.nodes.values()
+                  if not n.stopped and n.consensus is not None
+                  and n.node_id in primary.consensus.configurations.current.nodes]
+    assert len(live_nodes) == 3
+    for node in live_nodes:
+        assert dict(node.store.items("records")) == reference
+
+
 def test_chaos_partition_and_heal():
     """A partition isolates the primary; the majority side elects a new
     one; healing reconciles every ledger without losing committed data."""

@@ -29,7 +29,13 @@ class TestSnapshots:
         fill(service, 40)
         primary = service.primary_node()
         assert primary._latest_snapshot is not None
-        assert primary.storage.latest_snapshot() is not None
+        # Chunked snapshots persist as a manifest plus content-addressed
+        # chunks; the legacy path writes one monolithic snapshot file.
+        if "chunks" in primary._latest_snapshot:
+            assert primary.storage.list_files("manifest_")
+            assert primary.storage.state_chunk_ids()
+        else:
+            assert primary.storage.latest_snapshot() is not None
 
     def test_snapshot_receipt_verifies(self, service):
         fill(service, 40)
@@ -66,19 +72,11 @@ class TestSnapshots:
             service.kill_node(victim.node_id)
         service.run_until(lambda: service.primary_node() is not None, timeout=10.0)
 
-    def test_tampered_snapshot_rejected_by_joiner(self, service):
-        """The untrusted host serving a snapshot cannot substitute state:
-        the digest in the receipt's claims must match."""
-        fill(service, 40)
-        primary = service.primary_node()
-        package = primary._latest_snapshot
-        # Corrupt one byte of the snapshot the primary would serve.
-        tampered = dict(package, data=b"\x00" + package["data"][1:])
-        primary._latest_snapshot = tampered
+    def _make_joiner(self, service, primary, node_id="joiner-x"):
         from repro.node.node import CCFNode
 
         joiner = CCFNode(
-            node_id="joiner-x",
+            node_id=node_id,
             scheduler=service.scheduler,
             network=service.network,
             hardware=service.hardware,
@@ -87,6 +85,59 @@ class TestSnapshots:
             code_id=service.code_id,
         )
         joiner.request_join(primary.node_id, primary.service_certificate)
+        return joiner
+
+    def test_tampered_manifest_rejected_by_joiner(self, service):
+        """The untrusted host serving a snapshot cannot substitute state:
+        the manifest digest in the receipt's claims must match."""
+        fill(service, 40)
+        primary = service.primary_node()
+        package = primary._latest_snapshot
+        assert "chunks" in package
+        # Swap one chunk id in the manifest the primary would serve.
+        metadata = dict(package["metadata"])
+        name, ids = metadata["chunk_maps"][0]
+        metadata["chunk_maps"] = [[name, ["00" * 32] + list(ids)[1:]]] + [
+            list(row) for row in metadata["chunk_maps"][1:]
+        ]
+        primary._latest_snapshot = dict(package, metadata=metadata)
+        self._make_joiner(service, primary)
+        with pytest.raises(VerificationError):
+            service.run(0.5)
+
+    def test_tampered_chunk_rejected_by_joiner(self, service):
+        """A served chunk whose bytes do not hash to its content address is
+        rejected rather than installed (or re-fetched forever)."""
+        fill(service, 40)
+        primary = service.primary_node()
+        package = primary._latest_snapshot
+        assert "chunks" in package
+        chunks = dict(package["chunks"])
+        victim = next(iter(chunks))
+        blob = chunks[victim]
+        chunks[victim] = b"\x00" + blob[1:]
+        primary._latest_snapshot = dict(package, chunks=chunks)
+        # The disk cache would satisfy the request with good bytes; tamper
+        # it the same way so the substitution is actually served.
+        primary.storage.files[f"state_{victim}.chunk"] = chunks[victim]
+        self._make_joiner(service, primary)
+        with pytest.raises(VerificationError):
+            service.run(0.5)
+
+    def test_tampered_monolithic_snapshot_rejected_by_joiner(self):
+        """Same property on the legacy single-blob snapshot path."""
+        service = make_service(
+            n_nodes=3,
+            node_config=NodeConfig(
+                signature_interval=10, snapshot_interval=20, delta_snapshots=False
+            ),
+        )
+        fill(service, 40)
+        primary = service.primary_node()
+        package = primary._latest_snapshot
+        tampered = dict(package, data=b"\x00" + package["data"][1:])
+        primary._latest_snapshot = tampered
+        self._make_joiner(service, primary)
         with pytest.raises(VerificationError):
             service.run(0.5)
 
