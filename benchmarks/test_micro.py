@@ -100,6 +100,38 @@ class TestChamp:
         m = ChampMap.from_dict({f"key-{i}": i for i in range(10_000)})
         benchmark(lambda: m.set("key-5000", -1))
 
+    def test_persistent_bulk_build(self, benchmark):
+        """The pre-PR10 bulk build: one path copy per insert."""
+        pairs = [(f"key-{i}", i) for i in range(10_000)]
+
+        def build():
+            m = ChampMap.empty()
+            for key, value in pairs:
+                m = m.set(key, value)
+            return m
+
+        benchmark(build)
+
+    def test_transient_bulk_build(self, benchmark):
+        """``from_items`` routes through a transient builder: one ownership
+        token for the whole build, in-place list mutation per insert."""
+        pairs = [(f"key-{i}", i) for i in range(10_000)]
+        benchmark(lambda: ChampMap.from_items(pairs))
+
+    def test_transient_batch_update(self, benchmark):
+        """A 512-write batch against a 10k map through the builder — the
+        ``apply_write_set`` fast-path shape."""
+        m = ChampMap.from_dict({f"key-{i}": i for i in range(10_000)})
+        batch = [(f"key-{i * 17 % 12_000}", -i) for i in range(512)]
+
+        def apply_batch():
+            builder = m.transient()
+            for key, value in batch:
+                builder.set(key, value)
+            return builder.freeze()
+
+        benchmark(apply_batch)
+
 
 class TestCrypto:
     def test_fast_aead_seal_small(self, benchmark):
@@ -121,6 +153,30 @@ class TestCrypto:
         signature = key.sign(b"merkle root")
         public = key.public_key
         benchmark(lambda: public.verify(signature, b"merkle root"))
+
+
+class TestFrameSealing:
+    """Per-message AEAD seals vs one coalesced frame (PR 10)."""
+
+    def _pair(self):
+        from repro.crypto.x25519 import DHPrivateKey
+        from repro.net.channels import NodeChannels
+
+        a = NodeChannels("alpha", DHPrivateKey.generate(b"bench-frame-a"))
+        b = NodeChannels("beta", DHPrivateKey.generate(b"bench-frame-b"))
+        a.establish("beta", b.public)
+        b.establish("alpha", a.public)
+        return a, b
+
+    def test_seal_16_per_message(self, benchmark):
+        a, _b = self._pair()
+        payloads = [bytes([i]) * 64 for i in range(16)]
+        benchmark(lambda: [a.seal("beta", p) for p in payloads])
+
+    def test_seal_16_as_frame(self, benchmark):
+        a, _b = self._pair()
+        payloads = [bytes([i]) * 64 for i in range(16)]
+        benchmark(lambda: a.seal_frame("beta", payloads))
 
 
 class TestFastPath:

@@ -73,6 +73,13 @@ class ConsensusConfig:
     # The primary steps down if fewer than a majority of backups acked
     # within this window (section 4.2, last paragraph).
     step_down_window: float = 0.45
+    # How many max_batch_entries windows to pipeline toward a lagging peer
+    # per replication trigger (ack or replicate_now), with next_index
+    # advanced optimistically between windows. >1 keeps a catch-up stream
+    # full instead of paying one round trip per window, and gives frame
+    # coalescing multi-message (sender, peer) batches to amortize seals
+    # over. Heartbeats stay single-window: they are liveness probes.
+    catch_up_windows: int = 4
 
 
 class ConsensusNode:
@@ -405,44 +412,63 @@ class ConsensusNode:
             self._step_down()
 
     def _send_append_entries(
-        self, peer: str, shared: dict[int, AppendEntries] | None = None
+        self,
+        peer: str,
+        shared: dict[int, AppendEntries] | None = None,
+        windows: int = 1,
     ) -> None:
-        next_seqno = self._next_index.get(peer, self.ledger.last_seqno + 1)
-        # A snapshot-based ledger does not hold entries at or below its
-        # base; a peer lagging below it cannot be caught up by replication
-        # and must re-join from a snapshot (section 4.4). Clamp so we never
-        # frame a batch we cannot actually read.
-        if next_seqno <= self.ledger.base_seqno:
-            next_seqno = self.ledger.base_seqno + 1
-            self._next_index[peer] = next_seqno
-        # Serialize-once fast path: within one broadcast (heartbeat or
-        # replicate_now), peers at the same next_index receive the *same*
-        # message object, so the batch framing is encoded once for all of
-        # them (encode_message memoizes per instance). The message content
-        # and per-peer send order are exactly what per-peer construction
-        # produced; only redundant host-side work is dropped.
-        message = shared.get(next_seqno) if shared is not None else None
-        if message is None:
-            prev_txid = self.ledger.txid_at(min(next_seqno - 1, self.ledger.last_seqno))
-            last = min(
-                self.ledger.last_seqno, next_seqno + self.config.max_batch_entries - 1
-            )
-            entries = (
-                tuple(self.ledger.entries(next_seqno, last)) if last >= next_seqno else ()
-            )
-            message = AppendEntries(
-                view=self.view,
-                leader_id=self.node_id,
-                prev_txid=prev_txid,
-                entries=entries,
-                leader_commit=self.commit_seqno,
-            )
-            if shared is not None:
-                shared[next_seqno] = message
-        obs = self.scheduler.obs
-        if obs is not None:
-            obs.append_entries_sent(self.node_id, peer, len(message.entries))
-        self.host.send_consensus_message(peer, message)
+        """Send up to ``windows`` consecutive append_entries batches to
+        ``peer``, advancing ``next_index`` optimistically between them.
+
+        With ``windows > 1`` a lagging peer receives a pipelined burst in
+        one event instead of one window per ack round trip; a failure ack
+        rewinds ``next_index`` as usual, discarding the optimism. The burst
+        is also what frame coalescing feeds on: k windows to one peer in
+        one event collapse into one sealed frame.
+        """
+        for _ in range(max(1, windows)):
+            next_seqno = self._next_index.get(peer, self.ledger.last_seqno + 1)
+            # A snapshot-based ledger does not hold entries at or below its
+            # base; a peer lagging below it cannot be caught up by replication
+            # and must re-join from a snapshot (section 4.4). Clamp so we never
+            # frame a batch we cannot actually read.
+            if next_seqno <= self.ledger.base_seqno:
+                next_seqno = self.ledger.base_seqno + 1
+                self._next_index[peer] = next_seqno
+            # Serialize-once fast path: within one broadcast (heartbeat or
+            # replicate_now), peers at the same next_index receive the *same*
+            # message object, so the batch framing is encoded once for all of
+            # them (encode_message memoizes per instance). The message content
+            # and per-peer send order are exactly what per-peer construction
+            # produced; only redundant host-side work is dropped.
+            message = shared.get(next_seqno) if shared is not None else None
+            if message is None:
+                prev_txid = self.ledger.txid_at(min(next_seqno - 1, self.ledger.last_seqno))
+                last = min(
+                    self.ledger.last_seqno, next_seqno + self.config.max_batch_entries - 1
+                )
+                entries = (
+                    tuple(self.ledger.entries(next_seqno, last)) if last >= next_seqno else ()
+                )
+                message = AppendEntries(
+                    view=self.view,
+                    leader_id=self.node_id,
+                    prev_txid=prev_txid,
+                    entries=entries,
+                    leader_commit=self.commit_seqno,
+                )
+                if shared is not None:
+                    shared[next_seqno] = message
+            obs = self.scheduler.obs
+            if obs is not None:
+                obs.append_entries_sent(self.node_id, peer, len(message.entries))
+            self.host.send_consensus_message(peer, message)
+            if not message.entries:
+                break
+            covered = message.entries[-1].txid.seqno
+            if covered >= self.ledger.last_seqno:
+                break
+            self._next_index[peer] = covered + 1
 
     def replicate_now(self) -> None:
         """Push new entries to peers immediately (called after the host
@@ -452,7 +478,9 @@ class ConsensusNode:
         shared: dict[int, AppendEntries] = {}
         for peer in self._replication_targets():
             if self._next_index.get(peer, 1) <= self.ledger.last_seqno:
-                self._send_append_entries(peer, shared)
+                self._send_append_entries(
+                    peer, shared, windows=self.config.catch_up_windows
+                )
 
     def on_append_entries(self, message: AppendEntries) -> None:
         if self._stopped:
@@ -541,11 +569,19 @@ class ConsensusNode:
         if message.success:
             advanced = message.last_seqno > self._match_index.get(peer, 0)
             self._match_index[peer] = max(self._match_index.get(peer, 0), message.last_seqno)
-            self._next_index[peer] = self._match_index[peer] + 1
+            # Optimistic pipelining may already have next_index past this
+            # ack's match point; never rewind it on success, or the windows
+            # in flight between here and there would be re-sent.
+            self._next_index[peer] = max(
+                self._next_index.get(peer, 1), self._match_index[peer] + 1
+            )
             if advanced:
                 self._try_advance_commit()
             if self._next_index[peer] <= self.ledger.last_seqno:
-                self._send_append_entries(peer)  # keep catching the peer up
+                # Keep catching the peer up, a pipelined burst at a time.
+                self._send_append_entries(
+                    peer, windows=self.config.catch_up_windows
+                )
         else:
             current = self._next_index.get(peer, self.ledger.last_seqno + 1)
             self._next_index[peer] = max(1, min(current - 1, message.match_hint + 1))

@@ -65,20 +65,30 @@ class _Node:
     """One CHAMP node: ``data_map`` marks slots holding inline (k, v) pairs,
     ``node_map`` marks slots holding child nodes. The ``content`` array
     stores data entries from the left and child nodes from the right, per
-    the CHAMP paper's layout."""
+    the CHAMP paper's layout.
 
-    __slots__ = ("data_map", "node_map", "content")
+    ``owner`` is the transient-builder ownership token (see
+    :class:`TransientChampMap`): ``None`` on every node reachable from a
+    persistent map, and the builder's private token object on nodes the
+    builder created itself — the only nodes it may mutate in place.
+    """
 
-    def __init__(self, data_map: int, node_map: int, content: tuple):
+    __slots__ = ("data_map", "node_map", "content", "owner")
+
+    def __init__(self, data_map: int, node_map: int, content, owner=None):
+        # ``content`` is a flat sequence (tuple or list — owned transient
+        # nodes hold lists so slot writes are O(1); frozen nodes may keep
+        # their lists, which is safe because nothing mutates unowned nodes).
         self.data_map = data_map
         self.node_map = node_map
         self.content = content
+        self.owner = owner
 
     def _data_index(self, bit: int) -> int:
-        return bin(self.data_map & (bit - 1)).count("1")
+        return (self.data_map & (bit - 1)).bit_count()
 
     def _node_index(self, bit: int) -> int:
-        return len(self.content) - 1 - bin(self.node_map & (bit - 1)).count("1")
+        return len(self.content) - 1 - (self.node_map & (bit - 1)).bit_count()
 
     def get(self, key: Any, key_hash: int, shift: int, default: Any) -> Any:
         bit = 1 << ((key_hash >> shift) & _MASK)
@@ -95,7 +105,12 @@ class _Node:
         return default
 
     def set(self, key: Any, value: Any, key_hash: int, shift: int) -> tuple["_Node", bool]:
-        """Returns (new node, added) where added is False on overwrite."""
+        """Returns (new node, added) where added is False on overwrite.
+
+        Copies go through ``list(self.content)`` + an in-place edit — one
+        allocation instead of slice-concatenation chains, and agnostic to
+        whether the source array is a tuple or a (frozen transient) list.
+        """
         bit = 1 << ((key_hash >> shift) & _MASK)
         if self.data_map & bit:
             idx = self._data_index(bit) * 2
@@ -103,7 +118,8 @@ class _Node:
             if existing_key == key:
                 if self.content[idx + 1] is value:
                     return self, False
-                content = self.content[:idx + 1] + (value,) + self.content[idx + 2:]
+                content = list(self.content)
+                content[idx + 1] = value
                 return _Node(self.data_map, self.node_map, content), False
             # Hash collision at this level: push both entries down a level.
             existing_hash = _hash(existing_key)
@@ -111,14 +127,10 @@ class _Node:
                 existing_key, self.content[idx + 1], existing_hash,
                 key, value, key_hash, shift + _BITS,
             )
-            data_idx = self._data_index(bit) * 2
             node_idx = self._node_index(bit)
-            content = (
-                self.content[:data_idx]
-                + self.content[data_idx + 2:node_idx + 1]
-                + (child,)
-                + self.content[node_idx + 1:]
-            )
+            content = list(self.content)
+            del content[idx:idx + 2]
+            content.insert(node_idx - 1, child)
             return _Node(self.data_map ^ bit, self.node_map | bit, content), True
         if self.node_map & bit:
             node_idx = self._node_index(bit)
@@ -129,11 +141,13 @@ class _Node:
                 new_child, added = child.set(key, value, key_hash, shift + _BITS)
             if new_child is child:
                 return self, added
-            content = self.content[:node_idx] + (new_child,) + self.content[node_idx + 1:]
+            content = list(self.content)
+            content[node_idx] = new_child
             return _Node(self.data_map, self.node_map, content), added
         # Empty slot: insert inline.
         idx = self._data_index(bit) * 2
-        content = self.content[:idx] + (key, value) + self.content[idx:]
+        content = list(self.content)
+        content[idx:idx] = (key, value)
         return _Node(self.data_map | bit, self.node_map, content), True
 
     def remove(self, key: Any, key_hash: int, shift: int) -> tuple["_Node | None", bool]:
@@ -143,9 +157,10 @@ class _Node:
             idx = self._data_index(bit) * 2
             if self.content[idx] != key:
                 return self, False
-            content = self.content[:idx] + self.content[idx + 2:]
-            if not content:
+            if len(self.content) == 2:
                 return None, True
+            content = list(self.content)
+            del content[idx:idx + 2]
             return _Node(self.data_map ^ bit, self.node_map, content), True
         if self.node_map & bit:
             node_idx = self._node_index(bit)
@@ -157,28 +172,27 @@ class _Node:
             if not removed:
                 return self, False
             if new_child is None:
-                content = self.content[:node_idx] + self.content[node_idx + 1:]
-                if not content:
+                if len(self.content) == 1:
                     return None, True
+                content = list(self.content)
+                del content[node_idx]
                 return _Node(self.data_map, self.node_map ^ bit, content), True
             # Collapse single-entry children back inline (canonical form).
             if isinstance(new_child, _Node) and new_child.node_map == 0 and \
-                    bin(new_child.data_map).count("1") == 1:
+                    new_child.data_map.bit_count() == 1:
                 inline_key, inline_value = new_child.content
                 data_idx = self._data_index(bit) * 2
-                content = (
-                    self.content[:data_idx]
-                    + (inline_key, inline_value)
-                    + self.content[data_idx:node_idx]
-                    + self.content[node_idx + 1:]
-                )
+                content = list(self.content)
+                del content[node_idx]
+                content[data_idx:data_idx] = (inline_key, inline_value)
                 return _Node(self.data_map | bit, self.node_map ^ bit, content), True
-            content = self.content[:node_idx] + (new_child,) + self.content[node_idx + 1:]
+            content = list(self.content)
+            content[node_idx] = new_child
             return _Node(self.data_map, self.node_map, content), True
         return self, False
 
     def items(self) -> Iterator[tuple[Any, Any]]:
-        data_count = bin(self.data_map).count("1")
+        data_count = self.data_map.bit_count()
         for i in range(data_count):
             yield self.content[2 * i], self.content[2 * i + 1]
         for child in self.content[2 * data_count:]:
@@ -188,10 +202,11 @@ class _Node:
 class _Collision:
     """A bucket of entries whose 32-bit hashes fully collide."""
 
-    __slots__ = ("entries",)
+    __slots__ = ("entries", "owner")
 
-    def __init__(self, entries: tuple):
-        self.entries = entries  # flat (k, v, k, v, ...) tuple
+    def __init__(self, entries, owner=None):
+        self.entries = entries  # flat (k, v, k, v, ...) sequence
+        self.owner = owner
 
     def get(self, key: Any, default: Any) -> Any:
         for i in range(0, len(self.entries), 2):
@@ -202,15 +217,21 @@ class _Collision:
     def set(self, key: Any, value: Any) -> tuple["_Collision", bool]:
         for i in range(0, len(self.entries), 2):
             if self.entries[i] == key:
-                entries = self.entries[:i + 1] + (value,) + self.entries[i + 2:]
+                entries = list(self.entries)
+                entries[i + 1] = value
                 return _Collision(entries), False
-        return _Collision(self.entries + (key, value)), True
+        entries = list(self.entries)
+        entries.extend((key, value))
+        return _Collision(entries), True
 
     def remove(self, key: Any) -> tuple["_Collision | None", bool]:
         for i in range(0, len(self.entries), 2):
             if self.entries[i] == key:
-                entries = self.entries[:i] + self.entries[i + 2:]
-                return (_Collision(entries) if entries else None), True
+                if len(self.entries) == 2:
+                    return None, True
+                entries = list(self.entries)
+                del entries[i:i + 2]
+                return _Collision(entries), True
         return self, False
 
     def items(self) -> Iterator[tuple[Any, Any]]:
@@ -218,18 +239,28 @@ class _Collision:
             yield self.entries[i], self.entries[i + 1]
 
 
-def _merge_two(key_a, value_a, hash_a, key_b, value_b, hash_b, shift):
-    """Build the minimal subtree distinguishing two colliding entries."""
+def _merge_two(key_a, value_a, hash_a, key_b, value_b, hash_b, shift, owner=None):
+    """Build the minimal subtree distinguishing two colliding entries.
+
+    Freshly built nodes are unshared by construction, so a transient builder
+    passes its token as ``owner`` and may keep mutating them in place.
+    """
     if shift >= _HASH_BITS:
-        return _Collision((key_a, value_a, key_b, value_b))
+        return _Collision([key_a, value_a, key_b, value_b], owner)
     frag_a = (hash_a >> shift) & _MASK
     frag_b = (hash_b >> shift) & _MASK
     if frag_a == frag_b:
-        child = _merge_two(key_a, value_a, hash_a, key_b, value_b, hash_b, shift + _BITS)
-        return _Node(0, 1 << frag_a, (child,))
+        child = _merge_two(
+            key_a, value_a, hash_a, key_b, value_b, hash_b, shift + _BITS, owner
+        )
+        return _Node(0, 1 << frag_a, [child], owner)
     if frag_a < frag_b:
-        return _Node((1 << frag_a) | (1 << frag_b), 0, (key_a, value_a, key_b, value_b))
-    return _Node((1 << frag_a) | (1 << frag_b), 0, (key_b, value_b, key_a, value_a))
+        return _Node(
+            (1 << frag_a) | (1 << frag_b), 0, [key_a, value_a, key_b, value_b], owner
+        )
+    return _Node(
+        (1 << frag_a) | (1 << frag_b), 0, [key_b, value_b, key_a, value_a], owner
+    )
 
 
 _EMPTY_NODE = _Node(0, 0, ())
@@ -237,13 +268,23 @@ _SENTINEL = object()
 
 
 class ChampMap:
-    """The public persistent-map interface."""
+    """The public persistent-map interface.
 
-    __slots__ = ("_root", "_size")
+    ``_canon`` memoizes the map's canonical serialized form (rows sorted by
+    encoded key, plus their encoding) — see
+    :meth:`repro.kv.store.KVStore.canonical_map_rows`. It is safe to cache on
+    the instance because a ChampMap's contents never change after
+    construction: persistent ops return new maps, and transient builders can
+    never mutate a frozen map's nodes (their ownership tokens are retired at
+    freeze time).
+    """
+
+    __slots__ = ("_root", "_size", "_canon")
 
     def __init__(self, root: _Node = _EMPTY_NODE, size: int = 0):
         self._root = root
         self._size = size
+        self._canon = None
 
     @classmethod
     def empty(cls) -> "ChampMap":
@@ -251,10 +292,24 @@ class ChampMap:
 
     @classmethod
     def from_dict(cls, items: dict) -> "ChampMap":
-        result = _EMPTY
-        for key, value in items.items():
-            result = result.set(key, value)
-        return result
+        return cls.from_items(items.items())
+
+    @classmethod
+    def from_items(cls, pairs) -> "ChampMap":
+        """Bulk-build from (key, value) pairs via a transient builder: one
+        ownership token for the whole build, so every trie path is mutated
+        in place instead of path-copied per insert."""
+        builder = _EMPTY.transient()
+        for key, value in pairs:
+            builder.set(key, value)
+        return builder.freeze()
+
+    def transient(self) -> "TransientChampMap":
+        """A mutable builder seeded with this map's contents. The builder
+        copies nodes on first touch (this map is never modified) and mutates
+        its own copies in place thereafter; ``freeze()`` returns a persistent
+        map and invalidates the builder."""
+        return TransientChampMap(self)
 
     def get(self, key: Any, default: Any = None) -> Any:
         return self._root.get(key, _hash(key), 0, default)
@@ -309,6 +364,224 @@ class ChampMap:
         preview = ", ".join(f"{k!r}: {v!r}" for k, v in list(self.items())[:4])
         suffix = ", …" if len(self) > 4 else ""
         return f"ChampMap({{{preview}{suffix}}}, size={len(self)})"
+
+
+class TransientChampMap:
+    """A mutable CHAMP builder for batch writes (transient discipline).
+
+    The builder holds a private *ownership token* (a fresh object). A node
+    whose ``owner`` is this token was created by this builder and is
+    reachable from no persistent map, so the builder mutates it in place;
+    any other node (``owner`` is ``None`` or a retired token) is copied on
+    first touch. The result is the classic persistent/transient contract:
+
+    - the source map is never observably modified;
+    - a batch of N writes copies each trie path at most once instead of
+      once per write;
+    - ``freeze()`` is O(1): it retires the token (sets it to ``None``) and
+      wraps the root. Retirement alone is enough — no node walk — because
+      a later builder always mints a *new* token, which can never compare
+      identical to the retired one, so frozen nodes are immutable forever.
+
+    Mutation after ``freeze()`` raises :class:`KVError`: with the token
+    retired, the builder could otherwise mistake shared persistent nodes
+    (``owner is None``) for its own.
+
+    The write algorithms mirror the persistent ``set``/``remove`` branch for
+    branch — including the inline→collision pushdown and the single-entry
+    collapse on remove — so a frozen transient is structure- and
+    byte-identical to the equivalent sequence of persistent operations
+    (enforced by the randomized differential oracle in
+    ``tests/kv/test_transient.py``).
+    """
+
+    __slots__ = ("_owner", "_root", "_size", "_source", "_mutated")
+
+    def __init__(self, source: ChampMap):
+        self._owner = object()
+        self._root = source._root
+        self._size = source._size
+        self._source = source
+        self._mutated = False
+
+    # ------------------------------------------------------------------
+    # Reads (valid until freeze)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._root.get(key, _hash(key), 0, default)
+
+    def __contains__(self, key: Any) -> bool:
+        return self._root.get(key, _hash(key), 0, _SENTINEL) is not _SENTINEL
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Writes
+
+    def set(self, key: Any, value: Any) -> "TransientChampMap":
+        self._check_live()
+        root = self._owned(self._root)
+        if self._set_in(root, key, value, _hash(key), 0):
+            self._size += 1
+        if self._mutated:
+            self._root = root
+        return self
+
+    def remove(self, key: Any) -> "TransientChampMap":
+        self._check_live()
+        root = self._owned(self._root)
+        removed, replacement = self._remove_in(root, key, _hash(key), 0)
+        if removed:
+            self._size -= 1
+            self._root = replacement if replacement is not None else _EMPTY_NODE
+        return self
+
+    def freeze(self) -> ChampMap:
+        """Retire the ownership token and return a persistent map. O(1).
+        If no write actually changed the contents, the original source map
+        is returned unchanged — preserving the persistent path's identity
+        semantics (no-op batches keep the same map object, which the delta
+        snapshot dirtiness check relies on)."""
+        self._check_live()
+        self._owner = None
+        if not self._mutated:
+            return self._source
+        return ChampMap(self._root, self._size)
+
+    # ------------------------------------------------------------------
+    # Internals
+
+    def _check_live(self) -> None:
+        if self._owner is None:
+            raise KVError("transient map already frozen")
+
+    def _owned(self, node):
+        """``node``, if this builder owns it; else a copy it does own.
+
+        Copies take a fresh *list* content array: owned nodes are mutated
+        in place with O(1) slot writes, so they must never share their
+        content with an unowned (potentially frozen/shared) node."""
+        owner = self._owner
+        if node.owner is owner:
+            return node
+        if isinstance(node, _Collision):
+            return _Collision(list(node.entries), owner)
+        return _Node(node.data_map, node.node_map, list(node.content), owner)
+
+    def _set_in(self, node: _Node, key, value, key_hash: int, shift: int) -> bool:
+        """Set within owned ``node``; returns True when a new key was added.
+        Mirrors ``_Node.set`` branch for branch, but edits the owned node's
+        list content in place — no array rebuild per write."""
+        bit = 1 << ((key_hash >> shift) & _MASK)
+        if node.data_map & bit:
+            idx = node._data_index(bit) * 2
+            existing_key = node.content[idx]
+            if existing_key == key:
+                if node.content[idx + 1] is value:
+                    return False
+                node.content[idx + 1] = value
+                self._mutated = True
+                return False
+            # Hash collision at this level: push both entries down a level.
+            existing_hash = _hash(existing_key)
+            child = _merge_two(
+                existing_key, node.content[idx + 1], existing_hash,
+                key, value, key_hash, shift + _BITS, owner=self._owner,
+            )
+            node_idx = node._node_index(bit)
+            del node.content[idx:idx + 2]
+            node.content.insert(node_idx - 1, child)
+            node.data_map ^= bit
+            node.node_map |= bit
+            self._mutated = True
+            return True
+        if node.node_map & bit:
+            node_idx = node._node_index(bit)
+            child = node.content[node_idx]
+            owned = self._owned(child)
+            if owned is not child:
+                node.content[node_idx] = owned
+            if isinstance(owned, _Collision):
+                return self._set_collision(owned, key, value)
+            return self._set_in(owned, key, value, key_hash, shift + _BITS)
+        # Empty slot: insert inline.
+        idx = node._data_index(bit) * 2
+        node.content[idx:idx] = (key, value)
+        node.data_map |= bit
+        self._mutated = True
+        return True
+
+    def _set_collision(self, node: _Collision, key, value) -> bool:
+        entries = node.entries
+        for i in range(0, len(entries), 2):
+            if entries[i] == key:
+                entries[i + 1] = value
+                self._mutated = True
+                return False
+        entries.extend((key, value))
+        self._mutated = True
+        return True
+
+    def _remove_in(self, node: _Node, key, key_hash: int, shift: int):
+        """Remove within owned ``node``. Returns ``(removed, replacement)``
+        where replacement is ``None`` when the subtree emptied, else the
+        node to keep in the slot. Mirrors ``_Node.remove`` exactly,
+        including the canonical single-entry collapse."""
+        bit = 1 << ((key_hash >> shift) & _MASK)
+        if node.data_map & bit:
+            idx = node._data_index(bit) * 2
+            if node.content[idx] != key:
+                return False, node
+            self._mutated = True
+            if len(node.content) == 2:
+                return True, None
+            del node.content[idx:idx + 2]
+            node.data_map ^= bit
+            return True, node
+        if node.node_map & bit:
+            node_idx = node._node_index(bit)
+            child = node.content[node_idx]
+            owned = self._owned(child)
+            if owned is not child:
+                node.content[node_idx] = owned
+            if isinstance(owned, _Collision):
+                removed, new_child = self._remove_collision(owned, key)
+            else:
+                removed, new_child = self._remove_in(owned, key, key_hash, shift + _BITS)
+            if not removed:
+                return False, node
+            if new_child is None:
+                if len(node.content) == 1:
+                    return True, None
+                del node.content[node_idx]
+                node.node_map ^= bit
+                return True, node
+            # Collapse single-entry children back inline (canonical form).
+            if isinstance(new_child, _Node) and new_child.node_map == 0 and \
+                    new_child.data_map.bit_count() == 1:
+                inline_key, inline_value = new_child.content
+                data_idx = node._data_index(bit) * 2
+                del node.content[node_idx]
+                node.content[data_idx:data_idx] = (inline_key, inline_value)
+                node.data_map |= bit
+                node.node_map ^= bit
+                return True, node
+            if new_child is not node.content[node_idx]:
+                node.content[node_idx] = new_child
+            return True, node
+        return False, node
+
+    def _remove_collision(self, node: _Collision, key):
+        entries = node.entries
+        for i in range(0, len(entries), 2):
+            if entries[i] == key:
+                self._mutated = True
+                if len(entries) == 2:
+                    return True, None
+                del entries[i:i + 2]
+                return True, node
+        return False, node
 
 
 _EMPTY = ChampMap()

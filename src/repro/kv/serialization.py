@@ -100,6 +100,26 @@ def _encode_into(out: bytearray, value: Any) -> None:
     raise KVError(f"cannot serialize {type(value).__name__} values")
 
 
+def encode_dict_from_encoded(pairs: list[tuple[bytes, bytes]]) -> bytes:
+    """Assemble a canonical dict encoding from already-encoded
+    ``(key bytes, value bytes)`` pairs.
+
+    Byte-identical to ``encode_value`` of the equivalent dict: canonical
+    form sorts entries by their encoded bytes, which this reproduces on the
+    pre-encoded pairs. This is what lets the store splice *memoized* per-map
+    encodings into a snapshot without re-encoding clean maps — the whole
+    point of the memo is skipping ``encode_value``, so the enclosing dict
+    must be assembled from cached bytes rather than re-walked.
+    """
+    out = bytearray()
+    out.append(_TAG_DICT)
+    out += _encode_length(len(pairs))
+    for key_bytes, val_bytes in sorted(pairs):
+        out += key_bytes
+        out += val_bytes
+    return bytes(out)
+
+
 def decode_value(data: bytes) -> Any:
     """Decode canonical bytes back into a value."""
     value, offset = _decode(data, 0, 0)

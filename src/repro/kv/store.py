@@ -15,8 +15,28 @@ from typing import Any, Iterator
 
 from repro.errors import KVError, TransactionConflictError
 from repro.kv.champ import ChampMap
-from repro.kv.serialization import decode_value, encode_value
+from repro.kv.serialization import (
+    decode_value,
+    encode_dict_from_encoded,
+    encode_value,
+    freeze_key,
+)
 from repro.kv.tx import REMOVED, Transaction, WriteSet
+
+# Batched writes go through a transient CHAMP builder (one path copy per
+# batch instead of one per write). The persistent per-write path remains as
+# the differential-testing oracle; flipping this off routes every apply
+# through it (used by tests and repro.obs.kvbench to prove byte-identical
+# results and to measure the speedup).
+TRANSIENT_APPLY = True
+
+
+def set_transient_apply(enabled: bool) -> bool:
+    """Toggle the transient apply fast path; returns the previous setting."""
+    global TRANSIENT_APPLY
+    previous = TRANSIENT_APPLY
+    TRANSIENT_APPLY = bool(enabled)
+    return previous
 
 
 class KVStore:
@@ -94,11 +114,26 @@ class KVStore:
             )
         for map_name, entries in write_set.updates.items():
             current = self._maps.get(map_name, ChampMap.empty())
-            for key, value in entries.items():
-                if value is REMOVED:
-                    current = current.remove(key)
-                else:
-                    current = current.set(key, value)
+            if TRANSIENT_APPLY and len(entries) > 1:
+                # Transient fast path: one ownership token for the whole
+                # per-map batch, so shared trie paths are copied once and
+                # then mutated in place. freeze() returns the identical map
+                # object for all-no-op batches, matching the persistent
+                # path's identity semantics (delta-snapshot dirtiness is an
+                # object-identity check).
+                builder = current.transient()
+                for key, value in entries.items():
+                    if value is REMOVED:
+                        builder.remove(key)
+                    else:
+                        builder.set(key, value)
+                current = builder.freeze()
+            else:
+                for key, value in entries.items():
+                    if value is REMOVED:
+                        current = current.remove(key)
+                    else:
+                        current = current.set(key, value)
             self._maps[map_name] = current
         self.version = seqno
         self._history[seqno] = dict(self._maps)
@@ -178,16 +213,24 @@ class KVStore:
 
     @staticmethod
     def _serialize_maps(maps: dict[str, ChampMap], version: int) -> bytes:
-        state = {
-            "version": version,
-            "maps": {
-                name: [[key, value] for key, value in sorted(
-                    m.items(), key=lambda item: encode_value(item[0])
-                )]
-                for name, m in maps.items()
-            },
-        }
-        return encode_value(state)
+        # Assemble the snapshot from memoized per-map encodings: a map that
+        # did not change since its last serialization (same ChampMap object,
+        # same cached bytes) is spliced in without re-walking a single
+        # entry. Byte-identical to encoding the equivalent plain dict —
+        # tests/kv/test_transient.py checks this against a reference
+        # implementation.
+        maps_encoding = encode_dict_from_encoded(
+            [
+                (encode_value(name), KVStore.encoded_map_rows(champ))
+                for name, champ in maps.items()
+            ]
+        )
+        return encode_dict_from_encoded(
+            [
+                (encode_value("version"), encode_value(version)),
+                (encode_value("maps"), maps_encoding),
+            ]
+        )
 
     def map_table_at(self, version: int) -> dict[str, ChampMap]:
         """The (shared) map table as of retained ``version``.
@@ -222,22 +265,58 @@ class KVStore:
     def canonical_map_rows(champ: ChampMap) -> list[list[Any]]:
         """One map's entries in canonical (encoded-key) order — the unit of
         per-map chunk serialization. Matches ``_serialize_maps`` row order
-        so full and chunked snapshots agree byte-for-byte per map."""
-        return [
+        so full and chunked snapshots agree byte-for-byte per map.
+
+        Memoized on the map instance (``ChampMap._canon``), keyed by nothing
+        but identity: a ChampMap's contents are fixed at construction, so
+        the cache can never go stale, and the delta-snapshot dirtiness unit
+        (same object = clean) is exactly the memo's validity unit. Callers
+        must treat the returned rows as read-only.
+        """
+        rows, _encoded = KVStore._canonical(champ)
+        return rows
+
+    @staticmethod
+    def encoded_map_rows(champ: ChampMap) -> bytes:
+        """``encode_value`` of :meth:`canonical_map_rows`, memoized alongside
+        it — the per-map splice unit for ``_serialize_maps``."""
+        _rows, encoded = KVStore._canonical(champ)
+        return encoded
+
+    @staticmethod
+    def _canonical(champ: ChampMap) -> tuple[list[list[Any]], bytes]:
+        from repro.obs.metrics import RUNTIME_STATS
+
+        cached = champ._canon
+        if cached is not None:
+            RUNTIME_STATS.inc("kv.map_encode.hits")
+            return cached
+        RUNTIME_STATS.inc("kv.map_encode.misses")
+        rows = [
             [key, value]
             for key, value in sorted(
                 champ.items(), key=lambda item: encode_value(item[0])
             )
         ]
+        cached = (rows, encode_value(rows))
+        champ._canon = cached
+        return cached
 
     @classmethod
     def from_map_rows(
         cls, maps: dict[str, list[list[Any]]], version: int
     ) -> "KVStore":
-        """Rebuild a store from per-map canonical rows (chunked install)."""
+        """Rebuild a store from per-map canonical rows (chunked install).
+        Maps are bulk-built through a transient builder — install cost is
+        one in-place trie build per map, not a path copy per row. Row keys
+        pass through ``freeze_key``: tuple keys decode from the wire as
+        lists (rows are list-encoded, so the decoder's own key freezing
+        never sees them)."""
         store = cls()
         for name, rows in maps.items():
-            store._maps[name] = ChampMap.from_dict({key: value for key, value in rows})
+            store._maps[name] = ChampMap.from_items(
+                (freeze_key(key), value) for key, value in rows
+            )
         store.version = version
         store._history = {version: dict(store._maps)}
         store._history_order = [version]
@@ -250,7 +329,9 @@ class KVStore:
             raise KVError("malformed store snapshot")
         store = cls()
         for name, rows in state["maps"].items():
-            store._maps[name] = ChampMap.from_dict({key: value for key, value in rows})
+            store._maps[name] = ChampMap.from_items(
+                (freeze_key(key), value) for key, value in rows
+            )
         store.version = state["version"]
         store._history = {store.version: dict(store._maps)}
         store._history_order = [store.version]

@@ -5,6 +5,15 @@ headers and message forwarding." Each pair of nodes derives a shared AEAD
 key from their X25519 key pairs; consensus payloads between enclaves travel
 sealed under that key, so the untrusted hosts relaying them can neither read
 nor tamper with replicated private state.
+
+Sealing comes in two granularities sharing one counter stream per peer:
+per-message (:meth:`NodeChannels.seal` / :meth:`NodeChannels.open`) and
+per-frame (:meth:`NodeChannels.seal_frame` / :class:`FrameAssembler`), where
+a frame packs every payload a node produced for one peer during one
+scheduler event under a single AEAD seal and a single counter increment.
+Fast-path counters live in :data:`repro.obs.metrics.RUNTIME_STATS`
+(``channel.establish.*``, ``channel.seal.*``, ``channel.frames.*``), reset
+per run.
 """
 
 from __future__ import annotations
@@ -17,14 +26,9 @@ from repro.crypto.x25519 import DHPrivateKey
 from repro.crypto.aead import nonce_from_counter
 from repro.errors import VerificationError
 from repro.kv.serialization import decode_value, encode_value
+from repro.obs.metrics import RUNTIME_STATS
 
 _CHANNEL_DOMAIN = 0x43  # 'C'
-
-# ChannelHello is idempotent and re-sent on reconnects and join gossip;
-# re-deriving an unchanged key costs an X25519 exchange plus an HKDF for
-# nothing. Counters are exported via repro.obs.metrics as
-# ``fastpath.channel_establish.*``.
-CHANNEL_STATS = {"channel_establish.derived": 0, "channel_establish.reused": 0}
 
 
 @dataclass(frozen=True)
@@ -74,9 +78,9 @@ class NodeChannels:
             self._peer_publics.get(peer_id) == peer_public
             and peer_id in self._keys
         ):
-            CHANNEL_STATS["channel_establish.reused"] += 1
+            RUNTIME_STATS.inc("channel.establish.reused")
             return
-        CHANNEL_STATS["channel_establish.derived"] += 1
+        RUNTIME_STATS.inc("channel.establish.derived")
         shared = self._dh.exchange(peer_public)
         low, high = sorted([self.node_id, peer_id])
         key_bytes = hkdf(shared, b"repro-channel|" + low.encode() + b"|" + high.encode(), 32)
@@ -88,15 +92,40 @@ class NodeChannels:
     def has_channel(self, peer_id: str) -> bool:
         return peer_id in self._keys
 
-    def seal(self, peer_id: str, payload: bytes) -> SealedMessage:
-        key = self._keys_for(peer_id)
+    def _send_nonce(self, peer_id: str) -> tuple[int, bytes]:
         counter = self._send_counters[peer_id]
         self._send_counters[peer_id] = counter + 1
         # Each direction uses its own nonce half-space (sender identity in
         # the AAD prevents reflection).
-        nonce = nonce_from_counter(counter * 2 + (0 if self.node_id < peer_id else 1),
-                                   _CHANNEL_DOMAIN)
+        nonce = nonce_from_counter(
+            counter * 2 + (0 if self.node_id < peer_id else 1), _CHANNEL_DOMAIN
+        )
+        return counter, nonce
+
+    def seal(self, peer_id: str, payload: bytes) -> SealedMessage:
+        key = self._keys_for(peer_id)
+        counter, nonce = self._send_nonce(peer_id)
+        RUNTIME_STATS.inc("channel.seal.calls")
+        RUNTIME_STATS.inc("channel.seal.messages")
         box = key.seal(nonce, payload, aad=self.node_id.encode())
+        return SealedMessage(sender=self.node_id, counter=counter, box=box)
+
+    def seal_frame(self, peer_id: str, payloads: list[bytes]) -> SealedMessage:
+        """Seal a batch of payloads for ``peer_id`` as one frame.
+
+        One AEAD seal and one counter increment cover the whole batch; the
+        plaintext is the canonical encoding of the payload list, so the
+        frame is self-describing and receivers recover the payloads in
+        send order. Frames share the per-peer counter stream with
+        single-message seals, so the nonce space stays collision-free even
+        when the two granularities interleave (e.g. join secrets mid-run).
+        """
+        key = self._keys_for(peer_id)
+        counter, nonce = self._send_nonce(peer_id)
+        RUNTIME_STATS.inc("channel.seal.calls")
+        RUNTIME_STATS.inc("channel.seal.messages", len(payloads))
+        RUNTIME_STATS.inc("channel.frames.sealed")
+        box = key.seal(nonce, encode_value(list(payloads)), aad=self.node_id.encode())
         return SealedMessage(sender=self.node_id, counter=counter, box=box)
 
     def open(self, message: SealedMessage) -> bytes:
@@ -115,8 +144,80 @@ class NodeChannels:
         self._recv_counters[message.sender] = message.counter + 1
         return payload
 
+    def open_frame(self, sender: str, counter: int, box: bytes) -> list[bytes]:
+        """Authenticate and unpack one frame into its payload list.
+
+        Does *not* consult or advance the per-message replay watermark —
+        frame replay protection is segment-granular and lives in
+        :class:`FrameAssembler`, which tracks ``(counter, index)`` pairs.
+        """
+        key = self._keys_for(sender)
+        nonce = nonce_from_counter(
+            counter * 2 + (0 if sender < self.node_id else 1), _CHANNEL_DOMAIN
+        )
+        plaintext = key.open(nonce, box, aad=sender.encode())
+        payloads = decode_value(plaintext)
+        if not isinstance(payloads, list) or not all(
+            isinstance(item, bytes) for item in payloads
+        ):
+            raise VerificationError(f"malformed frame from {sender}")
+        RUNTIME_STATS.inc("channel.frames.opened")
+        return payloads
+
     def _keys_for(self, peer_id: str) -> FastAEADKey:
         try:
             return self._keys[peer_id]
         except KeyError:
             raise VerificationError(f"no channel established with {peer_id}") from None
+
+
+class FrameAssembler:
+    """Receiver-side frame handling with per-segment replay protection.
+
+    Segments of one frame arrive as independent network messages (they take
+    independent latency draws, like the uncoalesced messages they replace),
+    so acceptance must be decided per segment. The watermark is the pair
+    ``(frame counter, segment index)`` compared lexicographically: a segment
+    is accepted iff its pair is >= the watermark, which then advances to
+    ``(counter, index + 1)``.
+
+    This is order-isomorphic to the legacy per-message counters: number the
+    messages of the uncoalesced run in send order and `(counter, index)`
+    enumerates exactly that sequence, so "accept iff not overtaken by a
+    later-accepted message" drops the same messages under any reordering,
+    duplication, or loss pattern — the property the coalescing-on/off
+    differential chaos test pins down.
+    """
+
+    def __init__(self, channels: NodeChannels):
+        self._channels = channels
+        self._watermarks: dict[str, tuple[int, int]] = {}
+        # One opened frame per sender is all the cache ever needs: a
+        # segment of an older frame is below the watermark by construction.
+        self._opened: dict[str, tuple[int, list[bytes]]] = {}
+
+    def accept(
+        self, sender: str, counter: int, box: bytes, count: int, index: int
+    ) -> bytes | None:
+        """Return segment ``index``'s payload, or None if replay-dropped.
+
+        Raises :class:`VerificationError` on tamper (AEAD failure) or a
+        frame whose advertised segment count does not match its contents.
+        """
+        watermark = self._watermarks.get(sender, (0, 0))
+        if (counter, index) < watermark:
+            RUNTIME_STATS.inc("channel.frames.replay_dropped")
+            return None
+        cached = self._opened.get(sender)
+        if cached is not None and cached[0] == counter:
+            payloads = cached[1]
+        else:
+            payloads = self._channels.open_frame(sender, counter, box)
+            self._opened[sender] = (counter, payloads)
+        if len(payloads) != count or index >= len(payloads):
+            raise VerificationError(
+                f"frame from {sender} advertises {count} segments, "
+                f"carries {len(payloads)}"
+            )
+        self._watermarks[sender] = (counter, index + 1)
+        return payloads[index]

@@ -60,6 +60,12 @@ class NodeConfig:
     # apply, then deferred signature verification below the anchor). The
     # serial replay remains as the differential-testing oracle.
     replay_fast_path: bool = True
+    # Coalesced sealed wire frames (PR 10). All consensus messages a node
+    # produces for one peer within one scheduler event share a single AEAD
+    # seal and counter increment; segments still travel (and take latency
+    # draws) as individual messages, so traced runs are bit-identical with
+    # this on or off. Requires secure_channels (plain sends are unaffected).
+    frame_coalescing: bool = True
 
     def __post_init__(self) -> None:
         if self.signature_interval < 1:

@@ -46,15 +46,20 @@ class KeyWriteIndex:
     # if needed"; section 7: that storage is AEAD-encrypted) -----------
 
     def serialize(self) -> bytes:
-        from repro.kv.serialization import encode_value
+        from repro.kv.serialization import encode_value, json_safe_key
 
+        # Sort by the tagged reversible key form, not str(key): str()
+        # conflates 1 and "1" into the same sort key, making the offload
+        # byte order depend on dict insertion order for such pairs.
+        # json_safe_key is injective, so the ordering (and the offloaded
+        # bytes) is a pure function of the index contents.
         return encode_value(
             {
                 "map_name": self.map_name,
                 "writes": [
                     [key, [[t.view, t.seqno] for t in txids]]
                     for key, txids in sorted(
-                        self._writes.items(), key=lambda item: str(item[0])
+                        self._writes.items(), key=lambda item: json_safe_key(item[0])
                     )
                 ],
             }

@@ -51,7 +51,7 @@ from repro.ledger.receipts import Receipt, issue_receipt
 from repro.ledger.secrets import LedgerSecret, LedgerSecretStore
 from repro.ledger import statetransfer
 from repro.ledger.chunking import chunk_entries
-from repro.net.channels import NodeChannels, SealedMessage
+from repro.net.channels import FrameAssembler, NodeChannels, SealedMessage
 from repro.net.network import Network
 from repro.node import auth as auth_module
 from repro.node import maps
@@ -63,6 +63,8 @@ from repro.node.wire import (
     ClientResponse,
     ForwardedRequest,
     ForwardedResponse,
+    FrameSegment,
+    PendingFrame,
     JoinRequest,
     JoinResponse,
     SealedConsensusMessage,
@@ -149,6 +151,12 @@ class CCFNode:
         # Joiner-side chunked-transfer state between manifest and install.
         self._pending_state_transfer: dict | None = None
         self._persisted_seqno = 0
+        # Frame coalescing (sender side): per-peer pending frame for the
+        # current scheduler event, plus the raw payloads awaiting the single
+        # end-of-event seal. Receiver side: segment-granular replay state.
+        self._pending_frames: dict[str, tuple[PendingFrame, list[bytes]]] = {}
+        self._frame_flush_armed = False
+        self._frame_assembler = FrameAssembler(self.channels)
         self.stopped = False
 
         network.register(node_id, self._on_network_message)
@@ -912,12 +920,13 @@ class CCFNode:
                 if map_name.startswith("public:"):
                     continue  # already restored during public replay
                 current = self.store._maps.get(map_name, ChampMap.empty())
+                builder = current.transient()
                 for key, value in updates.items():
                     if value is REMOVED:
-                        current = current.remove(key)
+                        builder.remove(key)
                     else:
-                        current = current.set(key, value)
-                self.store._maps[map_name] = current
+                        builder.set(key, value)
+                self.store._maps[map_name] = builder.freeze()
             recovered += 1
         self.store._history[self.store.version] = dict(self.store._maps)
         self.enclave.memory.put("recovered_private_entries", recovered)
@@ -931,16 +940,65 @@ class CCFNode:
     # ConsensusHost interface
 
     def send_consensus_message(self, to: str, message: object) -> None:
-        if self.config.secure_channels:
-            if not self.channels.has_channel(to):
-                return  # channel not yet established; retried by protocol
-            sealed = self.channels.seal(to, encode_message(message))
-            payload = SealedConsensusMessage(
-                sender=sealed.sender, counter=sealed.counter, box=sealed.box
-            )
-            self.network.send(self.node_id, to, payload)
-        else:
+        if not self.config.secure_channels:
             self.network.send(self.node_id, to, message)
+            return
+        if not self.channels.has_channel(to):
+            return  # channel not yet established; retried by protocol
+        if self.config.frame_coalescing:
+            self._send_framed(to, message)
+            return
+        sealed = self.channels.seal(to, encode_message(message))
+        payload = SealedConsensusMessage(
+            sender=sealed.sender, counter=sealed.counter, box=sealed.box
+        )
+        self.network.send(self.node_id, to, payload)
+
+    def _send_framed(self, to: str, message: object) -> None:
+        """Queue ``message`` into this event's frame for ``to`` and put its
+        segment on the wire immediately.
+
+        The segment takes the exact network path (event, sequence number,
+        latency draw) the sealed message would have taken — only the AEAD
+        work moves, into one end-of-event seal per peer. The seal microtask
+        draws no randomness and schedules nothing, so a traced run is
+        bit-identical with coalescing on or off.
+        """
+        pending = self._pending_frames.get(to)
+        if pending is None:
+            pending = (PendingFrame(), [])
+            self._pending_frames[to] = pending
+        frame, payloads = pending
+        raw = encode_message(message)
+        index = len(payloads)
+        payloads.append(raw)
+        frame.payload_sizes.append(len(raw))
+        if not self._frame_flush_armed:
+            # Arm before the send: for out-of-event sends (bootstrap) the
+            # hook runs synchronously, and it must run after the payload is
+            # queued but sealing-before-delivery still holds (latency > 0).
+            self._frame_flush_armed = True
+            self.scheduler.at_event_end(self._seal_pending_frames)
+        self.network.send(self.node_id, to, FrameSegment(frame=frame, index=index))
+
+    def _seal_pending_frames(self) -> None:
+        """End-of-event microtask: one AEAD seal per (this node, peer)."""
+        pending = self._pending_frames
+        self._pending_frames = {}
+        self._frame_flush_armed = False
+        for peer, (frame, payloads) in pending.items():
+            sealed = self.channels.seal_frame(peer, payloads)
+            frame.sender = sealed.sender
+            frame.counter = sealed.counter
+            frame.box = sealed.box
+            frame.count = len(payloads)
+            obs = self.scheduler.obs
+            if obs is not None:
+                obs.frame_sealed(
+                    self.node_id,
+                    len(payloads),
+                    self.cost.sealing_cost(len(payloads), 1),
+                )
 
     def apply_replicated_entry(self, entry: LedgerEntry) -> frozenset[str] | None:
         self.ledger.append(entry)
@@ -1365,6 +1423,19 @@ class CCFNode:
 
     def _on_network_message(self, src: str, payload: object) -> None:
         if self.stopped:
+            return
+        if isinstance(payload, FrameSegment):
+            frame = payload.frame
+            if frame.box is None:
+                return  # sender crashed before its end-of-event seal ran
+            try:
+                raw = self._frame_assembler.accept(
+                    frame.sender, frame.counter, frame.box, frame.count, payload.index
+                )
+            except VerificationError:
+                return  # unknown peer or tampered frame: drop
+            if raw is not None and self.consensus is not None:
+                self.consensus.dispatch(decode_message(raw))
             return
         if isinstance(payload, SealedConsensusMessage):
             try:

@@ -47,6 +47,15 @@ def estimate_wire_size(payload: object) -> int:
     ciphertext; plain payloads are walked structurally with a small per-field
     overhead, mirroring what a length-prefixed codec would produce.
     """
+    # Frame segments are sized before the frame is sealed (sealing happens
+    # at event end, after every segment is already in flight), so they are
+    # measured from the recorded plaintext size: the segment's payload plus
+    # the frame header (sender + counter + AEAD tag) amortized onto the
+    # first segment and a small per-segment index overhead after that.
+    frame = getattr(payload, "frame", None)
+    index = getattr(payload, "index", None)
+    if frame is not None and index is not None:
+        return frame.payload_sizes[index] + (37 if index == 0 else 5)
     box = getattr(payload, "box", None)
     if isinstance(box, bytes):
         return len(box) + 16  # header: sender + counter
@@ -187,8 +196,8 @@ class ObsCollector:
         """
         from repro.consensus import messages
         from repro.crypto import certs, ec, ecdsa, fastec
-        from repro.net import channels
         from repro.node import auth
+        from repro.obs.metrics import RUNTIME_STATS
 
         merged: dict[str, int] = {}
         for stats in (
@@ -197,8 +206,8 @@ class ObsCollector:
             ecdsa.MEMO_STATS,
             certs.CERT_STATS,
             messages.ENCODE_STATS,
-            channels.CHANNEL_STATS,
             auth.AUTH_STATS,
+            RUNTIME_STATS.snapshot(),
         ):
             merged.update(stats)
         for name in sorted(merged):
@@ -443,6 +452,16 @@ class ObsCollector:
 
     def message_dropped(self, src: str, dst: str) -> None:
         self.registry.counter("net.messages_dropped", node=dst).inc()
+
+    def frame_sealed(self, node_id: str, messages: int, cost: float) -> None:
+        """One coalesced frame sealed at event end: ``messages`` payloads
+        under a single AEAD seal. ``cost`` is the CostModel's accounting
+        estimate — recorded, never scheduled, so observing it cannot perturb
+        the run (coalescing on/off must trace identically)."""
+        self.registry.counter("net.frames_sealed", node=node_id).inc()
+        self.registry.counter("net.frame_messages", node=node_id).inc(messages)
+        self.registry.histogram("net.frame_size").observe(float(messages))
+        self.registry.counter("net.frame_seal_cost", node=node_id).inc(cost)
 
     # ------------------------------------------------------------------
     # KV store hooks

@@ -1,0 +1,321 @@
+"""``python -m repro.obs.kvbench``: host wall-clock hot-write-path suite
+(PR 10).
+
+Measures the batched write path as the node runs it — ``apply_write_set``
+plus the periodic snapshot serialize — with the PR 10 fast paths (transient
+CHAMP builders, memoized per-map encodings) against the pre-PR10 shape
+(persistent per-write applies, full re-encode of every map per snapshot),
+differential-checking that both produce byte-identical snapshots **in the
+same run** before any timing is reported. A second sweep measures AEAD seal
+amortization: per-message seals vs coalesced frames over the same payload
+stream.
+
+Like :mod:`repro.obs.cryptobench`, this file measures *host* wall-clock on
+purpose — it is the one place the write-path work talks about real time.
+Simulated-time behaviour (trace digests, ledger bytes on/off) is pinned by
+the test suite instead.
+
+``--check`` enforces the floors from ``perf-budget.json``:
+``kv_batch_apply_speedup_min`` on the batched write path and
+``frame_seal_amortization_min`` on coalesced sealing.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+# Host wall-clock measurement is this module's entire purpose; it never
+# feeds the simulation.
+import time  # repro-lint: disable=DET001
+
+from repro.errors import KVError
+from repro.kv.serialization import encode_value
+from repro.kv.store import KVStore, set_transient_apply
+from repro.kv.tx import WriteSet
+from repro.obs.metrics import RUNTIME_STATS
+
+# Write-path workload shape: many maps, few dirty per snapshot interval —
+# the CCF steady state (section 3.3: app tables plus rarely-written
+# governance/system maps share one store).
+N_MAPS = 16
+ROWS_PER_MAP = 1500
+BATCHES = 48
+WRITES_PER_BATCH = 256
+SNAPSHOT_EVERY = 4
+REPEATS = 3
+
+# Seal workload shape: consensus acks/heartbeats are small; frames carry a
+# scheduler event's worth of messages for one peer.
+SEAL_PAYLOADS = 2048
+SEAL_PAYLOAD_BYTES = 64
+FRAME_SIZE = 16
+
+
+# ----------------------------------------------------------------------
+# Sweep 1: batched write path (apply + periodic snapshot serialize)
+
+
+def _reference_serialize(store: KVStore) -> bytes:
+    """The pre-PR10 snapshot path: one full ``encode_value`` of the whole
+    map table, re-walking every entry of every map, memoizing nothing."""
+    return encode_value(
+        {
+            "version": store.version,
+            "maps": {
+                name: [
+                    [key, value]
+                    for key, value in sorted(
+                        champ.items(), key=lambda item: encode_value(item[0])
+                    )
+                ]
+                for name, champ in store._maps.items()
+            },
+        }
+    )
+
+
+def _seed_store() -> KVStore:
+    store = KVStore()
+    ws = WriteSet(
+        updates={
+            f"public:table{m:02d}": {
+                f"key{r:05d}": r * (m + 1) for r in range(ROWS_PER_MAP)
+            }
+            for m in range(N_MAPS)
+        }
+    )
+    store.apply_write_set(ws, 1)
+    return store
+
+
+def _write_batches(seed: int = 5) -> list[WriteSet]:
+    """Each batch hits two of the maps; over the run every map is written,
+    but between any two snapshots most maps stay clean."""
+    rng = random.Random(seed)
+    batches = []
+    for i in range(BATCHES):
+        hot = (i % N_MAPS, (i + 7) % N_MAPS)
+        batches.append(
+            WriteSet(
+                updates={
+                    f"public:table{m:02d}": {
+                        f"key{rng.randrange(ROWS_PER_MAP):05d}": rng.randrange(10**9)
+                        for _ in range(WRITES_PER_BATCH // 2)
+                    }
+                    for m in hot
+                }
+            )
+        )
+    return batches
+
+
+def _run_write_path(fast: bool, batches: list[WriteSet]) -> float:
+    """One full pass: apply every batch, snapshotting every
+    ``SNAPSHOT_EVERY`` batches. Returns elapsed seconds only — the
+    snapshot bytes (private state) never leave this function."""
+    previous = set_transient_apply(fast)
+    try:
+        store = _seed_store()
+        if fast:
+            store.serialize()  # a prior snapshot's memo, as in steady state
+        start = time.perf_counter()  # repro-lint: disable=DET001
+        seqno = store.version
+        for i, ws in enumerate(batches):
+            seqno += 1
+            store.apply_write_set(ws, seqno)
+            if (i + 1) % SNAPSHOT_EVERY == 0:
+                store.serialize() if fast else _reference_serialize(store)
+        return time.perf_counter() - start  # repro-lint: disable=DET001
+    finally:
+        set_transient_apply(previous)
+
+
+def _check_write_path_bytes(batches: list[WriteSet]) -> None:
+    """Differential gate before any timing: both paths must produce the
+    same snapshot bytes, or the speedup is meaningless. The compared
+    bytes stay local; only the verdict escapes."""
+
+    def final_snapshot(fast: bool) -> bytes:
+        previous = set_transient_apply(fast)
+        try:
+            store = _seed_store()
+            seqno = store.version
+            for ws in batches:
+                seqno += 1
+                store.apply_write_set(ws, seqno)
+            return store.serialize() if fast else _reference_serialize(store)
+        finally:
+            set_transient_apply(previous)
+
+    if final_snapshot(True) != final_snapshot(False):
+        raise KVError("fast write path diverged from the reference bytes")
+
+
+def run_write_path_bench() -> dict:
+    batches = _write_batches()
+    _check_write_path_bytes(batches)
+
+    RUNTIME_STATS.reset()
+    fast_s = min(_run_write_path(True, batches) for _ in range(REPEATS))
+    hits = RUNTIME_STATS.get("kv.map_encode.hits")
+    misses = RUNTIME_STATS.get("kv.map_encode.misses")
+    slow_s = min(_run_write_path(False, batches) for _ in range(REPEATS))
+    return {
+        "workload": {
+            "maps": N_MAPS,
+            "rows_per_map": ROWS_PER_MAP,
+            "batches": BATCHES,
+            "writes_per_batch": WRITES_PER_BATCH,
+            "snapshot_every": SNAPSHOT_EVERY,
+        },
+        "baseline_s": slow_s,
+        "fast_s": fast_s,
+        "speedup": slow_s / fast_s if fast_s > 0 else float("inf"),
+        "encode_memo": {
+            "hits": hits,
+            "misses": misses,
+            "hit_ratio": round(hits / (hits + misses), 4) if hits + misses else 0.0,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Sweep 2: AEAD seal amortization (per-message vs coalesced frames)
+
+
+def _channel_pair(tag: bytes):
+    from repro.crypto.x25519 import DHPrivateKey
+    from repro.net.channels import NodeChannels
+
+    a = NodeChannels("alpha", DHPrivateKey.generate(b"kvbench-a-" + tag))
+    b = NodeChannels("beta", DHPrivateKey.generate(b"kvbench-b-" + tag))
+    a.establish("beta", b.public)
+    b.establish("alpha", a.public)
+    return a, b
+
+
+def run_seal_bench() -> dict:
+    payloads = [bytes([i % 256]) * SEAL_PAYLOAD_BYTES for i in range(SEAL_PAYLOADS)]
+
+    # Differential check: a framed roundtrip must hand back the exact
+    # payload sequence the per-message path would.
+    a, b = _channel_pair(b"diff")
+    sealed = a.seal_frame("beta", payloads[:FRAME_SIZE])
+    if b.open_frame("alpha", sealed.counter, sealed.box) != payloads[:FRAME_SIZE]:
+        raise KVError("framed roundtrip diverged from the payload stream")
+
+    per_message_s = float("inf")
+    framed_s = float("inf")
+    for repeat in range(REPEATS):
+        a, b = _channel_pair(b"m%d" % repeat)
+        start = time.perf_counter()  # repro-lint: disable=DET001
+        for payload in payloads:
+            b.open(a.seal("beta", payload))
+        per_message_s = min(
+            per_message_s, time.perf_counter() - start  # repro-lint: disable=DET001
+        )
+        a, b = _channel_pair(b"f%d" % repeat)
+        start = time.perf_counter()  # repro-lint: disable=DET001
+        for i in range(0, len(payloads), FRAME_SIZE):
+            sealed = a.seal_frame("beta", payloads[i:i + FRAME_SIZE])
+            b.open_frame("alpha", sealed.counter, sealed.box)
+        framed_s = min(
+            framed_s, time.perf_counter() - start  # repro-lint: disable=DET001
+        )
+    return {
+        "workload": {
+            "payloads": SEAL_PAYLOADS,
+            "payload_bytes": SEAL_PAYLOAD_BYTES,
+            "frame_size": FRAME_SIZE,
+        },
+        "per_message_s": per_message_s,
+        "framed_s": framed_s,
+        "amortization": per_message_s / framed_s if framed_s > 0 else float("inf"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Report, floors, CLI
+
+
+def run_matrix() -> dict:
+    write_path = run_write_path_bench()
+    print(
+        f"kvbench: write path baseline={write_path['baseline_s'] * 1e3:8.2f}ms "
+        f"fast={write_path['fast_s'] * 1e3:8.2f}ms "
+        f"speedup={write_path['speedup']:.2f}x "
+        f"(encode memo hit ratio {write_path['encode_memo']['hit_ratio']})"
+    )
+    seal = run_seal_bench()
+    print(
+        f"kvbench: sealing per-message={seal['per_message_s'] * 1e3:8.2f}ms "
+        f"framed={seal['framed_s'] * 1e3:8.2f}ms "
+        f"amortization={seal['amortization']:.2f}x"
+    )
+    return {"bench": "hot-write-path", "write_path": write_path, "sealing": seal}
+
+
+def check_report(
+    report: dict, apply_speedup_floor: float, seal_amortization_floor: float
+) -> list[str]:
+    """Regression gates over a BENCH_pr10 report; returns violations."""
+    problems: list[str] = []
+    speedup = report["write_path"]["speedup"]
+    if speedup < apply_speedup_floor:
+        problems.append(
+            f"batched write path is only {speedup:.2f}x the pre-PR10 "
+            f"baseline; floor is {apply_speedup_floor}x"
+        )
+    amortization = report["sealing"]["amortization"]
+    if amortization < seal_amortization_floor:
+        problems.append(
+            f"coalesced sealing amortizes only {amortization:.2f}x over "
+            f"per-message seals; floor is {seal_amortization_floor}x"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="hot write path benchmark (BENCH_pr10)"
+    )
+    parser.add_argument("--out", help="write the JSON report here")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce the write-path speedup and seal amortization floors",
+    )
+    parser.add_argument("--budget", default="perf-budget.json")
+    args = parser.parse_args(argv)
+
+    report = run_matrix()
+
+    problems: list[str] = []
+    if args.check:
+        with open(args.budget, encoding="utf-8") as handle:
+            budget = json.load(handle)
+        problems = check_report(
+            report,
+            float(budget["kv_batch_apply_speedup_min"]),
+            float(budget["frame_seal_amortization_min"]),
+        )
+        if not problems:
+            print(
+                f"kvbench: OK — {report['write_path']['speedup']:.2f}x write "
+                f"path (floor {budget['kv_batch_apply_speedup_min']}x), "
+                f"{report['sealing']['amortization']:.2f}x seal amortization "
+                f"(floor {budget['frame_seal_amortization_min']}x)"
+            )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"kvbench: report written to {args.out}")
+    for problem in problems:
+        print(f"kvbench: FLOOR VIOLATION: {problem}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

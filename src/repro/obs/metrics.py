@@ -216,3 +216,45 @@ class MetricsRegistry:
             else:
                 out[rendered] = metric.summary()
         return out
+
+
+class RuntimeStats:
+    """Process-global *host-side* counters for fast-path instrumentation.
+
+    These count wall-clock work the host actually performed — cache hits,
+    AEAD seals, frames coalesced — never simulated-time quantities, and
+    nothing in the simulation may branch on them (they are observability
+    only, so a run with different counter values is still the same run).
+
+    They used to live as ad-hoc module-global dicts next to each fast path
+    (e.g. ``repro.net.channels.CHANNEL_STATS``), which bled across tests and
+    across the two halves of a differential chaos replay. This registry
+    keeps them in one place with an explicit :meth:`reset`, called at the
+    start of every chaos schedule, traced benchmark run, and test (see
+    ``tests/conftest.py``) so counts are attributable to one run.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(sorted(self._counts.items()))
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+
+RUNTIME_STATS = RuntimeStats()
+
+
+def reset_runtime_stats() -> None:
+    """Zero every process-global runtime counter (start of a run)."""
+    RUNTIME_STATS.reset()

@@ -85,6 +85,14 @@ class CostModel:
     # the remaining (1 - fraction) is charged per request unchanged, so a
     # batch of one costs exactly the serial write cost.
     batch_overhead_fraction: float = 0.6
+    # AEAD sealing split for coalesced wire frames: a fixed per-frame cost
+    # (key schedule, nonce derivation, tag finalization, counter update)
+    # plus a per-message cost (the payload bytes actually encrypted). These
+    # feed *accounting only* — frame seal costs are recorded through the obs
+    # hooks, never scheduled as simulated delay, so enabling coalescing
+    # cannot perturb trace digests (DESIGN.md: "coalescing cannot reorder").
+    seal_cost_per_frame: float = 2.5e-6
+    seal_cost_per_message: float = 0.5e-6
 
     def __post_init__(self) -> None:
         if (self.runtime, self.platform) not in _EXECUTION_COSTS:
@@ -134,3 +142,18 @@ class CostModel:
     def state_transfer_cost(self, num_bytes: int) -> float:
         """Wire-time surcharge for shipping ``num_bytes`` of state."""
         return num_bytes * self.state_transfer_cost_per_byte
+
+    def sealing_cost(self, n_messages: int, n_frames: int | None = None) -> float:
+        """Accounting cost of sealing ``n_messages`` payloads in
+        ``n_frames`` frames (defaults to one frame per message — the
+        uncoalesced shape). Coalescing's win is the per-frame term
+        amortizing: ``sealing_cost(k, 1) < sealing_cost(k, k)`` for k > 1.
+        """
+        if n_frames is None:
+            n_frames = n_messages
+        if n_messages < 0 or n_frames < 0:
+            raise ConfigurationError("seal counts must be >= 0")
+        return (
+            n_frames * self.seal_cost_per_frame
+            + n_messages * self.seal_cost_per_message
+        )

@@ -68,6 +68,9 @@ class ChaosSpec:
     # pipelined hot path too.
     batch_execution: bool = False
     read_offload: bool = False
+    # Coalesced sealed wire frames (PR 10). On/off must produce bit-identical
+    # trace digests — the chaos differential suite pins this.
+    frame_coalescing: bool = True
 
     # Per-step fault probabilities.
     p_crash: float = 0.12
@@ -200,6 +203,7 @@ class ServiceCluster:
                 signature_interval=spec.signature_interval,
                 batch_execution=spec.batch_execution,
                 read_offload=spec.read_offload,
+                frame_coalescing=spec.frame_coalescing,
             ),
             link=LinkConfig(base_latency=spec.base_latency, jitter=spec.base_latency / 5),
             seed=seed,
@@ -586,6 +590,12 @@ class ChaosEngine:
         the run into a replay digest (the sanitizer's entry point), and/or
         an :class:`repro.obs.ObsCollector` as ``obs`` to record a causal
         span trace of the whole schedule."""
+        from repro.obs.metrics import reset_runtime_stats
+
+        # Host-side fast-path counters are attributable to one run only if
+        # zeroed here; they are observability-only, so this cannot change
+        # the schedule itself.
+        reset_runtime_stats()
         report = ScheduleReport(seed=seed, spec=self.spec.to_dict())
         cluster = ServiceCluster(self.spec, seed, tracer=tracer, obs=obs)
         state = {"partitioned": False, "lossy_links": [], "gray": []}

@@ -1,0 +1,16 @@
+"""Repo-wide test fixtures."""
+
+import pytest
+
+from repro.obs.metrics import reset_runtime_stats
+
+
+@pytest.fixture(autouse=True)
+def _runtime_stats_isolation():
+    """Zero the process-global fast-path counters around every test, so
+    counter assertions never see another test's (or another chaos half's)
+    work. The counters are observability-only — resetting them cannot
+    change any simulated outcome."""
+    reset_runtime_stats()
+    yield
+    reset_runtime_stats()

@@ -147,3 +147,40 @@ class TestConsensusEndpoint:
         response = user.call(backup.node_id, "/node/consensus", {})
         assert response.body["role"] == "Backup"
         assert response.body["leader"] == service.primary_node().node_id
+
+
+class TestOffloadSerialization:
+    def test_mixed_type_keys_serialize_injectively(self):
+        """Regression: sorting offload rows by str(key) made 1 and "1"
+        collide — their relative order depended on dict insertion order, so
+        equal indexes could offload to different bytes. The tagged key form
+        (json_safe_key) is injective, so bytes are a pure function of
+        content."""
+        txid = TxID(1, 1)
+
+        def build(keys):
+            index = KeyWriteIndex("kwi", "records")
+            for key in keys:
+                ws = _ws(key, "v")
+                index.handle_committed(txid, ws)
+            return index
+
+        forward = build([1, "1", 2, "2", (3,), b"3"])
+        backward = build([b"3", (3,), "2", 2, "1", 1])
+        assert forward.serialize() == backward.serialize()
+
+        # Both keys survive a roundtrip as distinct entries.
+        restored = KeyWriteIndex("kwi", "records")
+        restored.restore(forward.serialize())
+        assert restored.txids_for_key(1) == [txid]
+        assert restored.txids_for_key("1") == [txid]
+        assert restored.txids_for_key((3,)) == [txid]
+
+    def test_serialize_restore_roundtrip_stable(self):
+        index = KeyWriteIndex("kwi", "records")
+        for i, key in enumerate([0, "0", 10, "z", (1, 2)]):
+            index.handle_committed(TxID(1, i + 1), _ws(key, i))
+        blob = index.serialize()
+        restored = KeyWriteIndex("kwi", "records")
+        restored.restore(blob)
+        assert restored.serialize() == blob

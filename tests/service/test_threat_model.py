@@ -76,12 +76,18 @@ class TestUntrustedHost:
         user.call(service.primary_node().node_id, "/app/write_message",
                   {"id": 1, "msg": secret_text})
         service.run(0.3)
-        from repro.node.wire import SealedConsensusMessage
+        from repro.node.wire import FrameSegment, SealedConsensusMessage
 
-        consensus_messages = [m for m in captured if isinstance(m, SealedConsensusMessage)]
+        # Consensus traffic travels as per-message seals or coalesced frame
+        # segments depending on frame_coalescing; both are sealed boxes.
+        consensus_messages = [
+            m for m in captured if isinstance(m, (SealedConsensusMessage, FrameSegment))
+        ]
         assert consensus_messages, "expected sealed consensus traffic"
         for message in consensus_messages:
-            assert secret_text.encode() not in message.box
+            box = message.box if isinstance(message, SealedConsensusMessage) else message.frame.box
+            assert box is not None, "frame left unsealed on the wire"
+            assert secret_text.encode() not in box
 
 
 class TestAttestationGate:
